@@ -1,0 +1,76 @@
+// Ablation: the §5.1.1 pruning heuristics. Disabling a rule widens the
+// candidate set the BestPlan search must consider; optimization time
+// grows while execution quality stays comparable.
+
+#include "bench/bench_common.h"
+
+using namespace qsys;
+using namespace qsys::bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  PruningOptions options;
+};
+
+}  // namespace
+
+int main() {
+  printf("== Ablation: pruning heuristics (§5.1.1) ==\n");
+  PruningOptions all;
+  PruningOptions no_h1 = all;
+  no_h1.low_yield_query_rule = false;
+  PruningOptions no_h3 = all;
+  no_h3.utility_filter = false;
+  PruningOptions no_h4 = all;
+  no_h4.no_partial_overlap = false;
+  PruningOptions none = all;
+  none.low_yield_query_rule = false;
+  none.utility_filter = false;
+  none.no_partial_overlap = false;
+
+  const Variant variants[] = {{"all-rules", all},
+                              {"no-H1-lowyield", no_h1},
+                              {"no-H3-utility", no_h3},
+                              {"no-H4-overlap", no_h4},
+                              {"no-pruning", none}};
+  printf("%-16s %12s %14s %12s %12s\n", "variant", "candidates",
+         "opt time (ms)", "streamed", "mean lat(s)");
+  ShapeChecker checker;
+  int64_t all_cands = 0, none_cands = 0;
+  double all_ms = 0.0, none_ms = 0.0;
+  for (const Variant& v : variants) {
+    ExperimentOptions options = GusDefaults(SharingConfig::kAtcFull);
+    options.config.pruning = v.options;
+    auto out = RunExperiment(options);
+    if (!out.ok()) {
+      printf("%s failed: %s\n", v.name, out.status().ToString().c_str());
+      return 1;
+    }
+    int64_t cands = 0;
+    double ms = 0.0;
+    for (const OptimizationRecord& r : out.value().opt_records) {
+      cands += r.candidates;
+      ms += r.wall_seconds * 1000.0;
+    }
+    printf("%-16s %12lld %14.2f %12lld %12.2f\n", v.name,
+           static_cast<long long>(cands), ms,
+           static_cast<long long>(out.value().stats.tuples_streamed),
+           MeanLatencySeconds(out.value()));
+    if (std::string(v.name) == "all-rules") {
+      all_cands = cands;
+      all_ms = ms;
+    }
+    if (std::string(v.name) == "no-pruning") {
+      none_cands = cands;
+      none_ms = ms;
+    }
+    checker.Check(out.value().metrics.size() >= 14,
+                  std::string(v.name) + ": all queries complete");
+  }
+  checker.Check(none_cands >= all_cands,
+                "disabling pruning admits at least as many candidates");
+  printf("opt time all-rules=%.2fms no-pruning=%.2fms\n", all_ms, none_ms);
+  return checker.Finish();
+}

@@ -1,0 +1,95 @@
+// Shared setup and reporting helpers for the per-figure benchmark
+// harnesses. Every bench prints the paper's rows/series plus a
+// `shape-check` verdict: absolute numbers differ from the paper (our
+// substrate is a simulator; see DESIGN.md §1) but the qualitative
+// relationships must hold.
+
+#ifndef QSYS_BENCH_BENCH_COMMON_H_
+#define QSYS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/workload/runner.h"
+
+namespace qsys::bench {
+
+/// Paper-style synthetic setup: GUS-shaped schema (358 relations),
+/// 15 two-keyword user queries, k=50, batches of 5, Poisson 2 ms delays.
+inline ExperimentOptions GusDefaults(SharingConfig sharing,
+                                     uint64_t data_seed = 1,
+                                     uint64_t workload_seed = 7) {
+  ExperimentOptions options;
+  options.dataset = DatasetKind::kGusSynthetic;
+  options.gus.seed = data_seed;
+  options.workload.num_queries = 15;
+  options.workload.seed = workload_seed;
+  options.config.sharing = sharing;
+  options.config.k = 50;
+  options.config.batch_size = 5;
+  options.config.max_rounds = 200'000'000;
+  return options;
+}
+
+/// Paper-style real-data setup: Pfam/InterPro-shaped databases (larger
+/// cardinalities), 15 keyword queries of ~4 CQs each.
+inline ExperimentOptions PfamDefaults(SharingConfig sharing,
+                                      uint64_t workload_seed = 21) {
+  ExperimentOptions options;
+  options.dataset = DatasetKind::kPfamInterpro;
+  options.pfam.scale = 3.0;  // "significantly larger amounts of data"
+  options.workload.num_queries = 15;
+  options.workload.seed = workload_seed;
+  options.workload.gen.max_matches_per_keyword = 2;
+  options.workload.gen.max_cqs = 4;
+  options.restrict_vocabulary_to_matches = true;
+  options.config.sharing = sharing;
+  options.config.k = 50;
+  options.config.batch_size = 5;
+  options.config.max_rounds = 400'000'000;
+  return options;
+}
+
+/// Running time (virtual seconds, execution start -> top-k complete)
+/// keyed by user-query id — the paper's per-query "running time".
+inline std::map<int, double> LatencyByUq(const ExperimentOutcome& out) {
+  std::map<int, double> m;
+  for (const UserQueryMetrics& q : out.metrics) {
+    m[q.uq_id] = q.RunningSeconds();
+  }
+  return m;
+}
+
+/// Accumulates pass/fail shape assertions and prints the verdict.
+class ShapeChecker {
+ public:
+  void Check(bool ok, const std::string& what) {
+    if (ok) {
+      printf("  [shape OK]   %s\n", what.c_str());
+    } else {
+      printf("  [shape FAIL] %s\n", what.c_str());
+      failed_ += 1;
+    }
+  }
+  /// Prints the verdict; returns the process exit code.
+  int Finish() const {
+    printf("shape-check: %s\n", failed_ == 0 ? "PASS" : "FAIL");
+    return failed_ == 0 ? 0 : 1;
+  }
+
+ private:
+  int failed_ = 0;
+};
+
+inline double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : v) total += x;
+  return total / static_cast<double>(v.size());
+}
+
+}  // namespace qsys::bench
+
+#endif  // QSYS_BENCH_BENCH_COMMON_H_

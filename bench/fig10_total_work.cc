@@ -1,0 +1,52 @@
+// Figure 10: total work (input tuples consumed, in thousands) to answer
+// the first 5 user queries versus the full 15, per configuration.
+//
+// Expected shape (paper §7.3): without reuse (ATC-CQ, ATC-UQ) tripling
+// the workload roughly triples the work; ATC-FULL's state reuse makes
+// the full suite cost only ~1.75x the 5-query prefix; ATC-CL sits in
+// between (it shares less than FULL — more work — yet runs faster).
+
+#include "bench/bench_common.h"
+
+using namespace qsys;
+using namespace qsys::bench;
+
+int main() {
+  printf("== Figure 10: total input tuples consumed, 5 vs 15 user "
+         "queries ==\n");
+  printf("%-10s %10s %10s %8s\n", "config", "5-UQ", "15-UQ", "ratio");
+  const SharingConfig configs[] = {
+      SharingConfig::kAtcCq, SharingConfig::kAtcUq, SharingConfig::kAtcFull,
+      SharingConfig::kAtcCl};
+  std::map<SharingConfig, double> ratio;
+  for (SharingConfig cfg : configs) {
+    ExperimentOptions five = GusDefaults(cfg);
+    five.max_queries = 5;
+    ExperimentOptions fifteen = GusDefaults(cfg);
+    auto out5 = RunExperiment(five);
+    auto out15 = RunExperiment(fifteen);
+    if (!out5.ok() || !out15.ok()) {
+      printf("%s failed\n", SharingConfigName(cfg));
+      return 1;
+    }
+    double w5 = static_cast<double>(out5.value().stats.tuples_streamed);
+    double w15 = static_cast<double>(out15.value().stats.tuples_streamed);
+    ratio[cfg] = w15 / std::max(w5, 1.0);
+    printf("%-10s %9.1fk %9.1fk %8.2f\n", SharingConfigName(cfg),
+           w5 / 1000.0, w15 / 1000.0, ratio[cfg]);
+  }
+  ShapeChecker checker;
+  checker.Check(ratio[SharingConfig::kAtcCq] > 2.0,
+                "no-reuse config scales work ~linearly (ratio > 2)");
+  checker.Check(
+      ratio[SharingConfig::kAtcFull] < ratio[SharingConfig::kAtcCq],
+      "ATC-FULL's reuse cuts the scaling ratio vs ATC-CQ");
+  checker.Check(
+      ratio[SharingConfig::kAtcFull] < ratio[SharingConfig::kAtcUq],
+      "temporal reuse (FULL) beats within-query-only sharing (UQ)");
+  checker.Check(
+      ratio[SharingConfig::kAtcCl] >=
+          ratio[SharingConfig::kAtcFull] * 0.95,
+      "ATC-CL does at least as much work as ATC-FULL (shares less)");
+  return checker.Finish();
+}

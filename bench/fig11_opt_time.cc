@@ -1,0 +1,87 @@
+// Figure 11: multiple-query-optimization time versus the number of
+// candidate inputs considered for push-down.
+//
+// Expected shape (paper §7.4): optimization time grows superlinearly
+// (roughly exponentially) with the candidate count — the BestPlan search
+// explores subsets of candidates. We measure the *actual* wall time of
+// our search on one batch of 5 user queries, sweeping the candidate cap.
+
+#include <chrono>
+
+#include "bench/bench_common.h"
+
+using namespace qsys;
+using namespace qsys::bench;
+
+int main() {
+  printf("== Figure 11: optimization time vs number of candidate inputs "
+         "==\n");
+  // Build the dataset + a 5-query batch once.
+  QConfig config;
+  config.max_rounds = 1;
+  QSystem sys(config);
+  GusOptions gus;
+  Status st = BuildGusDataset(sys, gus);
+  if (!st.ok()) {
+    printf("dataset failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  WorkloadOptions wl;
+  wl.num_queries = 5;
+  std::vector<WorkloadQuery> queries =
+      GenerateBioWorkload(BioVocabulary(), wl);
+  KeywordMatcher matcher(&sys.inverted_index(), &sys.catalog());
+  CandidateGenerator gen(&sys.schema_graph(), &matcher);
+  std::vector<UserQuery> uqs;
+  int next_cq = 1;
+  for (const WorkloadQuery& q : queries) {
+    auto uq = gen.Generate(q.keywords, 50, q.options);
+    if (!uq.ok()) continue;
+    uqs.push_back(std::move(uq).value());
+    uqs.back().id = static_cast<int>(uqs.size());
+    for (ConjunctiveQuery& cq : uqs.back().cqs) cq.id = next_cq++;
+  }
+  std::vector<const UserQuery*> batch;
+  for (const UserQuery& uq : uqs) batch.push_back(&uq);
+
+  Optimizer optimizer(&sys.catalog(), &sys.inverted_index(), nullptr,
+                      nullptr, DelayParams{});
+  printf("%-12s %14s %14s\n", "candidates", "time (ms)", "search nodes");
+  ShapeChecker checker;
+  std::vector<std::pair<int64_t, double>> series;
+  for (int cap = 1; cap <= 15; ++cap) {
+    OptimizerOptions options;
+    options.sharing = SharingMode::kFull;
+    options.pruning.max_candidates = cap;
+    // Loosen the sharing requirement so the cap is the binding limit.
+    options.pruning.min_share = 2;
+    auto t0 = std::chrono::steady_clock::now();
+    OptimizeOutcome outcome = optimizer.OptimizeBatch(batch, options, -1);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    printf("%-12lld %14.2f %14lld\n",
+           static_cast<long long>(outcome.candidates_considered), ms,
+           static_cast<long long>(outcome.nodes_explored));
+    if (series.empty() ||
+        outcome.candidates_considered > series.back().first) {
+      series.emplace_back(outcome.candidates_considered, ms);
+    }
+  }
+  // Superlinear growth: the time ratio between the largest and smallest
+  // candidate counts exceeds the count ratio.
+  if (series.size() >= 3) {
+    double count_ratio = static_cast<double>(series.back().first) /
+                         static_cast<double>(series.front().first);
+    double time_ratio = series.back().second /
+                        std::max(series.front().second, 1e-6);
+    printf("count grew %.1fx, time grew %.1fx\n", count_ratio, time_ratio);
+    checker.Check(time_ratio > count_ratio,
+                  "optimization time grows superlinearly in candidates");
+  } else {
+    checker.Check(false, "not enough distinct candidate counts measured");
+  }
+  checker.Check(series.back().first >= 8,
+                "search reached a nontrivial candidate count");
+  return checker.Finish();
+}

@@ -1,0 +1,74 @@
+// Figure 12: per-user-query running times over the real-data workload
+// (Pfam + InterPro), under the four configurations.
+//
+// Expected shape (paper §7.5): ATC-UQ gives minor improvements over
+// ATC-CQ; ATC-FULL shows few gains (the larger dataset causes more
+// middleware computation and contention); ATC-CL clusters the contending
+// queries into separate plan graphs and wins big (paper: up to 97% vs
+// ATC-CQ / 90% vs ATC-UQ).
+
+#include "bench/bench_common.h"
+
+using namespace qsys;
+using namespace qsys::bench;
+
+int main() {
+  printf("== Figure 12: running time (virtual s) per user query, "
+         "Pfam/InterPro ==\n");
+  const SharingConfig configs[] = {
+      SharingConfig::kAtcCq, SharingConfig::kAtcUq, SharingConfig::kAtcFull,
+      SharingConfig::kAtcCl};
+  std::map<SharingConfig, std::map<int, double>> latency;
+  std::map<SharingConfig, int> atcs;
+  for (SharingConfig cfg : configs) {
+    auto out = RunExperiment(PfamDefaults(cfg));
+    if (!out.ok()) {
+      printf("%s failed: %s\n", SharingConfigName(cfg),
+             out.status().ToString().c_str());
+      return 1;
+    }
+    latency[cfg] = LatencyByUq(out.value());
+    atcs[cfg] = out.value().num_atcs;
+  }
+  printf("%-4s %10s %10s %10s %10s\n", "UQ", "ATC-CQ", "ATC-UQ",
+         "ATC-FULL", "ATC-CL");
+  std::vector<double> cq, uq, full, cl;
+  for (const auto& [id, t_cq] : latency[SharingConfig::kAtcCq]) {
+    auto get = [&](SharingConfig c) {
+      auto it = latency[c].find(id);
+      return it == latency[c].end() ? -1.0 : it->second;
+    };
+    double t_uq = get(SharingConfig::kAtcUq);
+    double t_full = get(SharingConfig::kAtcFull);
+    double t_cl = get(SharingConfig::kAtcCl);
+    printf("%-4d %10.2f %10.2f %10.2f %10.2f\n", id, t_cq, t_uq, t_full,
+           t_cl);
+    if (t_uq < 0 || t_full < 0 || t_cl < 0) continue;
+    cq.push_back(t_cq);
+    uq.push_back(t_uq);
+    full.push_back(t_full);
+    cl.push_back(t_cl);
+  }
+  printf("mean: %13.2f %10.2f %10.2f %10.2f\n", Mean(cq), Mean(uq),
+         Mean(full), Mean(cl));
+  printf("ATC-CL plan graphs: %d\n", atcs[SharingConfig::kAtcCl]);
+
+  ShapeChecker checker;
+  checker.Check(Mean(uq) <= Mean(cq),
+                "ATC-UQ no worse than ATC-CQ on average");
+  checker.Check(Mean(cl) < Mean(cq),
+                "clustering beats the no-sharing baseline");
+  checker.Check(Mean(cl) <= Mean(full),
+                "clustering beats the single shared graph (contention)");
+  checker.Check(atcs[SharingConfig::kAtcCl] > 1,
+                "the workload clustered into multiple plan graphs");
+  double best_gain = 0.0;
+  for (size_t i = 0; i < cq.size(); ++i) {
+    best_gain = std::max(best_gain, 1.0 - cl[i] / std::max(cq[i], 1e-9));
+  }
+  printf("best per-query gain of ATC-CL vs ATC-CQ: %.0f%%\n",
+         100.0 * best_gain);
+  checker.Check(best_gain >= 0.5,
+                "best-case clustering gain at least 50% (paper: ~97%)");
+  return checker.Finish();
+}

@@ -1,0 +1,75 @@
+// Figure 7: per-user-query running time (virtual seconds, log scale in
+// the paper) to return top-50 results, under the four configurations
+// ATC-CQ / ATC-UQ / ATC-FULL / ATC-CL, over the synthetic dataset.
+//
+// Expected shape (paper §7.1): ATC-UQ beats ATC-CQ virtually across the
+// board; ATC-FULL beats ATC-UQ only on a minority of queries (rank-merge
+// contention on the shared graph); ATC-CL resolves the contention and is
+// best or near-best overall, with up to ~90% gains vs ATC-CQ.
+
+#include "bench/bench_common.h"
+
+using namespace qsys;
+using namespace qsys::bench;
+
+int main() {
+  printf("== Figure 7: running time (virtual s) per user query, top-50 "
+         "==\n");
+  const SharingConfig configs[] = {
+      SharingConfig::kAtcCq, SharingConfig::kAtcUq, SharingConfig::kAtcFull,
+      SharingConfig::kAtcCl};
+  std::map<SharingConfig, std::map<int, double>> latency;
+  for (SharingConfig cfg : configs) {
+    auto out = RunExperiment(GusDefaults(cfg));
+    if (!out.ok()) {
+      printf("%s failed: %s\n", SharingConfigName(cfg),
+             out.status().ToString().c_str());
+      return 1;
+    }
+    latency[cfg] = LatencyByUq(out.value());
+  }
+  printf("%-4s %10s %10s %10s %10s\n", "UQ", "ATC-CQ", "ATC-UQ",
+         "ATC-FULL", "ATC-CL");
+  std::vector<double> cq, uq, full, cl;
+  for (const auto& [id, t_cq] : latency[SharingConfig::kAtcCq]) {
+    auto get = [&](SharingConfig c) {
+      auto it = latency[c].find(id);
+      return it == latency[c].end() ? -1.0 : it->second;
+    };
+    double t_uq = get(SharingConfig::kAtcUq);
+    double t_full = get(SharingConfig::kAtcFull);
+    double t_cl = get(SharingConfig::kAtcCl);
+    printf("%-4d %10.2f %10.2f %10.2f %10.2f\n", id, t_cq, t_uq, t_full,
+           t_cl);
+    if (t_uq < 0 || t_full < 0 || t_cl < 0) continue;
+    cq.push_back(t_cq);
+    uq.push_back(t_uq);
+    full.push_back(t_full);
+    cl.push_back(t_cl);
+  }
+  printf("mean: %13.2f %10.2f %10.2f %10.2f\n", Mean(cq), Mean(uq),
+         Mean(full), Mean(cl));
+
+  ShapeChecker checker;
+  int uq_wins = 0;
+  for (size_t i = 0; i < cq.size(); ++i) {
+    if (uq[i] <= cq[i] * 1.05) ++uq_wins;
+  }
+  checker.Check(uq_wins >= static_cast<int>(cq.size()) * 3 / 4,
+                "ATC-UQ <= ATC-CQ on at least 3/4 of the queries");
+  checker.Check(Mean(uq) < Mean(cq),
+                "within-UQ sharing beats no sharing on average");
+  checker.Check(Mean(cl) < Mean(uq),
+                "clustering beats within-UQ sharing on average");
+  checker.Check(Mean(cl) <= Mean(full) * 1.10,
+                "clustering resolves ATC-FULL's contention (CL <= FULL)");
+  double best_gain = 0.0;
+  for (size_t i = 0; i < cq.size(); ++i) {
+    best_gain = std::max(best_gain, 1.0 - cl[i] / std::max(cq[i], 1e-9));
+  }
+  printf("best per-query gain of ATC-CL vs ATC-CQ: %.0f%%\n",
+         100.0 * best_gain);
+  checker.Check(best_gain >= 0.5,
+                "best-case sharing gain at least 50% (paper: up to ~90%)");
+  return checker.Finish();
+}

@@ -1,0 +1,54 @@
+// Figure 8: breakdown of execution time into stream reads, random-access
+// probes, and in-middleware joins, per configuration.
+//
+// Expected shape (paper §7.1): the sharing configurations (ATC-UQ /
+// ATC-FULL / ATC-CL) spend a much smaller fraction of their time reading
+// base streams than ATC-CQ — they share and reuse tuples — and a larger
+// fraction probing remote sources.
+
+#include "bench/bench_common.h"
+
+using namespace qsys;
+using namespace qsys::bench;
+
+int main() {
+  printf("== Figure 8: fraction of execution time by operation ==\n");
+  printf("%-10s %12s %16s %10s\n", "config", "stream-read",
+         "random-access", "join");
+  const SharingConfig configs[] = {
+      SharingConfig::kAtcCq, SharingConfig::kAtcUq, SharingConfig::kAtcFull,
+      SharingConfig::kAtcCl};
+  std::map<SharingConfig, double> stream_frac, probe_frac;
+  for (SharingConfig cfg : configs) {
+    auto out = RunExperiment(GusDefaults(cfg));
+    if (!out.ok()) {
+      printf("%s failed: %s\n", SharingConfigName(cfg),
+             out.status().ToString().c_str());
+      return 1;
+    }
+    const ExecStats& s = out.value().stats;
+    double total = static_cast<double>(s.ExecTotalUs());
+    if (total <= 0) total = 1;
+    double fs = s.stream_read_us / total;
+    double fp = s.random_access_us / total;
+    double fj = s.join_us / total;
+    printf("%-10s %12.3f %16.3f %10.3f\n", SharingConfigName(cfg), fs, fp,
+           fj);
+    stream_frac[cfg] = fs;
+    probe_frac[cfg] = fp;
+  }
+  ShapeChecker checker;
+  checker.Check(
+      stream_frac[SharingConfig::kAtcUq] <
+          stream_frac[SharingConfig::kAtcCq],
+      "ATC-UQ spends a smaller stream-read fraction than ATC-CQ");
+  checker.Check(
+      stream_frac[SharingConfig::kAtcFull] <
+          stream_frac[SharingConfig::kAtcCq],
+      "ATC-FULL spends a smaller stream-read fraction than ATC-CQ");
+  checker.Check(
+      probe_frac[SharingConfig::kAtcFull] >
+          probe_frac[SharingConfig::kAtcCq],
+      "ATC-FULL spends a larger random-access fraction than ATC-CQ");
+  return checker.Finish();
+}

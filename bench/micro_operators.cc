@@ -1,0 +1,187 @@
+// Micro-benchmarks (google-benchmark) for the core execution operators:
+// join hash table insert/probe, m-join consumption, split fan-out, and
+// rank-merge maintenance. Run in Release mode for meaningful numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "src/exec/mjoin_op.h"
+#include "src/exec/rank_merge_op.h"
+#include "src/exec/split_op.h"
+
+namespace qsys {
+namespace {
+
+/// Shared fixture data: R(id,score) / S(id,r_id,score) with Zipfian keys.
+struct MicroData {
+  MicroData() {
+    TableSchema r("r", {{"id", FieldType::kInt},
+                        {"score", FieldType::kDouble}});
+    r.set_key_field(0);
+    r.set_score_field(1);
+    TableSchema s("s", {{"id", FieldType::kInt},
+                        {"r_id", FieldType::kInt},
+                        {"score", FieldType::kDouble}});
+    s.set_key_field(0);
+    s.set_score_field(2);
+    r_id = catalog.AddTable(std::move(r)).value();
+    s_id = catalog.AddTable(std::move(s)).value();
+    Rng rng(17);
+    for (int i = 0; i < 4096; ++i) {
+      (void)catalog.table(r_id).AddRow(
+          {Value(int64_t{i}), Value(1.0 - i / 8192.0)});
+      (void)catalog.table(s_id).AddRow(
+          {Value(int64_t{i}),
+           Value(static_cast<int64_t>(rng.NextZipf(4096, 0.9))),
+           Value(1.0 - i / 8192.0)});
+    }
+    catalog.FinalizeAll();
+    delays = std::make_unique<DelayModel>(DelayParams{}, 3);
+  }
+
+  ExecContext Ctx() {
+    stats = ExecStats{};
+    clock = VirtualClock{};
+    ExecContext ctx;
+    ctx.clock = &clock;
+    ctx.stats = &stats;
+    ctx.catalog = &catalog;
+    ctx.delays = delays.get();
+    return ctx;
+  }
+
+  Expr SingleExpr(TableId t) {
+    Expr e;
+    Atom a;
+    a.table = t;
+    e.AddAtom(a);
+    e.Normalize();
+    return e;
+  }
+
+  Expr JoinExpr() {
+    Expr e;
+    Atom ra, sa;
+    ra.table = r_id;
+    sa.table = s_id;
+    int ri = e.AddAtom(ra);
+    int si = e.AddAtom(sa);
+    e.AddEdge({ri, 0, si, 1, 1.0});
+    e.Normalize();
+    return e;
+  }
+
+  Catalog catalog;
+  TableId r_id, s_id;
+  VirtualClock clock;
+  ExecStats stats;
+  std::unique_ptr<DelayModel> delays;
+};
+
+MicroData& Data() {
+  static MicroData* data = new MicroData();
+  return *data;
+}
+
+void BM_HashTableInsert(benchmark::State& state) {
+  MicroData& d = Data();
+  for (auto _ : state) {
+    state.PauseTiming();
+    JoinHashTable table(&d.catalog);
+    state.ResumeTiming();
+    for (RowId i = 0; i < 4096; ++i) {
+      table.Insert(0, CompositeTuple::ForBase(d.r_id, i, 0.5));
+    }
+    benchmark::DoNotOptimize(table.num_entries());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_HashTableInsert);
+
+void BM_HashTableProbe(benchmark::State& state) {
+  MicroData& d = Data();
+  JoinHashTable table(&d.catalog);
+  for (RowId i = 0; i < 4096; ++i) {
+    table.Insert(0, CompositeTuple::ForBase(d.s_id, i, 0.5));
+  }
+  int64_t hits = 0;
+  for (auto _ : state) {
+    for (int64_t k = 0; k < 1024; ++k) {
+      table.Probe(0, 1, Value(k), JoinHashTable::kAllEpochs,
+                  [&](const CompositeTuple&) { ++hits; });
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_HashTableProbe);
+
+void BM_MJoinConsume(benchmark::State& state) {
+  MicroData& d = Data();
+  for (auto _ : state) {
+    state.PauseTiming();
+    MJoinOp join(d.JoinExpr(), &d.catalog, /*adaptive=*/true);
+    int rp = join.AddStreamModule(d.SingleExpr(d.r_id)).value();
+    int sp = join.AddStreamModule(d.SingleExpr(d.s_id)).value();
+    (void)join.Finalize();
+    ExecContext ctx = d.Ctx();
+    state.ResumeTiming();
+    for (RowId i = 0; i < 1024; ++i) {
+      join.Consume(rp, CompositeTuple::ForBase(d.r_id, i, 0.5), ctx);
+      join.Consume(sp, CompositeTuple::ForBase(d.s_id, i, 0.5), ctx);
+    }
+    benchmark::DoNotOptimize(ctx.stats->join_outputs);
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_MJoinConsume);
+
+void BM_SplitFanOut(benchmark::State& state) {
+  MicroData& d = Data();
+  class NullOp : public Operator {
+   public:
+    void Consume(int, const CompositeTuple& t, ExecContext&) override {
+      benchmark::DoNotOptimize(t.sum_scores());
+    }
+    std::string Describe() const override { return "null"; }
+  };
+  NullOp sinks[8];
+  SplitOp split;
+  const int fanout = static_cast<int>(state.range(0));
+  for (int i = 0; i < fanout; ++i) split.AddConsumer({&sinks[i], 0});
+  ExecContext ctx = d.Ctx();
+  CompositeTuple t = CompositeTuple::ForBase(d.r_id, 0, 0.5);
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) split.Consume(0, t, ctx);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024 * fanout);
+}
+BENCHMARK(BM_SplitFanOut)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_RankMergeMaintain(benchmark::State& state) {
+  MicroData& d = Data();
+  for (auto _ : state) {
+    state.PauseTiming();
+    RankMergeOp merge(1, 50, 0);
+    CqRegistration reg;
+    reg.cq_id = 1;
+    reg.score_fn = ScoreFunction::DiscoverSum(1);
+    reg.max_sum = 1.0;
+    reg.initially_active = true;
+    int port = merge.RegisterCq(reg);
+    ExecContext ctx = d.Ctx();
+    state.ResumeTiming();
+    for (int i = 0; i < 1024; ++i) {
+      merge.Consume(port,
+                    CompositeTuple::ForBase(d.r_id, i % 4096,
+                                            1.0 - i / 2048.0),
+                    ctx);
+      merge.Maintain(ctx);
+    }
+    benchmark::DoNotOptimize(merge.results().size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_RankMergeMaintain);
+
+}  // namespace
+}  // namespace qsys

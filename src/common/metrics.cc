@@ -1,0 +1,35 @@
+#include "src/common/metrics.h"
+
+#include <cstdio>
+
+namespace qsys {
+
+void ExecStats::Merge(const ExecStats& other) {
+  stream_read_us += other.stream_read_us;
+  random_access_us += other.random_access_us;
+  join_us += other.join_us;
+  optimize_us += other.optimize_us;
+  tuples_streamed += other.tuples_streamed;
+  probes_issued += other.probes_issued;
+  probe_cache_hits += other.probe_cache_hits;
+  join_probes += other.join_probes;
+  join_outputs += other.join_outputs;
+  split_routed += other.split_routed;
+  results_emitted += other.results_emitted;
+}
+
+std::string ExecStats::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "stream=%.3fs probe=%.3fs join=%.3fs opt=%.3fs | "
+           "streamed=%lld probes=%lld joins=%lld out=%lld",
+           ToSeconds(stream_read_us), ToSeconds(random_access_us),
+           ToSeconds(join_us), ToSeconds(optimize_us),
+           static_cast<long long>(tuples_streamed),
+           static_cast<long long>(probes_issued),
+           static_cast<long long>(join_probes),
+           static_cast<long long>(join_outputs));
+  return buf;
+}
+
+}  // namespace qsys

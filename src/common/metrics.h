@@ -1,0 +1,106 @@
+// Execution metrics: the counters and virtual-time buckets from which
+// every table and figure of the paper's evaluation is regenerated.
+
+#ifndef QSYS_COMMON_METRICS_H_
+#define QSYS_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/virtual_clock.h"
+
+namespace qsys {
+
+/// \brief Where a unit of virtual time was spent. Mirrors Figure 8's
+/// breakdown: reading streaming sources, probing remote (random access)
+/// sources, and in-middleware join work.
+enum class TimeBucket { kStreamRead = 0, kRandomAccess, kJoin };
+
+/// \brief Aggregated execution statistics for one ATC / plan graph.
+///
+/// All "time" fields are virtual microseconds (see VirtualClock); all
+/// counters are exact. ExecStats are additive: operator code calls the
+/// Charge*/Count* methods, experiment harnesses read the totals.
+struct ExecStats {
+  // -- virtual time, by bucket (Figure 8) --
+  VirtualTime stream_read_us = 0;
+  VirtualTime random_access_us = 0;
+  VirtualTime join_us = 0;
+  /// Wall time spent in the multi-query optimizer, converted to virtual
+  /// microseconds and charged to the clock (Figures 7/9/11).
+  VirtualTime optimize_us = 0;
+
+  // -- work counters --
+  /// Input tuples consumed from streaming sources (Figure 10's "work").
+  int64_t tuples_streamed = 0;
+  /// Remote probes actually issued (cache misses included, hits not).
+  int64_t probes_issued = 0;
+  /// Probe answers served from the middleware probe cache.
+  int64_t probe_cache_hits = 0;
+  /// Probes into in-memory join hash tables / access modules.
+  int64_t join_probes = 0;
+  /// Join result tuples produced by m-join operators.
+  int64_t join_outputs = 0;
+  /// Tuples routed through split operators (fan-out counted per branch).
+  int64_t split_routed = 0;
+  /// Top-k results emitted to users across all rank-merge operators.
+  int64_t results_emitted = 0;
+
+  /// Adds `delta_us` to the bucket's total.
+  void Charge(TimeBucket bucket, VirtualTime delta_us) {
+    switch (bucket) {
+      case TimeBucket::kStreamRead:
+        stream_read_us += delta_us;
+        break;
+      case TimeBucket::kRandomAccess:
+        random_access_us += delta_us;
+        break;
+      case TimeBucket::kJoin:
+        join_us += delta_us;
+        break;
+    }
+  }
+
+  /// Sum of the three execution buckets (excludes optimizer time).
+  VirtualTime ExecTotalUs() const {
+    return stream_read_us + random_access_us + join_us;
+  }
+
+  /// Accumulates another stats block into this one.
+  void Merge(const ExecStats& other);
+
+  /// One-line rendering for logs and bench output.
+  std::string ToString() const;
+};
+
+/// \brief Per-user-query outcome: the latency and work numbers behind
+/// Table 4 and Figures 7, 9, 10, 12.
+struct UserQueryMetrics {
+  int uq_id = 0;
+  /// Virtual time the keyword query was posed.
+  VirtualTime submit_time_us = 0;
+  /// Virtual time its batch was optimized and grafted (execution start).
+  VirtualTime start_time_us = 0;
+  /// Virtual time its top-k answer set was completed.
+  VirtualTime complete_time_us = 0;
+  /// Number of conjunctive queries actually activated/executed (Table 4).
+  int cqs_executed = 0;
+  /// Number of conjunctive queries the UQ contained in total.
+  int cqs_total = 0;
+  /// Results returned (min(k, available)).
+  int results = 0;
+
+  /// End-to-end latency in virtual seconds (includes batching wait).
+  double LatencySeconds() const {
+    return ToSeconds(complete_time_us - submit_time_us);
+  }
+  /// Running time in virtual seconds: execution start to top-k complete
+  /// (the paper's Figures 7/9/12 measure).
+  double RunningSeconds() const {
+    return ToSeconds(complete_time_us - start_time_us);
+  }
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_COMMON_METRICS_H_

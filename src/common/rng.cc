@@ -1,0 +1,114 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace qsys {
+
+uint64_t Rng::Next() {
+  // splitmix64: passes BigCrush, tiny state, trivially forkable.
+  state_ += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextUint(uint64_t n) {
+  assert(n > 0);
+  // Rejection to remove modulo bias.
+  uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextUint(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return (Next() >> 11) * (1.0 / 9007199254740992.0);  // 53-bit mantissa
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double theta) {
+  assert(n > 0);
+  if (n == 1 || theta <= 0.0) return NextUint(n);
+  // Rejection-inversion (Hormann & Derflinger) over ranks 1..n, shifted
+  // to 0-based on return.
+  const double q = theta;
+  auto h = [q](double x) {
+    return q == 1.0 ? std::log(x) : (std::pow(x, 1.0 - q) / (1.0 - q));
+  };
+  auto h_inv = [q](double x) {
+    return q == 1.0 ? std::exp(x)
+                    : std::pow((1.0 - q) * x, 1.0 / (1.0 - q));
+  };
+  const double hx0 = h(0.5) - 1.0;  // h(x0) - pmf(1)
+  const double hn = h(n + 0.5);
+  for (;;) {
+    double u = hx0 + NextDouble() * (hn - hx0);
+    double x = h_inv(u);
+    uint64_t k = static_cast<uint64_t>(
+        std::clamp(std::round(x), 1.0, static_cast<double>(n)));
+    // Accept with probability pmf(k) / envelope(k).
+    double top = h(k + 0.5) - h(k - 0.5);
+    double pk = std::pow(static_cast<double>(k), -q);
+    if (u >= h(k + 0.5) - pk || NextDouble() * top <= pk) {
+      return k - 1;
+    }
+  }
+}
+
+uint64_t Rng::NextPoisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    double l = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction for large means.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 1e-300;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  double x = mean + std::sqrt(mean) * z + 0.5;
+  return x < 0.0 ? 0 : static_cast<uint64_t>(x);
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xd6e8feb86659fd93ull); }
+
+ZipfTable::ZipfTable(uint64_t n, double theta) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -theta);
+    cdf_[i] = total;
+  }
+  for (uint64_t i = 0; i < n; ++i) cdf_[i] /= total;
+}
+
+uint64_t ZipfTable::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace qsys

@@ -1,0 +1,73 @@
+// Seeded random number generation for the simulation substrate.
+//
+// Every stochastic element of the reproduction (data population, network
+// delays, workload generation, arrival jitter) draws from an explicitly
+// seeded Rng so that each experiment is reproducible bit-for-bit. Distinct
+// purposes use distinct streams derived with Fork().
+
+#ifndef QSYS_COMMON_RNG_H_
+#define QSYS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qsys {
+
+/// \brief Deterministic 64-bit PRNG (splitmix64 core) with the samplers
+/// the paper's workloads need: uniform, Zipfian, and Poisson.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x853c49e6748fea9bull) {}
+
+  /// Next raw 64-bit draw.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t NextUint(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Zipfian rank in [0, n) with exponent `theta` (theta=0 is uniform;
+  /// the paper draws join keys, scores and keyword choices from Zipfian
+  /// distributions). Uses the rejection-inversion sampler so no O(n)
+  /// table is required.
+  uint64_t NextZipf(uint64_t n, double theta);
+
+  /// Poisson draw with the given mean (network delay model, §7 "Delays").
+  /// Uses inversion for small means, normal approximation for large ones.
+  uint64_t NextPoisson(double mean);
+
+  /// Derives an independent child stream; deterministic in the parent
+  /// state. Use one fork per purpose ("data", "delays", "workload", ...).
+  Rng Fork();
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief Precomputed Zipf sampler for repeated draws over a fixed n,
+/// exact (CDF inversion by binary search). Preferred in the generators
+/// where the same distribution is sampled millions of times.
+class ZipfTable {
+ public:
+  ZipfTable(uint64_t n, double theta);
+
+  /// Zipf-distributed rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_COMMON_RNG_H_

@@ -1,0 +1,135 @@
+// Status / Result error-handling primitives (RocksDB/Arrow idiom).
+//
+// The Q System middleware avoids exceptions on hot paths: fallible
+// operations return a Status, and fallible value-producing operations
+// return a Result<T>.
+
+#ifndef QSYS_COMMON_STATUS_H_
+#define QSYS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace qsys {
+
+/// Machine-inspectable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// \brief Outcome of a fallible operation: a code plus a human-readable
+/// message. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// Factory helpers, one per non-OK code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessors assert on misuse (taking the value of an errored Result);
+/// callers must check ok() first, typically via QSYS_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace qsys
+
+/// Propagates a non-OK Status to the caller.
+#define QSYS_RETURN_IF_ERROR(expr)         \
+  do {                                     \
+    ::qsys::Status _qsys_status = (expr);  \
+    if (!_qsys_status.ok()) return _qsys_status; \
+  } while (0)
+
+#define QSYS_CONCAT_IMPL(a, b) a##b
+#define QSYS_CONCAT(a, b) QSYS_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error propagates the Status,
+/// otherwise moves the value into `lhs`.
+#define QSYS_ASSIGN_OR_RETURN(lhs, expr)                      \
+  auto QSYS_CONCAT(_qsys_result_, __LINE__) = (expr);         \
+  if (!QSYS_CONCAT(_qsys_result_, __LINE__).ok())             \
+    return QSYS_CONCAT(_qsys_result_, __LINE__).status();     \
+  lhs = std::move(QSYS_CONCAT(_qsys_result_, __LINE__)).value()
+
+#endif  // QSYS_COMMON_STATUS_H_

@@ -1,0 +1,65 @@
+#include "src/common/value.h"
+
+#include <cmath>
+
+namespace qsys {
+
+double Value::ToNumeric() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(AsInt());
+    case ValueType::kDouble:
+      return AsDouble();
+    default:
+      return 0.0;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      // Trim to a compact fixed representation for stable output.
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%.4g", AsDouble());
+      return buf;
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+bool Value::operator<(const Value& other) const {
+  if (v_.index() != other.v_.index()) return v_.index() < other.v_.index();
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt:
+      return AsInt() < other.AsInt();
+    case ValueType::kDouble:
+      return AsDouble() < other.AsDouble();
+    case ValueType::kString:
+      return AsString() < other.AsString();
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ull;
+    case ValueType::kInt:
+      return std::hash<int64_t>{}(AsInt());
+    case ValueType::kDouble:
+      return std::hash<double>{}(AsDouble());
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+}  // namespace qsys

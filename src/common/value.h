@@ -1,0 +1,62 @@
+// A small dynamically-typed value: the cell type of simulated relational
+// sources. Supports the three types the Q System workloads need: 64-bit
+// integers (surrogate/join keys), doubles (scores), and strings (names,
+// terms, descriptions).
+
+#ifndef QSYS_COMMON_VALUE_H_
+#define QSYS_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace qsys {
+
+/// Runtime type tag of a Value.
+enum class ValueType { kNull = 0, kInt, kDouble, kString };
+
+/// \brief A single relational cell. Ordered and hashable so it can serve
+/// as a join key and as a sort key.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  /*implicit*/ Value(int64_t i) : v_(i) {}
+  /*implicit*/ Value(double d) : v_(d) {}
+  /*implicit*/ Value(std::string s) : v_(std::move(s)) {}
+  /*implicit*/ Value(const char* s) : v_(std::string(s)) {}
+
+  ValueType type() const { return static_cast<ValueType>(v_.index()); }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; callers must check type() first.
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric view: ints widen to double; non-numerics yield 0.0.
+  double ToNumeric() const;
+
+  /// Renders the value for debugging and example output.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return v_ != other.v_; }
+  /// Total order: values of different types order by type tag.
+  bool operator<(const Value& other) const;
+
+  /// Hash suitable for unordered containers and join hash tables.
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+/// std::hash adapter so Value can key unordered_map directly.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_COMMON_VALUE_H_

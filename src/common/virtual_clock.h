@@ -1,0 +1,58 @@
+// Discrete-event virtual clock.
+//
+// The paper measures wall-clock latencies dominated by injected wide-area
+// delays (Poisson, mean 2 ms per streamed tuple / remote probe). We replay
+// those charges on a virtual clock instead of sleeping: every simulated
+// remote interaction advances virtual time, so experiments reproduce the
+// paper's latency *shape* deterministically and run in seconds.
+// See DESIGN.md §1 for the substitution rationale.
+
+#ifndef QSYS_COMMON_VIRTUAL_CLOCK_H_
+#define QSYS_COMMON_VIRTUAL_CLOCK_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+namespace qsys {
+
+/// Virtual time in microseconds since simulation start.
+using VirtualTime = int64_t;
+
+/// \brief Monotone virtual clock, one per logical execution thread.
+///
+/// A single ATC owns a single clock; under ATC-CL each cluster's ATC owns
+/// its own clock and the clusters advance as independent discrete-event
+/// actors (simulating the paper's parallel plan graphs).
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  explicit VirtualClock(VirtualTime start) : now_(start) {}
+
+  VirtualTime now() const { return now_; }
+
+  /// Advances time by `delta_us` (>= 0).
+  void Advance(VirtualTime delta_us) {
+    assert(delta_us >= 0);
+    now_ += delta_us;
+  }
+
+  /// Jumps forward to `t` if `t` is in the future; no-op otherwise.
+  /// Used to fast-forward an idle ATC to the next query arrival.
+  void AdvanceTo(VirtualTime t) { now_ = std::max(now_, t); }
+
+ private:
+  VirtualTime now_ = 0;
+};
+
+/// Converts microseconds of virtual time to (fractional) seconds.
+inline double ToSeconds(VirtualTime t) { return static_cast<double>(t) / 1e6; }
+
+/// Converts (fractional) milliseconds to virtual-time microseconds.
+inline VirtualTime FromMillis(double ms) {
+  return static_cast<VirtualTime>(ms * 1000.0);
+}
+
+}  // namespace qsys
+
+#endif  // QSYS_COMMON_VIRTUAL_CLOCK_H_

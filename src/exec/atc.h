@@ -1,0 +1,80 @@
+// The ATC ("air traffic controller"), §4.2: the scheduler that routes
+// tuples among the plan graph's pipelined operators.
+//
+// Each scheduling round visits the next incomplete rank-merge operator
+// (round-robin — the policy the paper found best), asks it for its
+// preferred input stream, reads one tuple from that stream, and pushes
+// the tuple through splits and m-joins to every query that uses it.
+// Round-robin over rank-merges equals a voting scheme where the most
+// demanded streams are read most, while preventing starvation.
+
+#ifndef QSYS_EXEC_ATC_H_
+#define QSYS_EXEC_ATC_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/exec/plan_graph.h"
+
+namespace qsys {
+
+/// \brief One execution actor: a plan graph plus its virtual clock and
+/// statistics. Under ATC-CL several ATCs run as independent discrete-
+/// event actors (the paper's parallel plan graphs).
+class Atc {
+ public:
+  Atc(int id, const Catalog* catalog, DelayModel* delays, bool adaptive)
+      : id_(id),
+        catalog_(catalog),
+        delays_(delays),
+        graph_(std::make_unique<PlanGraph>(catalog, adaptive)) {}
+
+  int id() const { return id_; }
+  PlanGraph& graph() { return *graph_; }
+  const PlanGraph& graph() const { return *graph_; }
+
+  VirtualClock& clock() { return clock_; }
+  const VirtualClock& clock() const { return clock_; }
+  ExecStats& stats() { return stats_; }
+  const ExecStats& stats() const { return stats_; }
+
+  /// Current reuse epoch; the state manager bumps it per grafted batch.
+  int epoch() const { return epoch_; }
+  void set_epoch(int e) { epoch_ = e; }
+
+  /// Execution context bound to this ATC's clock/stats.
+  ExecContext MakeContext();
+
+  /// One scheduling round. Returns false when every rank-merge is
+  /// complete (nothing left to do).
+  bool Step();
+
+  /// Runs rounds until AllComplete() (or `max_rounds` as a safety net).
+  /// Returns the number of rounds executed.
+  int64_t RunToCompletion(int64_t max_rounds = -1);
+
+  bool HasWork() const { return !graph_->AllComplete(); }
+
+  /// Per-UQ metrics recorded as rank-merges completed (ownership
+  /// transfers to the caller).
+  std::vector<UserQueryMetrics> TakeCompletedMetrics();
+
+ private:
+  void RecordIfComplete(RankMergeOp* rm);
+
+  int id_;
+  const Catalog* catalog_;
+  DelayModel* delays_;
+  std::unique_ptr<PlanGraph> graph_;
+  VirtualClock clock_;
+  ExecStats stats_;
+  int epoch_ = 0;
+  size_t rr_pos_ = 0;
+  std::set<int> recorded_uqs_;
+  std::vector<UserQueryMetrics> completed_;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_EXEC_ATC_H_

@@ -1,0 +1,30 @@
+#include "src/exec/composite.h"
+
+#include <cstdio>
+
+namespace qsys {
+
+uint64_t CompositeTuple::IdentityHash() const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const BaseRef& r : refs_) {
+    h ^= (static_cast<uint64_t>(static_cast<uint32_t>(r.table)) << 32) |
+         r.row;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string CompositeTuple::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < refs_.size(); ++i) {
+    if (i) out += ",";
+    char buf[48];
+    snprintf(buf, sizeof(buf), "t%d@%u(%.3f)", refs_[i].table, refs_[i].row,
+             refs_[i].score);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace qsys

@@ -1,0 +1,85 @@
+// Composite tuples: the unit of dataflow in the query plan graph.
+//
+// A composite covers a set of atoms (of the plan node's expression) and
+// carries, per atom, a reference to the contributing base tuple plus its
+// base score. refs() is aligned with the owning expression's canonical
+// atom order, so composites from a shared subexpression can be remapped
+// into any consumer's atom space with a precomputed slot map.
+
+#ifndef QSYS_EXEC_COMPOSITE_H_
+#define QSYS_EXEC_COMPOSITE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/storage/schema.h"
+
+namespace qsys {
+
+/// \brief Reference to one stored base tuple and its score contribution.
+struct BaseRef {
+  TableId table = kInvalidTable;
+  RowId row = 0;
+  double score = 1.0;
+
+  bool operator==(const BaseRef& o) const {
+    return table == o.table && row == o.row;
+  }
+};
+
+/// \brief A (partial) join result: one BaseRef per covered atom, aligned
+/// with the canonical atom order of the expression that produced it.
+class CompositeTuple {
+ public:
+  CompositeTuple() = default;
+
+  /// Single-atom composite for a base tuple.
+  static CompositeTuple ForBase(TableId table, RowId row, double score) {
+    CompositeTuple t;
+    t.refs_.push_back({table, row, score});
+    t.sum_scores_ = score;
+    return t;
+  }
+
+  /// Composite with `n` slots, filled via set_ref().
+  static CompositeTuple WithSlots(int n) {
+    CompositeTuple t;
+    t.refs_.resize(n);
+    return t;
+  }
+
+  const std::vector<BaseRef>& refs() const { return refs_; }
+  int num_refs() const { return static_cast<int>(refs_.size()); }
+  const BaseRef& ref(int slot) const { return refs_[slot]; }
+
+  void set_ref(int slot, const BaseRef& r) { refs_[slot] = r; }
+
+  /// Recomputes the cached score sum after set_ref() calls.
+  void RecomputeSum() {
+    sum_scores_ = 0.0;
+    for (const BaseRef& r : refs_) sum_scores_ += r.score;
+  }
+
+  /// Σ of base scores across covered atoms (the dynamic score component).
+  double sum_scores() const { return sum_scores_; }
+
+  /// Approximate heap footprint, for cache accounting.
+  int64_t SizeBytes() const {
+    return static_cast<int64_t>(sizeof(CompositeTuple)) +
+           static_cast<int64_t>(refs_.capacity() * sizeof(BaseRef));
+  }
+
+  /// Stable identity over the referenced base tuples (for tests).
+  uint64_t IdentityHash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<BaseRef> refs_;
+  double sum_scores_ = 0.0;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_EXEC_COMPOSITE_H_

@@ -1,0 +1,35 @@
+// Shared per-ATC execution context: the virtual clock, the stats sink,
+// the catalog, and the current reuse epoch.
+
+#ifndef QSYS_EXEC_EXEC_CONTEXT_H_
+#define QSYS_EXEC_EXEC_CONTEXT_H_
+
+#include "src/common/metrics.h"
+#include "src/common/virtual_clock.h"
+#include "src/source/delay_model.h"
+#include "src/storage/catalog.h"
+
+namespace qsys {
+
+/// \brief Everything an operator or source needs while processing one
+/// tuple. Owned by the ATC; passed by reference down the pipeline.
+struct ExecContext {
+  VirtualClock* clock = nullptr;
+  ExecStats* stats = nullptr;
+  const Catalog* catalog = nullptr;
+  DelayModel* delays = nullptr;
+  /// Logical timestamp incremented each time a new query batch is grafted
+  /// (§6.2): join hash-table insertions are partitioned by this epoch so
+  /// later queries can recover earlier state duplicate-free.
+  int epoch = 0;
+
+  /// Charges `us` of virtual time to `bucket` and advances the clock.
+  void Charge(TimeBucket bucket, VirtualTime us) {
+    clock->Advance(us);
+    stats->Charge(bucket, us);
+  }
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_EXEC_EXEC_CONTEXT_H_

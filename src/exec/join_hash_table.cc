@@ -1,0 +1,76 @@
+#include "src/exec/join_hash_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qsys {
+
+void JoinHashTable::Insert(int epoch, CompositeTuple tuple) {
+  assert(entries_.empty() || epoch >= entries_.back().epoch);
+  int64_t id = static_cast<int64_t>(entries_.size());
+  // Maintain any already-built indexes.
+  for (auto& [key_pair, index] : indexes_) {
+    const BaseRef& ref = tuple.ref(key_pair.first);
+    const Value& v = catalog_->GetValue(ref.table, ref.row, key_pair.second);
+    index[v].push_back(id);
+  }
+  entries_.push_back({std::move(tuple), epoch});
+}
+
+const JoinHashTable::KeyIndex& JoinHashTable::GetOrBuildIndex(
+    int slot, int col) const {
+  auto key = std::make_pair(slot, col);
+  auto it = indexes_.find(key);
+  if (it != indexes_.end()) return it->second;
+  KeyIndex index;
+  for (int64_t i = 0; i < static_cast<int64_t>(entries_.size()); ++i) {
+    const BaseRef& ref = entries_[i].tuple.ref(slot);
+    const Value& v = catalog_->GetValue(ref.table, ref.row, col);
+    index[v].push_back(i);
+  }
+  return indexes_.emplace(key, std::move(index)).first->second;
+}
+
+void JoinHashTable::Probe(
+    int slot, int col, const Value& key, int max_epoch_exclusive,
+    const std::function<void(const CompositeTuple&)>& fn) const {
+  const KeyIndex& index = GetOrBuildIndex(slot, col);
+  auto it = index.find(key);
+  if (it == index.end()) return;
+  for (int64_t id : it->second) {
+    if (entries_[id].epoch >= max_epoch_exclusive) continue;
+    fn(entries_[id].tuple);
+  }
+}
+
+int64_t JoinHashTable::CountBefore(int epoch) const {
+  // Epochs are nondecreasing: binary search for the boundary.
+  int64_t lo = 0, hi = static_cast<int64_t>(entries_.size());
+  while (lo < hi) {
+    int64_t mid = (lo + hi) / 2;
+    if (entries_[mid].epoch < epoch) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int64_t JoinHashTable::SizeBytes() const {
+  int64_t total = 0;
+  for (const Entry& e : entries_) total += e.tuple.SizeBytes() + 8;
+  // Index overhead, roughly.
+  total += static_cast<int64_t>(indexes_.size()) * 64;
+  for (const auto& [k, index] : indexes_) {
+    total += static_cast<int64_t>(index.size()) * 56;
+  }
+  return total;
+}
+
+void JoinHashTable::Clear() {
+  entries_.clear();
+  indexes_.clear();
+}
+
+}  // namespace qsys

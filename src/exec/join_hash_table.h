@@ -1,0 +1,81 @@
+// Epoch-partitioned join hash tables (the m-join access modules).
+//
+// Besides ordinary symmetric-hash-join duty, these tables implement the
+// two structural tricks of §6.2 of the paper:
+//   * entries are threaded in *arrival order* (which equals score order,
+//     since streams deliver in nonincreasing score order) — the "linked
+//     list" that lets a late-arriving query replay earlier state; and
+//   * entries are tagged with the *epoch* (logical batch timestamp) at
+//     which they arrived, so a recovery query CQᵉ can join exactly the
+//     tuples that preceded it, duplicate-free.
+
+#ifndef QSYS_EXEC_JOIN_HASH_TABLE_H_
+#define QSYS_EXEC_JOIN_HASH_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/exec/composite.h"
+#include "src/storage/catalog.h"
+
+namespace qsys {
+
+/// \brief Hash storage for one m-join access module. Stores composites in
+/// the coordinate space of the module's *input* expression; key indexes
+/// on any (slot, column) pair are built lazily and maintained on insert.
+class JoinHashTable {
+ public:
+  explicit JoinHashTable(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Appends a composite arriving at logical time `epoch`. Epochs must be
+  /// nondecreasing across calls (arrival order).
+  void Insert(int epoch, CompositeTuple tuple);
+
+  /// Invokes `fn` for each stored composite whose (slot, col) value
+  /// equals `key` and whose epoch is < `max_epoch_exclusive` (pass
+  /// kAllEpochs for no filtering).
+  void Probe(int slot, int col, const Value& key, int max_epoch_exclusive,
+             const std::function<void(const CompositeTuple&)>& fn) const;
+
+  static constexpr int kAllEpochs = std::numeric_limits<int>::max();
+
+  /// All entries in arrival order (== nonincreasing score order for
+  /// stream-fed modules).
+  int64_t num_entries() const {
+    return static_cast<int64_t>(entries_.size());
+  }
+  const CompositeTuple& entry(int64_t i) const { return entries_[i].tuple; }
+  int entry_epoch(int64_t i) const { return entries_[i].epoch; }
+
+  /// Number of leading entries with epoch < e (the replayable prefix for
+  /// a recovery query registered at epoch e).
+  int64_t CountBefore(int epoch) const;
+
+  /// Approximate footprint for cache accounting.
+  int64_t SizeBytes() const;
+
+  /// Drops all state (eviction). Indexes are rebuilt on demand.
+  void Clear();
+
+ private:
+  struct Entry {
+    CompositeTuple tuple;
+    int epoch;
+  };
+  using KeyIndex = std::unordered_map<Value, std::vector<int64_t>, ValueHash>;
+
+  const KeyIndex& GetOrBuildIndex(int slot, int col) const;
+
+  const Catalog* catalog_;
+  std::vector<Entry> entries_;
+  mutable std::map<std::pair<int, int>, KeyIndex> indexes_;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_EXEC_JOIN_HASH_TABLE_H_

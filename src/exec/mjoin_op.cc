@@ -1,0 +1,305 @@
+#include "src/exec/mjoin_op.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qsys {
+
+MJoinOp::MJoinOp(Expr expr, const Catalog* catalog, bool adaptive)
+    : expr_(std::move(expr)), catalog_(catalog), adaptive_(adaptive) {
+  expr_.Normalize();
+}
+
+int MJoinOp::AddModuleCommon(ModuleKind kind, Expr input_expr) {
+  Module m;
+  m.kind = kind;
+  input_expr.Normalize();
+  m.input_expr = std::move(input_expr);
+  modules_.push_back(std::move(m));
+  return static_cast<int>(modules_.size()) - 1;
+}
+
+Result<int> MJoinOp::AddStreamModule(const Expr& input_expr) {
+  if (finalized_) return Status::FailedPrecondition("m-join finalized");
+  int port = AddModuleCommon(ModuleKind::kStream, input_expr);
+  modules_[port].owned_table = std::make_unique<JoinHashTable>(catalog_);
+  modules_[port].table = modules_[port].owned_table.get();
+  return port;
+}
+
+Result<int> MJoinOp::AddFrozenModule(const Expr& input_expr,
+                                     JoinHashTable* table,
+                                     int max_epoch_exclusive) {
+  if (finalized_) return Status::FailedPrecondition("m-join finalized");
+  if (table == nullptr) {
+    return Status::InvalidArgument("frozen module requires a table");
+  }
+  int port = AddModuleCommon(ModuleKind::kFrozen, input_expr);
+  modules_[port].table = table;
+  modules_[port].max_epoch_exclusive = max_epoch_exclusive;
+  return port;
+}
+
+Result<int> MJoinOp::AddProbeModule(const Atom& atom, SourceManager* sources,
+                                    int tag) {
+  if (finalized_) return Status::FailedPrecondition("m-join finalized");
+  Expr single;
+  single.AddAtom(atom);
+  single.Normalize();
+  int port = AddModuleCommon(ModuleKind::kProbe, std::move(single));
+  // Probe sources are created per binding column in Finalize().
+  probe_sources_pending_.push_back({port, sources, tag});
+  return port;
+}
+
+Status MJoinOp::Finalize() {
+  if (finalized_) return Status::OK();
+  if (expr_.num_atoms() > 63) {
+    return Status::InvalidArgument("m-join limited to 63 atoms");
+  }
+  // Slot maps + coverage masks; verify the modules partition the atoms.
+  uint64_t covered = 0;
+  for (Module& m : modules_) {
+    m.slot_map.resize(m.input_expr.num_atoms());
+    for (int i = 0; i < m.input_expr.num_atoms(); ++i) {
+      int slot = expr_.FindAtom(m.input_expr.atoms()[i].Key());
+      if (slot < 0) {
+        return Status::InvalidArgument("module atom not in m-join expr: " +
+                                       m.input_expr.ToString());
+      }
+      if (covered & (1ull << slot)) {
+        return Status::InvalidArgument("module atoms overlap");
+      }
+      covered |= 1ull << slot;
+      m.slot_map[i] = slot;
+      m.atom_mask |= 1ull << slot;
+    }
+  }
+  if (covered != (expr_.num_atoms() >= 64
+                      ? ~0ull
+                      : (1ull << expr_.num_atoms()) - 1)) {
+    return Status::InvalidArgument("modules do not cover all atoms of " +
+                                   expr_.ToString());
+  }
+  // Bindings: every cross-module edge appears as a binding of *both*
+  // endpoint modules; it is enforced by whichever side joins second.
+  for (size_t mi = 0; mi < modules_.size(); ++mi) {
+    Module& m = modules_[mi];
+    for (const JoinEdge& e : expr_.edges()) {
+      bool left_in = (m.atom_mask >> e.left_atom) & 1;
+      bool right_in = (m.atom_mask >> e.right_atom) & 1;
+      if (left_in == right_in) continue;  // internal or unrelated edge
+      Binding b;
+      int inner_expr_slot = left_in ? e.left_atom : e.right_atom;
+      b.outer_slot = left_in ? e.right_atom : e.left_atom;
+      b.outer_col = left_in ? e.right_column : e.left_column;
+      b.inner_col = left_in ? e.left_column : e.right_column;
+      b.inner_slot_expr = inner_expr_slot;
+      // Translate the inner slot into module input space.
+      b.inner_slot_input = -1;
+      for (size_t s = 0; s < m.slot_map.size(); ++s) {
+        if (m.slot_map[s] == inner_expr_slot) {
+          b.inner_slot_input = static_cast<int>(s);
+          break;
+        }
+      }
+      m.bindings.push_back(b);
+    }
+    if (m.bindings.empty() && modules_.size() > 1) {
+      return Status::InvalidArgument("module is disconnected: " +
+                                     m.input_expr.ToString());
+    }
+  }
+  // Instantiate probe sources for probe-module bindings.
+  for (auto& [port, sources, tag] : probe_sources_pending_) {
+    Module& m = modules_[port];
+    for (Binding& b : m.bindings) {
+      b.probe = sources->GetOrCreateProbe(m.input_expr.atoms()[0],
+                                          b.inner_col, tag);
+    }
+  }
+  probe_sources_pending_.clear();
+  finalized_ = true;
+  return Status::OK();
+}
+
+void MJoinOp::Consume(int port, const CompositeTuple& tuple,
+                      ExecContext& ctx) {
+  assert(finalized_);
+  if (!active()) return;
+  Module& m = modules_[port];
+  // Symmetric hash join: store first (frozen modules replay their own
+  // content, so re-inserting would duplicate).
+  if (m.kind == ModuleKind::kStream) {
+    m.table->Insert(ctx.epoch, tuple);
+  }
+  // Seed the partial composite in expr_ slot space.
+  CompositeTuple partial = CompositeTuple::WithSlots(expr_.num_atoms());
+  for (int i = 0; i < static_cast<int>(m.slot_map.size()); ++i) {
+    partial.set_ref(m.slot_map[i], tuple.ref(i));
+  }
+  uint64_t remaining = 0;
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    if (static_cast<int>(i) != port) remaining |= 1ull << i;
+  }
+  Cascade(partial, m.atom_mask, remaining, ctx);
+}
+
+void MJoinOp::Cascade(CompositeTuple& partial, uint64_t covered_mask,
+                      uint64_t remaining_modules, ExecContext& ctx) {
+  if (remaining_modules == 0) {
+    Emit(partial, ctx);
+    return;
+  }
+  // Pick the next module: eligible if some binding's outer atom is
+  // covered; adaptive mode picks the lowest observed fanout.
+  int chosen = -1;
+  double best_fanout = 0.0;
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    if (!((remaining_modules >> i) & 1)) continue;
+    const Module& m = modules_[i];
+    bool eligible = false;
+    for (const Binding& b : m.bindings) {
+      if ((covered_mask >> b.outer_slot) & 1) {
+        eligible = true;
+        break;
+      }
+    }
+    if (!eligible) continue;
+    double fanout =
+        m.probes == 0 ? 1.0
+                      : static_cast<double>(m.outputs) /
+                            static_cast<double>(m.probes);
+    if (chosen < 0 || (adaptive_ && fanout < best_fanout)) {
+      chosen = static_cast<int>(i);
+      best_fanout = fanout;
+    }
+    if (!adaptive_) break;  // fixed order: first eligible module
+  }
+  assert(chosen >= 0 && "connected expr must leave an eligible module");
+  Module& m = modules_[chosen];
+
+  // Split bindings into the lookup key (first enforceable) and verifiers.
+  const Binding* lookup = nullptr;
+  std::vector<const Binding*> verify;
+  for (const Binding& b : m.bindings) {
+    if (!((covered_mask >> b.outer_slot) & 1)) continue;  // enforce later
+    if (lookup == nullptr) {
+      lookup = &b;
+    } else {
+      verify.push_back(&b);
+    }
+  }
+  const BaseRef& anchor = partial.ref(lookup->outer_slot);
+  const Value& key =
+      catalog_->GetValue(anchor.table, anchor.row, lookup->outer_col);
+
+  m.probes += 1;
+  const uint64_t next_remaining = remaining_modules & ~(1ull << chosen);
+  const uint64_t next_covered = covered_mask | m.atom_mask;
+
+  auto try_match = [&](const CompositeTuple& match_input_space) {
+    // Verify the remaining enforceable bindings.
+    for (const Binding* b : verify) {
+      const BaseRef& oref = partial.ref(b->outer_slot);
+      const BaseRef& iref = match_input_space.ref(b->inner_slot_input);
+      if (!(catalog_->GetValue(oref.table, oref.row, b->outer_col) ==
+            catalog_->GetValue(iref.table, iref.row, b->inner_col))) {
+        return;
+      }
+    }
+    m.outputs += 1;
+    CompositeTuple merged = partial;
+    for (int i = 0; i < static_cast<int>(m.slot_map.size()); ++i) {
+      merged.set_ref(m.slot_map[i], match_input_space.ref(i));
+    }
+    Cascade(merged, next_covered, next_remaining, ctx);
+  };
+
+  if (m.kind == ModuleKind::kProbe) {
+    // Remote random access through the binding's probe source.
+    assert(lookup->probe != nullptr);
+    const std::vector<BaseRef>& answers = lookup->probe->Probe(key, ctx);
+    ctx.Charge(TimeBucket::kJoin,
+               static_cast<VirtualTime>(ctx.delays->params().join_probe_us));
+    ctx.stats->join_probes += 1;
+    for (const BaseRef& ref : answers) {
+      CompositeTuple single = CompositeTuple::ForBase(ref.table, ref.row,
+                                                      ref.score);
+      try_match(single);
+    }
+  } else {
+    ctx.Charge(TimeBucket::kJoin,
+               static_cast<VirtualTime>(ctx.delays->params().join_probe_us));
+    ctx.stats->join_probes += 1;
+    m.table->Probe(lookup->inner_slot_input, lookup->inner_col, key,
+                   m.max_epoch_exclusive, try_match);
+  }
+}
+
+void MJoinOp::Emit(CompositeTuple& full, ExecContext& ctx) {
+  full.RecomputeSum();
+  ctx.stats->join_outputs += 1;
+  ctx.Charge(TimeBucket::kJoin,
+             static_cast<VirtualTime>(ctx.delays->params().join_output_us));
+  if (consumer_.op != nullptr && consumer_.op->active()) {
+    consumer_.op->Consume(consumer_.port, full, ctx);
+  }
+}
+
+std::string MJoinOp::Describe() const {
+  return "m-join[" + expr_.ToString() + "]";
+}
+
+std::vector<int> MJoinOp::CurrentProbeOrder(int port) const {
+  std::vector<int> order;
+  uint64_t covered = modules_[port].atom_mask;
+  uint64_t remaining = 0;
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    if (static_cast<int>(i) != port) remaining |= 1ull << i;
+  }
+  while (remaining != 0) {
+    int chosen = -1;
+    double best_fanout = 0.0;
+    for (size_t i = 0; i < modules_.size(); ++i) {
+      if (!((remaining >> i) & 1)) continue;
+      const Module& m = modules_[i];
+      bool eligible = false;
+      for (const Binding& b : m.bindings) {
+        if ((covered >> b.outer_slot) & 1) eligible = true;
+      }
+      if (!eligible) continue;
+      double fanout =
+          m.probes == 0 ? 1.0
+                        : static_cast<double>(m.outputs) /
+                              static_cast<double>(m.probes);
+      if (chosen < 0 || (adaptive_ && fanout < best_fanout)) {
+        chosen = static_cast<int>(i);
+        best_fanout = fanout;
+      }
+      if (!adaptive_) break;
+    }
+    if (chosen < 0) break;
+    order.push_back(chosen);
+    covered |= modules_[chosen].atom_mask;
+    remaining &= ~(1ull << chosen);
+  }
+  return order;
+}
+
+int64_t MJoinOp::StateSizeBytes() const {
+  int64_t total = 0;
+  for (const Module& m : modules_) {
+    if (m.owned_table) total += m.owned_table->SizeBytes();
+  }
+  return total;
+}
+
+double MJoinOp::ModuleFanout(int port) const {
+  const Module& m = modules_[port];
+  return m.probes == 0 ? 1.0
+                       : static_cast<double>(m.outputs) /
+                             static_cast<double>(m.probes);
+}
+
+}  // namespace qsys

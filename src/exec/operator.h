@@ -1,0 +1,55 @@
+// Push-based operator interface for the query plan graph (§4).
+//
+// The plan graph's nodes are operators; edges are dataflows. The ATC
+// drives execution by reading one tuple from a streaming source and
+// pushing it through the graph to completion (fully pipelined).
+
+#ifndef QSYS_EXEC_OPERATOR_H_
+#define QSYS_EXEC_OPERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/exec/composite.h"
+#include "src/exec/exec_context.h"
+
+namespace qsys {
+
+class Operator;
+
+/// \brief A dataflow edge: deliver to `op` on `port`.
+struct Consumer {
+  Operator* op = nullptr;
+  int port = 0;
+};
+
+/// \brief Base class of split, m-join and rank-merge operators.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Processes one tuple arriving on `port`, pushing any derived tuples
+  /// to downstream consumers before returning.
+  virtual void Consume(int port, const CompositeTuple& tuple,
+                       ExecContext& ctx) = 0;
+
+  /// Operator kind, for plan rendering and grafting.
+  virtual std::string Describe() const = 0;
+
+  /// Unique node id within the owning plan graph.
+  int node_id() const { return node_id_; }
+  void set_node_id(int id) { node_id_ = id; }
+
+  /// Whether the operator still participates in execution; pruned
+  /// operators are skipped by upstream routing (§6.3).
+  bool active() const { return active_; }
+  void set_active(bool v) { active_ = v; }
+
+ private:
+  int node_id_ = -1;
+  bool active_ = true;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_EXEC_OPERATOR_H_

@@ -1,0 +1,185 @@
+#include "src/exec/plan_graph.h"
+
+#include <algorithm>
+
+namespace qsys {
+
+MJoinOp* PlanGraph::AddMJoin(Expr expr) {
+  auto op = std::make_unique<MJoinOp>(std::move(expr), catalog_, adaptive_);
+  op->set_node_id(next_node_id_++);
+  MJoinOp* raw = op.get();
+  mjoin_by_sig_[raw->expr().Signature()].push_back(raw);
+  operators_.push_back(std::move(op));
+  return raw;
+}
+
+SplitOp* PlanGraph::AddSplit() {
+  auto op = std::make_unique<SplitOp>();
+  op->set_node_id(next_node_id_++);
+  SplitOp* raw = op.get();
+  operators_.push_back(std::move(op));
+  return raw;
+}
+
+RankMergeOp* PlanGraph::AddRankMerge(int uq_id, int k,
+                                     VirtualTime submit_time_us) {
+  auto op = std::make_unique<RankMergeOp>(uq_id, k, submit_time_us);
+  op->set_node_id(next_node_id_++);
+  RankMergeOp* raw = op.get();
+  rank_merges_.push_back(raw);
+  operators_.push_back(std::move(op));
+  return raw;
+}
+
+ReplayStream* PlanGraph::AddReplayStream(Expr expr, double initial_max_sum,
+                                         const JoinHashTable* table,
+                                         int max_epoch_exclusive) {
+  auto stream = std::make_unique<ReplayStream>(
+      std::move(expr), initial_max_sum, table, max_epoch_exclusive);
+  ReplayStream* raw = stream.get();
+  replay_streams_.push_back(std::move(stream));
+  return raw;
+}
+
+void PlanGraph::ConnectSource(StreamingSource* src, Consumer c) {
+  SourceEndpoint& ep = sources_[src];
+  ep.src = src;
+  if (ep.consumer.op == nullptr) {
+    ep.consumer = c;
+    return;
+  }
+  if (ep.split == nullptr) {
+    // Fan-out: interpose a split carrying the existing consumer.
+    ep.split = AddSplit();
+    ep.split->AddConsumer(ep.consumer);
+    ep.consumer = {ep.split, 0};
+  }
+  ep.split->AddConsumer(c);
+}
+
+void PlanGraph::ConnectMJoin(MJoinOp* producer, Consumer c) {
+  if (producer->consumer().op == nullptr) {
+    producer->SetConsumer(c);
+    return;
+  }
+  auto it = mjoin_split_.find(producer);
+  if (it == mjoin_split_.end()) {
+    SplitOp* split = AddSplit();
+    split->AddConsumer(producer->consumer());
+    producer->SetConsumer({split, 0});
+    it = mjoin_split_.emplace(producer, split).first;
+  }
+  it->second->AddConsumer(c);
+}
+
+void PlanGraph::RouteFromSource(StreamingSource* src,
+                                const CompositeTuple& tuple,
+                                ExecContext& ctx) {
+  auto it = sources_.find(src);
+  if (it == sources_.end()) return;
+  const Consumer& c = it->second.consumer;
+  if (c.op != nullptr && c.op->active()) {
+    c.op->Consume(c.port, tuple, ctx);
+  }
+}
+
+std::vector<MJoinOp*> PlanGraph::FindMJoins(
+    const std::string& signature) const {
+  auto it = mjoin_by_sig_.find(signature);
+  if (it == mjoin_by_sig_.end()) return {};
+  std::vector<MJoinOp*> out = it->second;
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+bool PlanGraph::SourceAttached(const StreamingSource* src) const {
+  auto it = sources_.find(src);
+  return it != sources_.end() && it->second.consumer.op != nullptr;
+}
+
+void PlanGraph::RegisterCqDependency(int cq_id, Operator* op) {
+  cq_deps_[op].insert(cq_id);
+  cq_to_ops_[cq_id].push_back(op);
+}
+
+void PlanGraph::UnlinkCq(int cq_id) {
+  auto it = cq_to_ops_.find(cq_id);
+  if (it == cq_to_ops_.end()) return;
+  for (Operator* op : it->second) {
+    auto dit = cq_deps_.find(op);
+    if (dit == cq_deps_.end()) continue;
+    dit->second.erase(cq_id);
+    if (dit->second.empty()) {
+      // No live query flows through this operator: deactivate. Its
+      // hash-table state survives for reuse until the state manager
+      // evicts it (§6.3).
+      op->set_active(false);
+    }
+  }
+  cq_to_ops_.erase(it);
+}
+
+std::vector<MJoinOp*> PlanGraph::mjoins() const {
+  std::vector<MJoinOp*> out;
+  for (const auto& op : operators_) {
+    if (auto* mj = dynamic_cast<MJoinOp*>(op.get())) out.push_back(mj);
+  }
+  return out;
+}
+
+std::vector<StreamingSource*> PlanGraph::attached_sources() const {
+  std::vector<StreamingSource*> out;
+  for (const auto& [src, ep] : sources_) {
+    (void)ep;
+    out.push_back(const_cast<StreamingSource*>(src));
+  }
+  return out;
+}
+
+int64_t PlanGraph::StateSizeBytes() const {
+  int64_t total = 0;
+  for (const auto& op : operators_) {
+    if (auto* mj = dynamic_cast<MJoinOp*>(op.get())) {
+      total += mj->StateSizeBytes();
+    } else if (auto* rm = dynamic_cast<RankMergeOp*>(op.get())) {
+      total += rm->StateSizeBytes();
+    }
+  }
+  return total;
+}
+
+std::string PlanGraph::ToString() const {
+  std::string out;
+  for (const auto& [src, ep] : sources_) {
+    out += "source " + src->expr().ToString(catalog_);
+    if (ep.consumer.op != nullptr) {
+      out += " -> " + ep.consumer.op->Describe();
+    }
+    out += "\n";
+  }
+  for (const auto& op : operators_) {
+    out += op->Describe();
+    if (!op->active()) out += " [inactive]";
+    if (auto* mj = dynamic_cast<MJoinOp*>(op.get());
+        mj != nullptr && mj->consumer().op != nullptr) {
+      out += " -> " + mj->consumer().op->Describe();
+    }
+    if (auto* sp = dynamic_cast<SplitOp*>(op.get())) {
+      out += " ->";
+      for (const Consumer& c : sp->consumers()) {
+        out += " " + c.op->Describe() + ";";
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+bool PlanGraph::AllComplete() const {
+  for (const RankMergeOp* rm : rank_merges_) {
+    if (!rm->complete()) return false;
+  }
+  return true;
+}
+
+}  // namespace qsys

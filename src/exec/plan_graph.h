@@ -1,0 +1,120 @@
+// The query plan graph (§4): operators as nodes, dataflows as edges,
+// streaming sources at the leaves, rank-merges at the roots.
+//
+// The graph is graph-structured (not tree-structured): shared
+// subexpressions feed multiple downstream consumers through split
+// operators. It is long-lived: the query state manager grafts new
+// queries onto it across batches and unlinks completed paths (§6).
+
+#ifndef QSYS_EXEC_PLAN_GRAPH_H_
+#define QSYS_EXEC_PLAN_GRAPH_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/exec/mjoin_op.h"
+#include "src/exec/rank_merge_op.h"
+#include "src/exec/replay_stream.h"
+#include "src/exec/split_op.h"
+
+namespace qsys {
+
+/// \brief Owns the operators and wiring of one executable plan graph.
+class PlanGraph {
+ public:
+  PlanGraph(const Catalog* catalog, bool adaptive)
+      : catalog_(catalog), adaptive_(adaptive) {}
+  PlanGraph(const PlanGraph&) = delete;
+  PlanGraph& operator=(const PlanGraph&) = delete;
+
+  // ---- node factories ----
+
+  /// New m-join for `expr`; registered for grafting lookups.
+  MJoinOp* AddMJoin(Expr expr);
+
+  SplitOp* AddSplit();
+
+  RankMergeOp* AddRankMerge(int uq_id, int k, VirtualTime submit_time_us);
+
+  /// New replay stream over a hash table prefix (owned by the graph).
+  ReplayStream* AddReplayStream(Expr expr, double initial_max_sum,
+                                const JoinHashTable* table,
+                                int max_epoch_exclusive);
+
+  // ---- wiring ----
+
+  /// Routes `src`'s tuples to `c`. Multiple calls for the same source
+  /// insert a SplitOp automatically (§4.1).
+  void ConnectSource(StreamingSource* src, Consumer c);
+
+  /// Routes `producer`'s outputs to `c`, inserting a SplitOp on fan-out.
+  void ConnectMJoin(MJoinOp* producer, Consumer c);
+
+  /// Delivers one freshly read source tuple into the graph.
+  void RouteFromSource(StreamingSource* src, const CompositeTuple& tuple,
+                       ExecContext& ctx);
+
+  // ---- lookup (grafting, §6.2) ----
+
+  /// Existing m-joins computing exactly `signature` (possibly with
+  /// different input structures), newest first.
+  std::vector<MJoinOp*> FindMJoins(const std::string& signature) const;
+
+  /// Whether `src` already feeds some consumer in this graph.
+  bool SourceAttached(const StreamingSource* src) const;
+
+  // ---- CQ dependency tracking & unlinking (§6.3) ----
+
+  /// Declares that `cq_id`'s results flow through `op`.
+  void RegisterCqDependency(int cq_id, Operator* op);
+
+  /// Removes `cq_id` from all operators it flows through; operators left
+  /// with no dependent CQs are deactivated (their state is retained for
+  /// reuse until evicted).
+  void UnlinkCq(int cq_id);
+
+  // ---- introspection ----
+
+  const std::vector<RankMergeOp*>& rank_merges() const {
+    return rank_merges_;
+  }
+  std::vector<MJoinOp*> mjoins() const;
+  /// Streaming sources with at least one consumer here.
+  std::vector<StreamingSource*> attached_sources() const;
+
+  /// Total hash-table state held by this graph's m-joins.
+  int64_t StateSizeBytes() const;
+
+  /// Multi-line plan rendering (for examples and debugging).
+  std::string ToString() const;
+
+  bool AllComplete() const;
+
+ private:
+  struct SourceEndpoint {
+    StreamingSource* src = nullptr;
+    Consumer consumer;       // single; split inserted on fan-out
+    SplitOp* split = nullptr;  // the auto-inserted split, if any
+  };
+
+  const Catalog* catalog_;
+  bool adaptive_;
+  std::vector<std::unique_ptr<Operator>> operators_;
+  std::vector<std::unique_ptr<ReplayStream>> replay_streams_;
+  std::unordered_map<const StreamingSource*, SourceEndpoint> sources_;
+  std::unordered_map<std::string, std::vector<MJoinOp*>> mjoin_by_sig_;
+  std::unordered_map<MJoinOp*, SplitOp*> mjoin_split_;
+  std::vector<RankMergeOp*> rank_merges_;
+  // Operator -> dependent CQ ids; empties deactivate.
+  std::unordered_map<Operator*, std::set<int>> cq_deps_;
+  std::unordered_map<int, std::vector<Operator*>> cq_to_ops_;
+  int next_node_id_ = 0;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_EXEC_PLAN_GRAPH_H_

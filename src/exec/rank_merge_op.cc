@@ -1,0 +1,204 @@
+#include "src/exec/rank_merge_op.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace qsys {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+}  // namespace
+
+int RankMergeOp::RegisterCq(CqRegistration reg) {
+  CqSlot slot;
+  slot.status = reg.initially_active ? CqStatus::kActive : CqStatus::kPending;
+  if (reg.initially_active) executed_cq_ids_.insert(reg.cq_id);
+  all_cq_ids_.insert(reg.cq_id);
+  slot.reg = std::move(reg);
+  regs_.push_back(std::move(slot));
+  complete_ = false;
+  return static_cast<int>(regs_.size()) - 1;
+}
+
+void RankMergeOp::Consume(int port, const CompositeTuple& tuple,
+                          ExecContext& ctx) {
+  (void)ctx;
+  if (!active()) return;
+  CqSlot& slot = regs_[port];
+  if (slot.status == CqStatus::kDone) return;
+  Buffered b;
+  b.score = slot.reg.score_fn.Score(tuple.sum_scores());
+  b.port = port;
+  b.seq = seq_counter_++;
+  b.tuple = tuple;
+  buffer_.push(std::move(b));
+}
+
+double RankMergeOp::Threshold(int port) const {
+  const CqSlot& slot = regs_[port];
+  if (slot.status == CqStatus::kDone) return kNegInf;
+  // Any future result of this CQ must contain at least one unread tuple
+  // from one of its streaming inputs J; every other component is bounded
+  // by its input's overall maximum. With slack(J) = initial_max − frontier
+  // the bound is C(max_sum − min over unexhausted J of slack(J)).
+  double min_slack = std::numeric_limits<double>::infinity();
+  bool any_live = false;
+  for (const StreamingSource* s : slot.reg.streams) {
+    if (s->exhausted()) continue;
+    any_live = true;
+    min_slack = std::min(min_slack, s->initial_max_sum() - s->frontier_sum());
+  }
+  if (!any_live) return kNegInf;
+  return slot.reg.score_fn.Score(slot.reg.max_sum - min_slack);
+}
+
+double RankMergeOp::GlobalThreshold() const {
+  double best = kNegInf;
+  for (size_t p = 0; p < regs_.size(); ++p) {
+    best = std::max(best, Threshold(static_cast<int>(p)));
+  }
+  return best;
+}
+
+double RankMergeOp::KthKnownScore() const {
+  // Scores of emitted results are all >= anything buffered, so count
+  // them first.
+  int64_t have = static_cast<int64_t>(results_.size());
+  if (have >= k_) return results_[k_ - 1].score;
+  // Need (k - have) more from the buffer.
+  int64_t need = k_ - have;
+  if (static_cast<int64_t>(buffer_.size()) < need) return kNegInf;
+  // Copy out the buffer's top `need` scores.
+  std::vector<double> scores;
+  scores.reserve(buffer_.size());
+  std::priority_queue<Buffered> copy = buffer_;
+  double kth = kNegInf;
+  for (int64_t i = 0; i < need; ++i) {
+    kth = copy.top().score;
+    copy.pop();
+  }
+  return kth;
+}
+
+StreamingSource* RankMergeOp::PreferredStream() {
+  if (complete_) return nullptr;
+  // Find the registration with the highest threshold that can still be
+  // advanced by a read.
+  int best_port = -1;
+  double best_threshold = kNegInf;
+  for (size_t p = 0; p < regs_.size(); ++p) {
+    double t = Threshold(static_cast<int>(p));
+    if (t == kNegInf) continue;
+    bool readable = false;
+    for (StreamingSource* s : regs_[p].reg.streams) {
+      if (!s->exhausted()) readable = true;
+    }
+    if (!readable) continue;
+    if (best_port < 0 || t > best_threshold) {
+      best_port = static_cast<int>(p);
+      best_threshold = t;
+    }
+  }
+  if (best_port < 0) return nullptr;
+  CqSlot& slot = regs_[best_port];
+  if (slot.status == CqStatus::kPending) {
+    // Incremental activation (§3, §6.3): the CQ's bound now governs the
+    // output, so it must actually be executed.
+    slot.status = CqStatus::kActive;
+    executed_cq_ids_.insert(slot.reg.cq_id);
+  }
+  // Read the stream attaining the bound (minimum slack): advancing its
+  // frontier lowers this CQ's threshold the fastest.
+  StreamingSource* best_stream = nullptr;
+  double min_slack = std::numeric_limits<double>::infinity();
+  for (StreamingSource* s : slot.reg.streams) {
+    if (s->exhausted()) continue;
+    double slack = s->initial_max_sum() - s->frontier_sum();
+    if (best_stream == nullptr || slack < min_slack) {
+      best_stream = s;
+      min_slack = slack;
+    }
+  }
+  return best_stream;
+}
+
+void RankMergeOp::MarkDone(int port) {
+  CqSlot& slot = regs_[port];
+  if (slot.status == CqStatus::kDone) return;
+  slot.status = CqStatus::kDone;
+  // A logical CQ may have several registrations (the live pipeline plus
+  // an epoch-recovery replay, §6.2). Its plan path may only be unlinked
+  // once the *last* of them finishes.
+  for (const CqSlot& other : regs_) {
+    if (other.reg.cq_id == slot.reg.cq_id &&
+        other.status != CqStatus::kDone) {
+      return;
+    }
+  }
+  if (on_cq_pruned) on_cq_pruned(slot.reg.cq_id);
+}
+
+void RankMergeOp::Maintain(ExecContext& ctx) {
+  if (complete_) return;
+  // Emit buffered results that clear the global threshold.
+  while (static_cast<int>(results_.size()) < k_ && !buffer_.empty()) {
+    double bar = GlobalThreshold();
+    const Buffered& top = buffer_.top();
+    if (top.score + kEps < bar) break;
+    ResultTuple r;
+    r.score = top.score;
+    r.cq_id = regs_[top.port].reg.cq_id;
+    r.tuple = top.tuple;
+    r.emitted_at_us = ctx.clock->now();
+    results_.push_back(std::move(r));
+    ctx.stats->results_emitted += 1;
+    buffer_.pop();
+  }
+  // Prune CQs that can no longer contribute: threshold below the kth
+  // known answer (§6.3).
+  double kth = KthKnownScore();
+  if (kth > kNegInf) {
+    for (size_t p = 0; p < regs_.size(); ++p) {
+      if (regs_[p].status == CqStatus::kDone) continue;
+      if (Threshold(static_cast<int>(p)) + kEps < kth) {
+        MarkDone(static_cast<int>(p));
+      }
+    }
+  }
+  // Exhausted registrations are done too.
+  for (size_t p = 0; p < regs_.size(); ++p) {
+    if (regs_[p].status == CqStatus::kDone) continue;
+    if (Threshold(static_cast<int>(p)) == kNegInf) {
+      MarkDone(static_cast<int>(p));
+    }
+  }
+  // Completion: k results out, or nothing can ever arrive again.
+  if (static_cast<int>(results_.size()) >= k_) {
+    complete_ = true;
+  } else if (GlobalThreshold() == kNegInf && buffer_.empty()) {
+    complete_ = true;
+  }
+  if (complete_ && complete_time_us_ == 0) {
+    complete_time_us_ = ctx.clock->now();
+    // Release all contributing paths.
+    for (size_t p = 0; p < regs_.size(); ++p) {
+      MarkDone(static_cast<int>(p));
+    }
+  }
+}
+
+int64_t RankMergeOp::StateSizeBytes() const {
+  int64_t total = static_cast<int64_t>(buffer_.size()) *
+                  static_cast<int64_t>(sizeof(Buffered));
+  for (const ResultTuple& r : results_) total += r.tuple.SizeBytes() + 32;
+  return total;
+}
+
+std::string RankMergeOp::Describe() const {
+  return "rank-merge[UQ" + std::to_string(uq_id_) + ",k=" +
+         std::to_string(k_) + "]";
+}
+
+}  // namespace qsys

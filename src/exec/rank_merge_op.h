@@ -1,0 +1,155 @@
+// The rank-merge operator: top-k merging of conjunctive query outputs
+// (§4.1, Figure 6), following the Threshold / No-Random-Access algorithms
+// of Fagin et al.
+//
+// One rank-merge serves one user query. Each registered conjunctive
+// query (or epoch-recovery query CQᵉ) contributes result tuples and a
+// live *threshold*: an upper bound on the score of any result it has not
+// yet delivered, derived from the frontiers of its streaming inputs. A
+// buffered result is released to the user once its score dominates every
+// threshold; a CQ is activated only once its bound could matter, and
+// pruned once its threshold falls below the current kth answer (§6.3).
+
+#ifndef QSYS_EXEC_RANK_MERGE_OP_H_
+#define QSYS_EXEC_RANK_MERGE_OP_H_
+
+#include <functional>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/exec/operator.h"
+#include "src/query/score.h"
+#include "src/source/table_stream.h"
+
+namespace qsys {
+
+/// \brief One emitted top-k answer.
+struct ResultTuple {
+  double score = 0.0;
+  /// Logical conjunctive query that produced it.
+  int cq_id = -1;
+  CompositeTuple tuple;
+  /// Virtual time of emission.
+  VirtualTime emitted_at_us = 0;
+};
+
+/// \brief Registration of one conjunctive query with the merge.
+struct CqRegistration {
+  /// Logical CQ id (a recovery query CQᵉ shares its parent's id).
+  int cq_id = -1;
+  ScoreFunction score_fn;
+  /// Σ over the CQ's atoms of their max base scores (U = Score(max_sum)).
+  double max_sum = 0.0;
+  /// Streaming inputs whose frontiers bound this CQ's future results.
+  std::vector<StreamingSource*> streams;
+  /// Recovery queries start active (their driving replay is in-memory).
+  bool initially_active = false;
+};
+
+/// \brief Top-k rank merge for one user query.
+class RankMergeOp : public Operator {
+ public:
+  RankMergeOp(int uq_id, int k, VirtualTime submit_time_us)
+      : uq_id_(uq_id), k_(k), submit_time_us_(submit_time_us) {}
+
+  /// Registers a CQ; returns the input port its results arrive on.
+  int RegisterCq(CqRegistration reg);
+
+  void Consume(int port, const CompositeTuple& tuple,
+               ExecContext& ctx) override;
+
+  std::string Describe() const override;
+
+  // ---- scheduling interface (driven by the ATC) ----
+
+  /// Upper bound on the score of any not-yet-delivered result of the
+  /// registration on `port` (−inf when it can produce nothing more).
+  double Threshold(int port) const;
+
+  /// max over registrations of Threshold() — the bar a buffered result
+  /// must clear to be emitted.
+  double GlobalThreshold() const;
+
+  /// Picks the stream whose read most reduces the governing threshold,
+  /// activating the owning CQ if it was pending (this is where Table 4's
+  /// "CQs executed" counter advances). Returns nullptr when no read can
+  /// help (the merge then completes via Maintain()).
+  StreamingSource* PreferredStream();
+
+  /// Emits every buffered result that clears the global threshold,
+  /// prunes contributing CQs whose bound fell below the kth answer, and
+  /// detects completion.
+  void Maintain(ExecContext& ctx);
+
+  bool complete() const { return complete_; }
+  int uq_id() const { return uq_id_; }
+  int k() const { return k_; }
+  VirtualTime submit_time_us() const { return submit_time_us_; }
+  VirtualTime complete_time_us() const { return complete_time_us_; }
+  /// Time the query's plan was grafted (execution start).
+  VirtualTime start_time_us() const { return start_time_us_; }
+  void set_start_time_us(VirtualTime t) { start_time_us_ = t; }
+
+  const std::vector<ResultTuple>& results() const { return results_; }
+
+  /// Number of distinct logical CQs activated (Table 4).
+  int cqs_executed() const {
+    return static_cast<int>(executed_cq_ids_.size());
+  }
+  /// Number of distinct logical CQs registered in total.
+  int cqs_total() const { return static_cast<int>(all_cq_ids_.size()); }
+  int num_registrations() const {
+    return static_cast<int>(regs_.size());
+  }
+
+  /// Ranking-queue footprint (cacheable object, §6.3).
+  int64_t StateSizeBytes() const;
+
+  /// Invoked when a CQ is pruned or exhausted, so the state manager can
+  /// unlink its plan path.
+  std::function<void(int cq_id)> on_cq_pruned;
+
+ private:
+  enum class CqStatus { kPending, kActive, kDone };
+
+  struct CqSlot {
+    CqRegistration reg;
+    CqStatus status = CqStatus::kPending;
+  };
+
+  struct Buffered {
+    double score;
+    int port;
+    int64_t seq;  // tie-break for deterministic order
+    CompositeTuple tuple;
+    bool operator<(const Buffered& o) const {
+      if (score != o.score) return score < o.score;
+      return seq > o.seq;  // earlier arrivals first on ties
+    }
+  };
+
+  /// kth best score across emitted + buffered results (−inf if fewer
+  /// than k are known).
+  double KthKnownScore() const;
+
+  void MarkDone(int port);
+
+  int uq_id_;
+  int k_;
+  VirtualTime submit_time_us_;
+  VirtualTime start_time_us_ = 0;
+  VirtualTime complete_time_us_ = 0;
+  bool complete_ = false;
+  std::vector<CqSlot> regs_;
+  std::priority_queue<Buffered> buffer_;
+  std::vector<ResultTuple> results_;
+  std::set<int> executed_cq_ids_;
+  std::set<int> all_cq_ids_;
+  int64_t seq_counter_ = 0;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_EXEC_RANK_MERGE_OP_H_

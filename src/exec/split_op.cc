@@ -1,0 +1,26 @@
+#include "src/exec/split_op.h"
+
+#include <algorithm>
+
+namespace qsys {
+
+int SplitOp::RemoveConsumer(const Operator* op) {
+  consumers_.erase(
+      std::remove_if(consumers_.begin(), consumers_.end(),
+                     [op](const Consumer& c) { return c.op == op; }),
+      consumers_.end());
+  return static_cast<int>(consumers_.size());
+}
+
+void SplitOp::Consume(int port, const CompositeTuple& tuple,
+                      ExecContext& ctx) {
+  (void)port;
+  if (!active()) return;
+  for (const Consumer& c : consumers_) {
+    if (c.op == nullptr || !c.op->active()) continue;
+    ctx.stats->split_routed += 1;
+    c.op->Consume(c.port, tuple, ctx);
+  }
+}
+
+}  // namespace qsys

@@ -1,0 +1,40 @@
+// The split operator: pipelined fan-out of a shared subexpression's
+// output to multiple downstream consumers (§4.1).
+
+#ifndef QSYS_EXEC_SPLIT_OP_H_
+#define QSYS_EXEC_SPLIT_OP_H_
+
+#include <vector>
+
+#include "src/exec/operator.h"
+
+namespace qsys {
+
+/// \brief Forwards each arriving tuple to every (active) registered
+/// consumer. Consumers can be added at graft time and removed when a
+/// query path is pruned.
+class SplitOp : public Operator {
+ public:
+  SplitOp() = default;
+
+  void AddConsumer(Consumer c) { consumers_.push_back(c); }
+
+  /// Removes the consumer targeting `op` (any port). Returns how many
+  /// consumers remain — the caller removes this split when it reaches 1
+  /// or 0 (§6.3 unlinking).
+  int RemoveConsumer(const Operator* op);
+
+  const std::vector<Consumer>& consumers() const { return consumers_; }
+
+  void Consume(int port, const CompositeTuple& tuple,
+               ExecContext& ctx) override;
+
+  std::string Describe() const override { return "split"; }
+
+ private:
+  std::vector<Consumer> consumers_;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_EXEC_SPLIT_OP_H_

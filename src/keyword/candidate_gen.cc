@@ -1,0 +1,162 @@
+#include "src/keyword/candidate_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/source/pushdown.h"
+
+namespace qsys {
+
+namespace {
+
+/// One candidate join tree being assembled: schema-graph nodes plus the
+/// edges connecting them, and the selections bound to matched tables.
+struct TreeBuild {
+  std::set<TableId> nodes;
+  std::set<int> edge_ids;
+  std::map<TableId, std::vector<Selection>> selections;
+  double match_score_product = 1.0;
+};
+
+}  // namespace
+
+Result<UserQuery> CandidateGenerator::Generate(
+    const std::string& keywords, int k,
+    const CandidateGenOptions& options) const {
+  std::vector<std::string> terms = TokenizeKeywords(keywords);
+  if (terms.empty()) {
+    return Status::InvalidArgument("empty keyword query");
+  }
+  // Per-keyword match lists.
+  std::vector<std::vector<TableMatch>> matches;
+  for (const std::string& term : terms) {
+    std::vector<TableMatch> m =
+        matcher_->Match(term, options.max_matches_per_keyword);
+    if (m.empty()) {
+      return Status::NotFound("keyword '" + term + "' matches no relation");
+    }
+    matches.push_back(std::move(m));
+  }
+
+  const Catalog& catalog = graph_->catalog();
+
+  // Enumerate the cross product of per-keyword matches; each combination
+  // is connected into a tree via iterative shortest paths.
+  std::vector<TreeBuild> trees;
+  std::vector<size_t> combo(matches.size(), 0);
+  for (;;) {
+    TreeBuild tree;
+    bool viable = true;
+    for (size_t ki = 0; ki < matches.size(); ++ki) {
+      const TableMatch& tm = matches[ki][combo[ki]];
+      if (tree.nodes.empty()) {
+        tree.nodes.insert(tm.table);
+      } else if (tree.nodes.count(tm.table) == 0) {
+        std::vector<TableId> from(tree.nodes.begin(), tree.nodes.end());
+        SchemaGraph::Path path = graph_->ShortestPath(from, tm.table);
+        if (!path.found) {
+          viable = false;
+          break;
+        }
+        for (int eid : path.edge_ids) {
+          const SchemaEdge& e = graph_->edge(eid);
+          tree.nodes.insert(e.table_a);
+          tree.nodes.insert(e.table_b);
+          tree.edge_ids.insert(eid);
+        }
+      }
+      for (const Selection& s : tm.selections) {
+        auto& sels = tree.selections[tm.table];
+        if (std::find(sels.begin(), sels.end(), s) == sels.end()) {
+          sels.push_back(s);
+        }
+      }
+      tree.match_score_product *= tm.score;
+    }
+    if (viable &&
+        static_cast<int>(tree.nodes.size()) <= options.max_atoms) {
+      trees.push_back(std::move(tree));
+    }
+    // Advance the combination counter.
+    size_t pos = 0;
+    while (pos < combo.size()) {
+      if (++combo[pos] < matches[pos].size()) break;
+      combo[pos] = 0;
+      ++pos;
+    }
+    if (pos == combo.size()) break;
+  }
+  if (trees.empty()) {
+    return Status::NotFound("no connected candidate network for \"" +
+                            keywords + "\"");
+  }
+
+  // Convert trees to conjunctive queries, deduplicating by signature.
+  UserQuery uq;
+  uq.keywords = keywords;
+  uq.k = k;
+  std::set<std::string> seen;
+  for (const TreeBuild& tree : trees) {
+    Expr expr;
+    std::map<TableId, int> atom_of;
+    for (TableId t : tree.nodes) {
+      Atom atom;
+      atom.table = t;
+      atom.occurrence = 0;
+      auto sit = tree.selections.find(t);
+      if (sit != tree.selections.end()) atom.selections = sit->second;
+      atom_of[t] = expr.AddAtom(std::move(atom));
+    }
+    double static_cost = 0.0;
+    for (int eid : tree.edge_ids) {
+      const SchemaEdge& e = graph_->edge(eid);
+      JoinEdge je;
+      je.left_atom = atom_of[e.table_a];
+      je.left_column = e.col_a;
+      je.right_atom = atom_of[e.table_b];
+      je.right_column = e.col_b;
+      je.cost = e.cost * options.user_edge_cost_factor;
+      static_cost += je.cost;
+      expr.AddEdge(je);
+    }
+    for (TableId t : tree.nodes) static_cost += graph_->node_cost(t);
+    expr.set_has_scored_atom(ExprHasScoredAtom(expr, catalog));
+    expr.Normalize();
+    if (!expr.IsConnected()) continue;
+    if (seen.count(expr.Signature()) > 0) continue;
+    seen.insert(expr.Signature());
+
+    ConjunctiveQuery cq;
+    const int size = expr.num_atoms();
+    switch (options.score_model) {
+      case ScoreModel::kDiscoverSize:
+        cq.score_fn = ScoreFunction::DiscoverSize(size);
+        break;
+      case ScoreModel::kDiscoverSum:
+        cq.score_fn = ScoreFunction::DiscoverSum(size);
+        break;
+      case ScoreModel::kQSystem:
+        cq.score_fn = ScoreFunction::QSystem(static_cost, size);
+        break;
+      case ScoreModel::kBanksLike:
+        cq.score_fn = ScoreFunction::BanksLike(
+            1.0 / size, 1.0 / (1.0 + static_cost));
+        break;
+    }
+    cq.max_sum = ExprMaxSum(expr, catalog);
+    cq.expr = std::move(expr);
+    uq.cqs.push_back(std::move(cq));
+  }
+  if (uq.cqs.empty()) {
+    return Status::NotFound("all candidate networks degenerate for \"" +
+                            keywords + "\"");
+  }
+  uq.SortCqs();
+  if (static_cast<int>(uq.cqs.size()) > options.max_cqs) {
+    uq.cqs.resize(options.max_cqs);
+  }
+  return uq;
+}
+
+}  // namespace qsys

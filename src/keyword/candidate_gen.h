@@ -1,0 +1,58 @@
+// Candidate-network generation: keyword query -> ranked conjunctive
+// queries (§2.1, §3 of the paper).
+//
+// Following the DISCOVER / Q System line of work, each combination of
+// per-keyword relation matches is connected into a join tree over the
+// schema graph (a Steiner-tree approximation via iterative shortest
+// paths). Each tree becomes a conjunctive query with a per-user monotone
+// score function; the resulting list, ordered by score upper bound, is
+// the user query handed to the query batcher.
+
+#ifndef QSYS_KEYWORD_CANDIDATE_GEN_H_
+#define QSYS_KEYWORD_CANDIDATE_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/keyword/matcher.h"
+#include "src/keyword/schema_graph.h"
+#include "src/query/uq.h"
+
+namespace qsys {
+
+/// \brief Knobs of the candidate generator.
+struct CandidateGenOptions {
+  /// Cap on conjunctive queries per user query (the paper's workloads
+  /// yield at most 20).
+  int max_cqs = 20;
+  /// Cap on atoms per conjunctive query.
+  int max_atoms = 8;
+  /// Relation matches considered per keyword.
+  int max_matches_per_keyword = 4;
+  /// Scoring model for this user's queries.
+  ScoreModel score_model = ScoreModel::kQSystem;
+  /// Per-user multiplier on schema-graph edge costs (the Q System learns
+  /// per-user costs; we scale them).
+  double user_edge_cost_factor = 1.0;
+};
+
+/// \brief Generates user queries from keyword strings.
+class CandidateGenerator {
+ public:
+  CandidateGenerator(const SchemaGraph* graph, const KeywordMatcher* matcher)
+      : graph_(graph), matcher_(matcher) {}
+
+  /// Expands `keywords` (whitespace-separated terms) into a UserQuery
+  /// whose CQs are deduplicated and sorted by nonincreasing upper bound.
+  /// Fails if some keyword matches nothing or no connected tree exists.
+  Result<UserQuery> Generate(const std::string& keywords, int k,
+                             const CandidateGenOptions& options) const;
+
+ private:
+  const SchemaGraph* graph_;
+  const KeywordMatcher* matcher_;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_KEYWORD_CANDIDATE_GEN_H_

@@ -1,0 +1,40 @@
+#include "src/keyword/matcher.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace qsys {
+
+std::vector<TableMatch> KeywordMatcher::Match(const std::string& keyword,
+                                              int max_matches) const {
+  std::vector<TableMatch> out;
+  for (const KeywordMatch& m : index_->Lookup(keyword)) {
+    TableMatch tm;
+    tm.table = m.table;
+    tm.score = m.score;
+    tm.is_metadata = m.column < 0;
+    if (m.column >= 0) {
+      Selection sel;
+      sel.kind = SelectionKind::kContainsTerm;
+      sel.column = m.column;
+      std::string lowered;
+      for (char ch : keyword) {
+        lowered.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ch))));
+      }
+      sel.constant = Value(lowered);
+      tm.selections.push_back(std::move(sel));
+    }
+    out.push_back(std::move(tm));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TableMatch& a, const TableMatch& b) {
+                     return a.score > b.score;
+                   });
+  if (static_cast<int>(out.size()) > max_matches) {
+    out.resize(max_matches);
+  }
+  return out;
+}
+
+}  // namespace qsys

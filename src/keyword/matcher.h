@@ -1,0 +1,45 @@
+// Keyword-to-relation matching (§2.1): each search term is matched
+// against table metadata and content through the inverted index,
+// producing scored (relation, selection) candidates.
+
+#ifndef QSYS_KEYWORD_MATCHER_H_
+#define QSYS_KEYWORD_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/query/expr.h"
+#include "src/storage/inverted_index.h"
+
+namespace qsys {
+
+/// \brief One way a keyword can bind to a relation: the relation, the
+/// selection predicate to apply (empty for metadata matches), and the
+/// match relevance.
+struct TableMatch {
+  TableId table = kInvalidTable;
+  std::vector<Selection> selections;
+  double score = 1.0;
+  bool is_metadata = false;
+};
+
+/// \brief Resolves keywords to ranked relation matches.
+class KeywordMatcher {
+ public:
+  KeywordMatcher(const InvertedIndex* index, const Catalog* catalog)
+      : index_(index), catalog_(catalog) {}
+
+  /// Top `max_matches` relations matching `keyword`, best score first.
+  /// Content matches carry a kContainsTerm selection on the matched
+  /// column.
+  std::vector<TableMatch> Match(const std::string& keyword,
+                                int max_matches) const;
+
+ private:
+  const InvertedIndex* index_;
+  const Catalog* catalog_;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_KEYWORD_MATCHER_H_

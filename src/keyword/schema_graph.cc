@@ -1,0 +1,105 @@
+#include "src/keyword/schema_graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace qsys {
+
+const std::vector<int> SchemaGraph::kNoEdges;
+
+SchemaGraph::SchemaGraph(const Catalog* catalog) : catalog_(catalog) {
+  adjacency_.resize(catalog->num_tables());
+  node_costs_.assign(catalog->num_tables(), 0.0);
+}
+
+Result<int> SchemaGraph::AddEdge(TableId a, const std::string& col_a,
+                                 TableId b, const std::string& col_b,
+                                 double cost) {
+  int ca = catalog_->table(a).schema().FieldIndex(col_a);
+  int cb = catalog_->table(b).schema().FieldIndex(col_b);
+  if (ca < 0) {
+    return Status::NotFound("column " + col_a + " in " +
+                            catalog_->table(a).schema().name());
+  }
+  if (cb < 0) {
+    return Status::NotFound("column " + col_b + " in " +
+                            catalog_->table(b).schema().name());
+  }
+  return AddEdgeByIndex(a, ca, b, cb, cost);
+}
+
+int SchemaGraph::AddEdgeByIndex(TableId a, int col_a, TableId b, int col_b,
+                                double cost) {
+  // Tables registered after construction: grow defensively.
+  TableId needed = std::max(a, b) + 1;
+  if (needed > static_cast<TableId>(adjacency_.size())) {
+    adjacency_.resize(needed);
+    node_costs_.resize(needed, 0.0);
+  }
+  SchemaEdge e;
+  e.id = static_cast<int>(edges_.size());
+  e.table_a = a;
+  e.col_a = col_a;
+  e.table_b = b;
+  e.col_b = col_b;
+  e.cost = cost;
+  edges_.push_back(e);
+  adjacency_[a].push_back(e.id);
+  if (b != a) adjacency_[b].push_back(e.id);
+  return e.id;
+}
+
+const std::vector<int>& SchemaGraph::EdgesOf(TableId table) const {
+  if (table < 0 || table >= static_cast<TableId>(adjacency_.size())) {
+    return kNoEdges;
+  }
+  return adjacency_[table];
+}
+
+SchemaGraph::Path SchemaGraph::ShortestPath(
+    const std::vector<TableId>& from, TableId to) const {
+  // Dijkstra from the `from` set (all at distance 0).
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(adjacency_.size(), kInf);
+  std::vector<int> via_edge(adjacency_.size(), -1);
+  std::vector<TableId> via_node(adjacency_.size(), kInvalidTable);
+  using Item = std::pair<double, TableId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  for (TableId t : from) {
+    if (dist[t] > 0.0) {
+      dist[t] = 0.0;
+      pq.push({0.0, t});
+    }
+  }
+  while (!pq.empty()) {
+    auto [d, t] = pq.top();
+    pq.pop();
+    if (d > dist[t]) continue;
+    if (t == to) break;
+    for (int eid : adjacency_[t]) {
+      const SchemaEdge& e = edges_[eid];
+      TableId other = e.table_a == t ? e.table_b : e.table_a;
+      double nd = d + e.cost;
+      if (nd < dist[other]) {
+        dist[other] = nd;
+        via_edge[other] = eid;
+        via_node[other] = t;
+        pq.push({nd, other});
+      }
+    }
+  }
+  Path path;
+  if (dist[to] == kInf) return path;
+  path.found = true;
+  path.cost = dist[to];
+  TableId cur = to;
+  while (via_edge[cur] >= 0) {
+    path.edge_ids.push_back(via_edge[cur]);
+    cur = via_node[cur];
+  }
+  std::reverse(path.edge_ids.begin(), path.edge_ids.end());
+  return path;
+}
+
+}  // namespace qsys

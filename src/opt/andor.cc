@@ -1,0 +1,94 @@
+#include "src/opt/andor.h"
+
+#include <algorithm>
+#include <map>
+
+namespace qsys {
+
+namespace {
+
+/// Builds the sub-expression of `cq` induced on the atom subset `mask`.
+Expr InducedSubexpr(const Expr& full, uint64_t mask) {
+  Expr sub;
+  std::vector<int> remap(full.num_atoms(), -1);
+  for (int i = 0; i < full.num_atoms(); ++i) {
+    if ((mask >> i) & 1) {
+      remap[i] = sub.AddAtom(full.atoms()[i]);
+    }
+  }
+  for (const JoinEdge& e : full.edges()) {
+    if (remap[e.left_atom] >= 0 && remap[e.right_atom] >= 0) {
+      JoinEdge ne = e;
+      ne.left_atom = remap[e.left_atom];
+      ne.right_atom = remap[e.right_atom];
+      sub.AddEdge(ne);
+    }
+  }
+  sub.set_has_scored_atom(full.has_scored_atom());
+  sub.Normalize();
+  return sub;
+}
+
+}  // namespace
+
+CandidateSet EnumerateCandidates(
+    const std::vector<const ConjunctiveQuery*>& queries, int max_atoms) {
+  CandidateSet out;
+  // signature -> index in out.inputs
+  std::map<std::string, size_t> memo;
+  for (const ConjunctiveQuery* cq : queries) {
+    const Expr& full = cq->expr;
+    const int n = full.num_atoms();
+    if (n > 63) continue;
+    // Adjacency over atoms.
+    std::vector<uint64_t> adj(n, 0);
+    for (const JoinEdge& e : full.edges()) {
+      adj[e.left_atom] |= 1ull << e.right_atom;
+      adj[e.right_atom] |= 1ull << e.left_atom;
+    }
+    // Enumerate connected subsets by BFS-style expansion: start from
+    // each atom, grow by adding neighbors with index > start to avoid
+    // revisits of the same set from different roots.
+    std::set<uint64_t> seen_masks;
+    std::vector<uint64_t> frontier;
+    for (int s = 0; s < n; ++s) frontier.push_back(1ull << s);
+    while (!frontier.empty()) {
+      uint64_t mask = frontier.back();
+      frontier.pop_back();
+      if (seen_masks.count(mask) > 0) continue;
+      seen_masks.insert(mask);
+      int bits = __builtin_popcountll(mask);
+      if (bits >= 2 && bits <= max_atoms) {
+        Expr sub = InducedSubexpr(full, mask);
+        const std::string sig = sub.Signature();  // copy: sub moves below
+        auto it = memo.find(sig);
+        if (it == memo.end()) {
+          CandidateInput ci;
+          ci.expr = std::move(sub);
+          ci.cq_ids.insert(cq->id);
+          memo[sig] = out.inputs.size();
+          out.inputs.push_back(std::move(ci));
+          out.enumerated += 1;
+        } else {
+          out.inputs[it->second].cq_ids.insert(cq->id);
+        }
+      }
+      if (bits >= max_atoms) continue;
+      // Expand by one connected atom.
+      uint64_t neighbors = 0;
+      for (int i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) neighbors |= adj[i];
+      }
+      neighbors &= ~mask;
+      for (int i = 0; i < n; ++i) {
+        if ((neighbors >> i) & 1) {
+          uint64_t next = mask | (1ull << i);
+          if (seen_masks.count(next) == 0) frontier.push_back(next);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qsys

@@ -1,0 +1,49 @@
+// Candidate subexpression enumeration over an AND-OR memo structure
+// (§5.1.2 of the paper).
+//
+// For a batch of conjunctive queries Q, the enumerator produces every
+// connected subexpression of every query (up to a size cap), memoized so
+// that an expression shared by several queries appears once (the "OR
+// node" role of the AND-OR graph) with the set S[J] of queries that can
+// use it. The pruning heuristics of §5.1.1 then filter this set before
+// the BestPlan search.
+
+#ifndef QSYS_OPT_ANDOR_H_
+#define QSYS_OPT_ANDOR_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/query/cq.h"
+
+namespace qsys {
+
+/// \brief One candidate input J with its usable-query set S[J].
+struct CandidateInput {
+  Expr expr;
+  /// Queries (by CQ id) for which `expr` is a subexpression.
+  std::set<int> cq_ids;
+  /// Whether the input would be read as a stream (scored atoms / small);
+  /// set by the pruning pass.
+  bool streaming = true;
+};
+
+/// \brief The candidate assignment (S, S-map) plus enumeration metrics.
+struct CandidateSet {
+  /// Multi-atom candidates (pushdown subexpressions), deterministic
+  /// order.
+  std::vector<CandidateInput> inputs;
+  /// Number of subexpressions enumerated before pruning (AND-OR graph
+  /// OR-node count) — the x-axis of Figure 11.
+  int64_t enumerated = 0;
+};
+
+/// Enumerates all connected subexpressions with 2..max_atoms atoms across
+/// `queries`, collapsing duplicates by signature.
+CandidateSet EnumerateCandidates(
+    const std::vector<const ConjunctiveQuery*>& queries, int max_atoms);
+
+}  // namespace qsys
+
+#endif  // QSYS_OPT_ANDOR_H_

@@ -1,0 +1,95 @@
+// The BestPlan search (Algorithm 1 of the paper, §5.1.2): memoized
+// top-down exploration — in the style of the Volcano optimizer — of which
+// candidate subexpressions to push down to the sources, minimizing the
+// estimated cost of answering the whole query batch.
+//
+// Candidates are explored in canonical (index-increasing) order so each
+// combination is visited once; partial assignments are memoized by their
+// chosen-candidate set. When a candidate J is chosen for queries S[J],
+// every candidate overlapping J loses those queries from its usable set
+// (Definition 1: each relation of each query is covered by exactly one
+// input). Atoms left uncovered when the search stops are completed with
+// per-atom residual inputs (base relations as streams or probes,
+// heuristic 2).
+
+#ifndef QSYS_OPT_BEST_PLAN_H_
+#define QSYS_OPT_BEST_PLAN_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/opt/cost_model.h"
+#include "src/opt/heuristics.h"
+
+namespace qsys {
+
+/// \brief Outcome of the BestPlan search.
+struct BestPlanResult {
+  InputAssignment assignment;
+  double cost = 0.0;
+  /// Search-tree nodes expanded (diagnostics; grows with candidates).
+  int64_t nodes_explored = 0;
+  /// Candidates that entered the search (Figure 11's x-axis).
+  int num_candidates = 0;
+};
+
+/// \brief Runs Algorithm 1 over a pruned candidate set.
+class BestPlanSearch {
+ public:
+  BestPlanSearch(const CostModel* cost_model, const Catalog* catalog,
+                 const PruningOptions* pruning, int k, int reuse_tag)
+      : cost_model_(cost_model),
+        catalog_(catalog),
+        pruning_(pruning),
+        k_(k),
+        reuse_tag_(reuse_tag) {}
+
+  /// Finds the minimum-cost valid input assignment for `queries` using a
+  /// subset of `candidates` plus residual base-relation inputs.
+  BestPlanResult Run(const std::vector<const ConjunctiveQuery*>& queries,
+                     const std::vector<CandidateInput>& candidates);
+
+ private:
+  struct Chosen {
+    int cand_index;
+    std::set<int> cq_ids;  // queries it will serve
+  };
+
+  /// Completes `chosen` with residual per-atom inputs and costs the
+  /// resulting full assignment.
+  double CompleteAndCost(const std::vector<const ConjunctiveQuery*>& queries,
+                         const std::vector<CandidateInput>& candidates,
+                         const std::vector<Chosen>& chosen,
+                         InputAssignment* out) const;
+
+  void Search(const std::vector<const ConjunctiveQuery*>& queries,
+              const std::vector<CandidateInput>& candidates,
+              std::vector<Chosen>& chosen, int next_index,
+              BestPlanResult* best);
+
+  std::string MemoKey(const std::vector<Chosen>& chosen) const;
+
+  const CostModel* cost_model_;
+  const Catalog* catalog_;
+  const PruningOptions* pruning_;
+  int k_;
+  int reuse_tag_;
+  std::unordered_map<std::string, double> memo_;
+};
+
+/// Builds the residual input assignment for `queries` given already
+/// chosen inputs: every uncovered atom becomes a single-atom input,
+/// shared across queries by atom key, streamed or probed per heuristic 2.
+/// Ensures every query retains at least one streaming input (forcing its
+/// smallest uncovered atom to stream if necessary). Exposed for tests.
+InputAssignment CompleteAssignment(
+    const std::vector<const ConjunctiveQuery*>& queries,
+    const std::vector<std::pair<const CandidateInput*, std::set<int>>>&
+        chosen,
+    const Catalog& catalog, const CostModel& cost_model,
+    const PruningOptions& pruning);
+
+}  // namespace qsys
+
+#endif  // QSYS_OPT_BEST_PLAN_H_

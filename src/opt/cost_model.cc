@@ -1,0 +1,155 @@
+#include "src/opt/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/source/pushdown.h"
+
+namespace qsys {
+
+std::vector<int> InputAssignment::StreamInputsOf(int cq_id) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i].streaming && inputs[i].cq_ids.count(cq_id) > 0) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+double CostModel::TableCardinality(TableId t) const {
+  return static_cast<double>(
+      std::max<int64_t>(1, catalog_->table(t).num_rows()));
+}
+
+double CostModel::SelectionSelectivity(TableId table,
+                                       const Selection& sel) const {
+  const Table& t = catalog_->table(table);
+  double rows = TableCardinality(table);
+  switch (sel.kind) {
+    case SelectionKind::kEquals:
+      return 1.0 / static_cast<double>(t.DistinctCount(sel.column));
+    case SelectionKind::kContainsTerm: {
+      if (index_ != nullptr && sel.constant.type() == ValueType::kString) {
+        for (const KeywordMatch& m :
+             index_->Lookup(sel.constant.AsString())) {
+          if (m.table == table && m.column == sel.column) {
+            return std::max(1.0, static_cast<double>(m.tuple_hits)) / rows;
+          }
+        }
+      }
+      return 0.05;  // fallback when the index has no statistics
+    }
+  }
+  return 1.0;
+}
+
+double CostModel::EstimateCardinality(const Expr& expr) const {
+  if (observed_ != nullptr) {
+    auto obs = observed_->Lookup(expr.Signature());
+    if (obs.has_value() && obs->exact_cardinality >= 0) {
+      return static_cast<double>(obs->exact_cardinality);
+    }
+  }
+  double card = 1.0;
+  for (const Atom& a : expr.atoms()) {
+    double t = TableCardinality(a.table);
+    for (const Selection& s : a.selections) {
+      t *= SelectionSelectivity(a.table, s);
+    }
+    card *= std::max(t, 1e-6);
+  }
+  for (const JoinEdge& e : expr.edges()) {
+    const Atom& la = expr.atoms()[e.left_atom];
+    const Atom& ra = expr.atoms()[e.right_atom];
+    double vl = static_cast<double>(
+        catalog_->table(la.table).DistinctCount(e.left_column));
+    double vr = static_cast<double>(
+        catalog_->table(ra.table).DistinctCount(e.right_column));
+    card /= std::max(1.0, std::max(vl, vr));
+  }
+  return std::max(card, 1e-6);
+}
+
+double CostModel::EstimatePushdownWork(const Expr& expr) const {
+  double work = 0.0;
+  for (const Atom& a : expr.atoms()) work += TableCardinality(a.table);
+  return work + 2.0 * EstimateCardinality(expr);
+}
+
+double CostModel::EstimateDepth(const ConjunctiveQuery& cq,
+                                const InputAssignment& assignment,
+                                int input_idx, int k) const {
+  std::vector<int> streams = assignment.StreamInputsOf(cq.id);
+  const int m = static_cast<int>(streams.size());
+  if (m == 0) return 0.0;
+  double full = EstimateCardinality(cq.expr);
+  // Fraction of each score-ordered stream that must be read so the
+  // expected number of all-components-within-prefix results reaches
+  // ~2k: full * f^m >= 2k  =>  f = (2k/full)^(1/m).
+  double f = full <= 0.0
+                 ? 1.0
+                 : std::pow(2.0 * static_cast<double>(k) / full,
+                            1.0 / static_cast<double>(m));
+  f = std::clamp(f, 0.0, 1.0);
+  double n = EstimateCardinality(assignment.inputs[input_idx].expr);
+  return std::max(1.0, f * n);
+}
+
+double CostModel::PlanCost(
+    const std::vector<const ConjunctiveQuery*>& queries,
+    const InputAssignment& assignment, int k, int reuse_tag) const {
+  double cost = 0.0;
+  // Per-CQ probe pressure: probes issued scale with the depth of the
+  // query's driving streams.
+  std::vector<double> cq_max_depth(queries.size(), 0.0);
+
+  for (size_t i = 0; i < assignment.inputs.size(); ++i) {
+    const CandidateInput& input = assignment.inputs[i];
+    if (!input.streaming) continue;
+    // The stream is read once, to the deepest depth any consumer needs.
+    double depth = 0.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      if (input.cq_ids.count(queries[q]->id) == 0) continue;
+      double d = EstimateDepth(*queries[q], assignment,
+                               static_cast<int>(i), k);
+      depth = std::max(depth, d);
+      cq_max_depth[q] = std::max(cq_max_depth[q], d);
+    }
+    double already = 0.0;
+    bool materialized = false;
+    if (sources_ != nullptr && reuse_tag >= 0) {
+      if (const StreamingSource* s =
+              sources_->FindStream(input.expr, reuse_tag)) {
+        already = static_cast<double>(s->tuples_read());
+        materialized = true;
+      }
+    }
+    double effective = std::max(0.0, depth - already);
+    cost += effective * delays_.stream_tuple_mean_us;
+    if (input.expr.num_atoms() > 1 && !materialized) {
+      cost += delays_.pushdown_setup_us +
+              delays_.pushdown_work_unit_us * EstimatePushdownWork(input.expr);
+    }
+  }
+  // Probe inputs: each consumer query drives roughly one probe per
+  // driving-stream tuple; the shared middleware cache absorbs an
+  // (estimated) half of them.
+  for (const CandidateInput& input : assignment.inputs) {
+    if (input.streaming) continue;
+    double probes = 0.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      if (input.cq_ids.count(queries[q]->id) == 0) continue;
+      probes += cq_max_depth[q];
+    }
+    cost += 0.5 * probes * delays_.probe_mean_us;
+  }
+  // Middleware join work: every streamed tuple probes the other modules
+  // of its m-join.
+  double total_depth = 0.0;
+  for (double d : cq_max_depth) total_depth += d;
+  cost += total_depth * delays_.join_probe_us * 2.0;
+  return cost;
+}
+
+}  // namespace qsys

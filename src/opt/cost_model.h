@@ -1,0 +1,85 @@
+// Cost estimation for top-k multiple query optimization (§5.1).
+//
+// Cardinalities come from catalog statistics (row counts, distinct
+// counts, inverted-index hit counts) refined by observed statistics from
+// prior executions. Plan costs charge streaming depth (how far into each
+// score-ordered input a top-k query must read — the depth-estimation
+// idea of [16, 29] the paper leverages), remote probes, source-side
+// pushdown work, and middleware join work; tuples already read in prior
+// executions are discounted (§6.1 "Updated cost estimates").
+
+#ifndef QSYS_OPT_COST_MODEL_H_
+#define QSYS_OPT_COST_MODEL_H_
+
+#include <vector>
+
+#include "src/opt/andor.h"
+#include "src/opt/stats_registry.h"
+#include "src/source/delay_model.h"
+#include "src/source/source_manager.h"
+#include "src/storage/inverted_index.h"
+
+namespace qsys {
+
+/// \brief A fully resolved input assignment (I, I-map) for a query set:
+/// the chosen pushdown candidates plus the residual per-atom inputs.
+struct InputAssignment {
+  std::vector<CandidateInput> inputs;
+
+  /// Indexes of streaming inputs assigned to `cq_id`.
+  std::vector<int> StreamInputsOf(int cq_id) const;
+};
+
+/// \brief Estimates cardinalities and plan costs.
+class CostModel {
+ public:
+  /// `index` may be null (selection selectivities fall back to a
+  /// default); `observed` and `sources` may be null (no reuse
+  /// discounts).
+  CostModel(const Catalog* catalog, const DelayParams& delays,
+            const InvertedIndex* index, const StatsRegistry* observed,
+            const SourceManager* sources)
+      : catalog_(catalog),
+        delays_(delays),
+        index_(index),
+        observed_(observed),
+        sources_(sources) {}
+
+  /// Estimated number of results of `expr` (SPJ estimate: product of
+  /// table cardinalities and selection/join selectivities, overridden by
+  /// exact observed counts when available).
+  double EstimateCardinality(const Expr& expr) const;
+
+  /// Selectivity of one selection predicate on its table.
+  double SelectionSelectivity(TableId table, const Selection& sel) const;
+
+  /// Estimated source-side work units for pushing `expr` down.
+  double EstimatePushdownWork(const Expr& expr) const;
+
+  /// Estimated cost (virtual microseconds) of answering all `queries`
+  /// (top-k each) under `assignment`. Shared inputs are charged once at
+  /// the deepest consumer's read depth. `reuse_tag` selects which
+  /// existing sources discount already-read tuples (pass -1 to disable).
+  double PlanCost(const std::vector<const ConjunctiveQuery*>& queries,
+                  const InputAssignment& assignment, int k,
+                  int reuse_tag = -1) const;
+
+  /// Read depth (tuples) of streaming input `input_idx` needed by
+  /// `cq` under `assignment` to produce ~k results.
+  double EstimateDepth(const ConjunctiveQuery& cq,
+                       const InputAssignment& assignment, int input_idx,
+                       int k) const;
+
+ private:
+  double TableCardinality(TableId t) const;
+
+  const Catalog* catalog_;
+  DelayParams delays_;
+  const InvertedIndex* index_;
+  const StatsRegistry* observed_;
+  const SourceManager* sources_;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_OPT_COST_MODEL_H_

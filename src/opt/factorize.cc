@@ -1,0 +1,262 @@
+#include "src/opt/factorize.h"
+
+#include <algorithm>
+
+namespace qsys {
+
+namespace {
+
+/// Atom-key string used to relate assignment inputs to query atoms.
+std::string AtomKeyStr(const Atom& a) {
+  return std::to_string(a.table) + "." + std::to_string(a.occurrence) +
+         "." + std::to_string(SelectionDigest(a.selections));
+}
+
+/// Signature of the edges of `q` connecting `prefix_keys` atoms to the
+/// atoms of input `input_expr` — the "operation" identity of §5.2: two
+/// queries share an extension step only if they join the new input to the
+/// shared prefix through identical edges.
+std::string EdgeSignature(const Expr& q, const std::set<std::string>& prefix,
+                          const Expr& input_expr) {
+  std::set<std::string> input_keys;
+  for (const Atom& a : input_expr.atoms()) input_keys.insert(AtomKeyStr(a));
+  std::vector<std::string> parts;
+  for (const JoinEdge& e : q.edges()) {
+    const Atom& la = q.atoms()[e.left_atom];
+    const Atom& ra = q.atoms()[e.right_atom];
+    std::string lk = AtomKeyStr(la), rk = AtomKeyStr(ra);
+    bool l_pre = prefix.count(lk) > 0, r_pre = prefix.count(rk) > 0;
+    bool l_in = input_keys.count(lk) > 0, r_in = input_keys.count(rk) > 0;
+    if ((l_pre && r_in) || (r_pre && l_in)) {
+      std::string a = lk + ":" + std::to_string(e.left_column);
+      std::string b = rk + ":" + std::to_string(e.right_column);
+      parts.push_back(a < b ? a + "~" + b : b + "~" + a);
+    }
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string sig;
+  for (const std::string& p : parts) sig += p + ";";
+  return sig;
+}
+
+/// Induced subexpression of `q` on the atoms whose keys are in `keys`.
+Expr InducedOnKeys(const Expr& q, const std::set<std::string>& keys) {
+  Expr sub;
+  std::vector<int> remap(q.num_atoms(), -1);
+  for (int i = 0; i < q.num_atoms(); ++i) {
+    if (keys.count(AtomKeyStr(q.atoms()[i])) > 0) {
+      remap[i] = sub.AddAtom(q.atoms()[i]);
+    }
+  }
+  for (const JoinEdge& e : q.edges()) {
+    if (remap[e.left_atom] >= 0 && remap[e.right_atom] >= 0) {
+      JoinEdge ne = e;
+      ne.left_atom = remap[e.left_atom];
+      ne.right_atom = remap[e.right_atom];
+      sub.AddEdge(ne);
+    }
+  }
+  sub.Normalize();
+  return sub;
+}
+
+struct TrieNode {
+  int input_index = -1;       // assignment input joined at this step
+  std::string edge_sig;
+  std::set<int> cqs;          // queries whose sequences pass through
+  std::vector<int> terminals; // queries whose sequences end here
+  std::map<std::string, int> children;  // child key -> node index
+  int parent = -1;
+};
+
+}  // namespace
+
+Result<PlanSpec> FactorizePlan(
+    const std::vector<const ConjunctiveQuery*>& queries,
+    const InputAssignment& assignment, const CostModel& cost_model) {
+  PlanSpec spec;
+  spec.assignment = assignment;
+
+  // Global sharing count per input (how many CQs can use it): drives the
+  // greedy "common to the maximal number of queries" ordering.
+  const auto& inputs = assignment.inputs;
+  std::vector<double> input_card(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    input_card[i] = cost_model.EstimateCardinality(inputs[i].expr);
+  }
+
+  // Per-query deterministic join sequence over its assigned inputs.
+  struct Step {
+    int input_index;
+    std::string edge_sig;
+  };
+  std::map<int, std::vector<Step>> sequence_of;  // cq id -> steps
+  for (const ConjunctiveQuery* q : queries) {
+    // Inputs assigned to q.
+    std::vector<int> mine;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if (inputs[i].cq_ids.count(q->id) > 0) {
+        mine.push_back(static_cast<int>(i));
+      }
+    }
+    if (mine.empty()) {
+      return Status::InvalidArgument("query " + std::to_string(q->id) +
+                                     " has no assigned inputs");
+    }
+    std::set<std::string> prefix;
+    std::vector<Step> seq;
+    std::vector<bool> used(mine.size(), false);
+    for (size_t step = 0; step < mine.size(); ++step) {
+      int best = -1;
+      for (size_t c = 0; c < mine.size(); ++c) {
+        if (used[c]) continue;
+        const CandidateInput& cand = inputs[mine[c]];
+        // First step must be a streaming input (a component needs a
+        // driver); later steps must connect to the prefix.
+        if (step == 0) {
+          if (!cand.streaming) continue;
+        } else {
+          if (EdgeSignature(q->expr, prefix, cand.expr).empty()) continue;
+        }
+        if (best < 0) {
+          best = static_cast<int>(c);
+          continue;
+        }
+        const CandidateInput& bc = inputs[mine[best]];
+        // Priority: wider sharing first, then lower cardinality, then
+        // stable input index.
+        auto key = [&](const CandidateInput& ci, int idx) {
+          return std::make_tuple(-static_cast<int>(ci.cq_ids.size()),
+                                 input_card[idx],
+                                 idx);
+        };
+        if (key(cand, mine[c]) < key(bc, mine[best])) {
+          best = static_cast<int>(c);
+        }
+      }
+      if (best < 0) {
+        return Status::Internal(
+            "factorization lost connectivity for query " +
+            std::to_string(q->id));
+      }
+      used[best] = true;
+      Step s;
+      s.input_index = mine[best];
+      s.edge_sig = step == 0 ? ""
+                             : EdgeSignature(q->expr, prefix,
+                                             inputs[mine[best]].expr);
+      for (const Atom& a : inputs[mine[best]].expr.atoms()) {
+        prefix.insert(AtomKeyStr(a));
+      }
+      seq.push_back(std::move(s));
+    }
+    sequence_of[q->id] = std::move(seq);
+  }
+
+  // Prefix trie over the sequences: shared prefixes = shared components.
+  std::vector<TrieNode> trie;
+  trie.push_back(TrieNode{});  // virtual root (index 0)
+  for (const ConjunctiveQuery* q : queries) {
+    int cur = 0;
+    const auto& seq = sequence_of[q->id];
+    for (const Step& s : seq) {
+      std::string key = std::to_string(s.input_index) + "|" + s.edge_sig;
+      auto it = trie[cur].children.find(key);
+      int next;
+      if (it == trie[cur].children.end()) {
+        next = static_cast<int>(trie.size());
+        TrieNode node;
+        node.input_index = s.input_index;
+        node.edge_sig = s.edge_sig;
+        node.parent = cur;
+        trie[cur].children.emplace(key, next);
+        trie.push_back(std::move(node));
+      } else {
+        next = it->second;
+      }
+      trie[next].cqs.insert(q->id);
+      cur = next;
+    }
+    trie[cur].terminals.push_back(q->id);
+  }
+
+  // Compact chains into components: extend while the CQ set is unchanged,
+  // no query terminates mid-chain, and there is a single continuation.
+  struct Work {
+    int trie_node;
+    int upstream_component;  // -1 for none
+  };
+  std::vector<Work> worklist;
+  for (const auto& [key, child] : trie[0].children) {
+    (void)key;
+    worklist.push_back({child, -1});
+  }
+  while (!worklist.empty()) {
+    Work w = worklist.back();
+    worklist.pop_back();
+    PlanSpec::Component comp;
+    comp.id = static_cast<int>(spec.components.size());
+    if (w.upstream_component >= 0) {
+      PlanSpec::ModuleRef up;
+      up.kind = PlanSpec::ModuleRef::Kind::kUpstream;
+      up.index = w.upstream_component;
+      comp.modules.push_back(up);
+    }
+    int node = w.trie_node;
+    comp.cq_ids = trie[node].cqs;
+    std::set<std::string> covered_keys;
+    if (w.upstream_component >= 0) {
+      for (const Atom& a :
+           spec.components[w.upstream_component].expr.atoms()) {
+        covered_keys.insert(AtomKeyStr(a));
+      }
+    }
+    for (;;) {
+      const TrieNode& tn = trie[node];
+      PlanSpec::ModuleRef ref;
+      ref.kind = inputs[tn.input_index].streaming
+                     ? PlanSpec::ModuleRef::Kind::kStream
+                     : PlanSpec::ModuleRef::Kind::kProbe;
+      ref.index = tn.input_index;
+      comp.modules.push_back(ref);
+      for (const Atom& a : inputs[tn.input_index].expr.atoms()) {
+        covered_keys.insert(AtomKeyStr(a));
+      }
+      bool stop = !tn.terminals.empty() || tn.children.size() != 1;
+      if (!stop) {
+        int only_child = tn.children.begin()->second;
+        if (trie[only_child].cqs != tn.cqs) stop = true;
+        if (!stop) {
+          node = only_child;
+          continue;
+        }
+      }
+      // Component ends at `node`.
+      int ref_cq = *tn.cqs.begin();
+      const ConjunctiveQuery* ref_q = nullptr;
+      for (const ConjunctiveQuery* q : queries) {
+        if (q->id == ref_cq) ref_q = q;
+      }
+      comp.expr = InducedOnKeys(ref_q->expr, covered_keys);
+      comp.terminal_cq_ids = tn.terminals;
+      for (int t : tn.terminals) spec.terminal_of_cq[t] = comp.id;
+      for (const auto& [key, child] : tn.children) {
+        (void)key;
+        worklist.push_back({child, comp.id});
+      }
+      break;
+    }
+    spec.components.push_back(std::move(comp));
+  }
+
+  // Sanity: every query must have a terminal component.
+  for (const ConjunctiveQuery* q : queries) {
+    if (spec.terminal_of_cq.count(q->id) == 0) {
+      return Status::Internal("no terminal component for query " +
+                              std::to_string(q->id));
+    }
+  }
+  return spec;
+}
+
+}  // namespace qsys

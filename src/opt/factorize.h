@@ -1,0 +1,73 @@
+// Factorization of the query plan graph (§5.2 of the paper).
+//
+// Given the input assignment chosen by BestPlan, the middleware part of
+// the plan is factored into connected components — each an m-join — such
+// that conjunctive queries sharing a prefix of joined inputs share the
+// component chain, with splits at divergence points. Join *ordering
+// inside* a component is deferred to runtime (the m-join's adaptive probe
+// sequences); the factorization greedily minimizes the number of
+// components by extending each shared expression with the operation
+// common to the most queries, breaking ties toward the most selective
+// operation — the paper's greedy heuristic.
+//
+// The output is a declarative PlanSpec; src/qs/graft.cc instantiates (or
+// merges) it into a live plan graph.
+
+#ifndef QSYS_OPT_FACTORIZE_H_
+#define QSYS_OPT_FACTORIZE_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/opt/cost_model.h"
+#include "src/query/uq.h"
+
+namespace qsys {
+
+/// \brief Declarative description of one plan graph (components, module
+/// wiring, terminals), independent of live operator objects.
+struct PlanSpec {
+  /// Reference to one access module of a component.
+  struct ModuleRef {
+    enum class Kind {
+      /// Streaming input: assignment.inputs[index] read from the source.
+      kStream,
+      /// Output of another component, pipelined in: components[index].
+      kUpstream,
+      /// Remote random-access input: assignment.inputs[index].
+      kProbe,
+    };
+    Kind kind = Kind::kStream;
+    int index = 0;
+  };
+
+  /// One factored component == one m-join.
+  struct Component {
+    int id = 0;
+    /// Expression computed by the component (its full atom coverage,
+    /// including upstream contributions).
+    Expr expr;
+    std::vector<ModuleRef> modules;
+    /// Conjunctive queries whose results flow through this component.
+    std::set<int> cq_ids;
+    /// CQs whose full expression equals `expr` (their results leave the
+    /// middleware here, toward their rank-merge).
+    std::vector<int> terminal_cq_ids;
+  };
+
+  InputAssignment assignment;
+  std::vector<Component> components;
+  /// cq id -> component producing its final results.
+  std::map<int, int> terminal_of_cq;
+};
+
+/// Factorizes `queries` under `assignment` into a PlanSpec. Fails only on
+/// malformed inputs (disconnected queries, empty assignment entries).
+Result<PlanSpec> FactorizePlan(
+    const std::vector<const ConjunctiveQuery*>& queries,
+    const InputAssignment& assignment, const CostModel& cost_model);
+
+}  // namespace qsys
+
+#endif  // QSYS_OPT_FACTORIZE_H_

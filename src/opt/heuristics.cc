@@ -1,0 +1,128 @@
+#include "src/opt/heuristics.h"
+
+#include <algorithm>
+
+#include "src/source/pushdown.h"
+
+namespace qsys {
+
+namespace {
+
+/// An edge is "cheap" at the source when one side is the table's primary
+/// key (key/foreign-key join); other joins are expensive to push (H3).
+bool EdgeIsKeyJoin(const Expr& expr, const JoinEdge& e,
+                   const Catalog& catalog) {
+  const Atom& la = expr.atoms()[e.left_atom];
+  const Atom& ra = expr.atoms()[e.right_atom];
+  return catalog.table(la.table).schema().key_field() == e.left_column ||
+         catalog.table(ra.table).schema().key_field() == e.right_column;
+}
+
+}  // namespace
+
+bool AtomIsStreamable(const Atom& atom, const Catalog& catalog,
+                      const CostModel& cost_model,
+                      const PruningOptions& options) {
+  if (!options.require_scored_stream) return true;
+  if (catalog.table(atom.table).schema().has_score()) return true;
+  Expr single;
+  single.AddAtom(atom);
+  single.Normalize();
+  return cost_model.EstimateCardinality(single) <=
+         options.tau_stream_threshold;
+}
+
+std::vector<CandidateInput> ApplyPruningHeuristics(
+    const std::vector<CandidateInput>& candidates,
+    const std::vector<const ConjunctiveQuery*>& queries,
+    const CostModel& cost_model, const Catalog& catalog,
+    const PruningOptions& options) {
+  // H1 precompute: queries whose full result set is already small.
+  std::set<int> low_yield_queries;
+  if (options.low_yield_query_rule) {
+    for (const ConjunctiveQuery* q : queries) {
+      if (cost_model.EstimateCardinality(q->expr) <=
+          options.low_yield_threshold) {
+        low_yield_queries.insert(q->id);
+      }
+    }
+  }
+
+  std::vector<CandidateInput> out;
+  for (const CandidateInput& cand : candidates) {
+    CandidateInput kept = cand;
+
+    // H1: strip low-yield queries from S[J] unless J is also shared by
+    // other (non-low-yield) queries.
+    if (options.low_yield_query_rule && !low_yield_queries.empty()) {
+      bool shared_beyond = false;
+      for (int id : kept.cq_ids) {
+        if (low_yield_queries.count(id) == 0) shared_beyond = true;
+      }
+      if (!shared_beyond) continue;  // only low-yield users: prune
+    }
+
+    double card = cost_model.EstimateCardinality(kept.expr);
+
+    // H2: a pushdown is streamed; if it carries no scoring attribute it
+    // must be read in full, so only small ones qualify.
+    if (options.require_scored_stream &&
+        !ExprHasScoredAtom(kept.expr, catalog) &&
+        card > options.tau_stream_threshold) {
+      continue;
+    }
+    kept.streaming = true;
+
+    // H3: utility = shared widely enough, or small; and cheap to compute
+    // at the source.
+    if (options.utility_filter) {
+      bool useful =
+          static_cast<int>(kept.cq_ids.size()) >= options.min_share ||
+          card <= options.low_cardinality_threshold;
+      if (!useful) continue;
+      bool cheap = true;
+      for (const JoinEdge& e : kept.expr.edges()) {
+        if (!EdgeIsKeyJoin(kept.expr, e, catalog)) cheap = false;
+      }
+      if (!cheap) continue;
+    }
+
+    // H4: for every query, subexpression-or-disjoint.
+    if (options.no_partial_overlap) {
+      bool ok = true;
+      for (const ConjunctiveQuery* q : queries) {
+        bool overlaps = q->expr.Overlaps(kept.expr);
+        bool contained = q->expr.ContainsAsSubexpression(kept.expr);
+        if (overlaps && !contained) {
+          ok = false;
+          break;
+        }
+        // Containment without membership in S[J] means the enumerator
+        // missed a user; add it (widens sharing).
+        if (contained) kept.cq_ids.insert(q->id);
+      }
+      if (!ok) continue;
+    }
+
+    out.push_back(std::move(kept));
+  }
+
+  // Deterministic order: most-shared first, then larger expressions,
+  // then signature; cap the search width.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CandidateInput& a, const CandidateInput& b) {
+                     if (a.cq_ids.size() != b.cq_ids.size()) {
+                       return a.cq_ids.size() > b.cq_ids.size();
+                     }
+                     if (a.expr.num_atoms() != b.expr.num_atoms()) {
+                       return a.expr.num_atoms() > b.expr.num_atoms();
+                     }
+                     return a.expr.Signature() < b.expr.Signature();
+                   });
+  if (static_cast<int>(out.size()) > options.max_candidates) {
+    out.resize(options.max_candidates);
+  }
+  return out;
+}
+
+}  // namespace qsys

@@ -1,0 +1,67 @@
+// The four pruning heuristics of §5.1.1, applied to the enumerated
+// candidate set before the BestPlan search. Each heuristic can be toggled
+// individually (exercised by bench/ablation_heuristics).
+
+#ifndef QSYS_OPT_HEURISTICS_H_
+#define QSYS_OPT_HEURISTICS_H_
+
+#include <vector>
+
+#include "src/opt/andor.h"
+#include "src/opt/cost_model.h"
+
+namespace qsys {
+
+/// \brief Toggles and thresholds for the §5.1.1 pruning rules.
+struct PruningOptions {
+  /// H1 — "Consider queries as shared subexpressions": if a whole query
+  /// is estimated to produce few results, do not consider its
+  /// subexpressions unless they are shared by a *different* set of
+  /// queries.
+  bool low_yield_query_rule = true;
+  double low_yield_threshold = 64.0;
+
+  /// H2 — "Only stream relations that have scoring attributes": an input
+  /// with no scored atom is streamed only if its estimated cardinality is
+  /// below τ(R) (otherwise it is probed / unusable as a pushdown).
+  bool require_scored_stream = true;
+  double tau_stream_threshold = 512.0;
+
+  /// H3 — "Filter subexpressions by estimated utility": keep candidates
+  /// shared by >= min_share queries or with low cardinality; drop
+  /// candidates containing expensive (non key/foreign-key) source joins.
+  bool utility_filter = true;
+  int min_share = 2;
+  double low_cardinality_threshold = 256.0;
+
+  /// H4 — "Do not consider overlapping pushed-down subexpressions": keep
+  /// a candidate only if, for every query, it is a subexpression of the
+  /// query or disjoint from it.
+  bool no_partial_overlap = true;
+
+  /// Global cap on candidates entering the search (largest sharing
+  /// first); keeps worst-case optimizer time bounded.
+  int max_candidates = 24;
+
+  /// Safety cap on BestPlan search-tree nodes (the search is exponential
+  /// in the candidate count — Figure 11).
+  int64_t search_node_budget = 1 << 20;
+};
+
+/// Applies the enabled rules and returns the surviving candidates (with
+/// `streaming` resolved per H2), in deterministic order.
+std::vector<CandidateInput> ApplyPruningHeuristics(
+    const std::vector<CandidateInput>& candidates,
+    const std::vector<const ConjunctiveQuery*>& queries,
+    const CostModel& cost_model, const Catalog& catalog,
+    const PruningOptions& options);
+
+/// H2 as a predicate for single atoms: whether relation `atom` should be
+/// streamed (scored, or small enough) rather than probed.
+bool AtomIsStreamable(const Atom& atom, const Catalog& catalog,
+                      const CostModel& cost_model,
+                      const PruningOptions& options);
+
+}  // namespace qsys
+
+#endif  // QSYS_OPT_HEURISTICS_H_

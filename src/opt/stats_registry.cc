@@ -1,0 +1,23 @@
+#include "src/opt/stats_registry.h"
+
+#include <algorithm>
+
+namespace qsys {
+
+void StatsRegistry::RecordStream(const std::string& signature,
+                                 int64_t tuples_streamed, bool exhausted,
+                                 int64_t total_if_known) {
+  ObservedExprStats& s = map_[signature];
+  s.tuples_streamed = std::max(s.tuples_streamed, tuples_streamed);
+  if (exhausted) s.exhausted = true;
+  if (total_if_known >= 0) s.exact_cardinality = total_if_known;
+}
+
+std::optional<ObservedExprStats> StatsRegistry::Lookup(
+    const std::string& signature) const {
+  auto it = map_.find(signature);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace qsys

@@ -1,0 +1,45 @@
+// Observed-statistics registry: cardinalities and read depths recorded
+// during execution, consulted by the optimizer when later batches reuse
+// the same expressions (§3: "the QS manager maintains cardinality
+// information about intermediate results ... such that the query
+// optimizer can determine what can be reused in subsequent executions").
+
+#ifndef QSYS_OPT_STATS_REGISTRY_H_
+#define QSYS_OPT_STATS_REGISTRY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace qsys {
+
+/// \brief What execution has learned about one expression.
+struct ObservedExprStats {
+  /// Tuples streamed from this expression so far.
+  int64_t tuples_streamed = 0;
+  /// Exact result cardinality, if the stream was exhausted.
+  int64_t exact_cardinality = -1;
+  bool exhausted = false;
+};
+
+/// \brief Signature-keyed store of observed statistics.
+class StatsRegistry {
+ public:
+  /// Records progress of a stream (monotone update).
+  void RecordStream(const std::string& signature, int64_t tuples_streamed,
+                    bool exhausted, int64_t total_if_known);
+
+  std::optional<ObservedExprStats> Lookup(
+      const std::string& signature) const;
+
+  size_t size() const { return map_.size(); }
+  void Clear() { map_.clear(); }
+
+ private:
+  std::unordered_map<std::string, ObservedExprStats> map_;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_OPT_STATS_REGISTRY_H_

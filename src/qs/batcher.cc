@@ -1,0 +1,14 @@
+#include "src/qs/batcher.h"
+
+namespace qsys {
+
+std::vector<UserQuery> QueryBatcher::Flush() {
+  std::vector<UserQuery> out;
+  int take = std::min<int>(batch_size_, static_cast<int>(pending_.size()));
+  out.insert(out.end(), std::make_move_iterator(pending_.begin()),
+             std::make_move_iterator(pending_.begin() + take));
+  pending_.erase(pending_.begin(), pending_.begin() + take);
+  return out;
+}
+
+}  // namespace qsys

@@ -1,0 +1,63 @@
+// The query batcher (§3): collects incoming user queries over a short
+// interval and releases them to the optimizer as a batch, enabling
+// multiple query optimization over concurrent queries.
+
+#ifndef QSYS_QS_BATCHER_H_
+#define QSYS_QS_BATCHER_H_
+
+#include <limits>
+#include <vector>
+
+#include "src/query/uq.h"
+
+namespace qsys {
+
+/// \brief Size- and time-bounded query batching.
+class QueryBatcher {
+ public:
+  /// Flush when `batch_size` queries collect, or `window_us` after the
+  /// oldest waiting query arrived, whichever is first.
+  QueryBatcher(int batch_size, VirtualTime window_us)
+      : batch_size_(batch_size), window_us_(window_us) {}
+
+  void Add(UserQuery uq) { pending_.push_back(std::move(uq)); }
+
+  bool HasPending() const { return !pending_.empty(); }
+  int pending_count() const { return static_cast<int>(pending_.size()); }
+
+  /// Virtual time at which the current contents must flush
+  /// (max VirtualTime when empty).
+  VirtualTime NextDeadline() const {
+    if (pending_.empty()) return std::numeric_limits<VirtualTime>::max();
+    if (static_cast<int>(pending_.size()) >= batch_size_) {
+      return pending_.back().submit_time_us;  // already due
+    }
+    return pending_.front().submit_time_us + window_us_;
+  }
+
+  bool ReadyAt(VirtualTime now) const {
+    return HasPending() && now >= NextDeadline();
+  }
+
+  /// Latest submit time among waiting queries (0 when empty); the
+  /// earliest legal flush instant when the workload has ended.
+  VirtualTime LatestSubmit() const {
+    VirtualTime t = 0;
+    for (const UserQuery& q : pending_) {
+      t = std::max(t, q.submit_time_us);
+    }
+    return t;
+  }
+
+  /// Removes and returns up to batch_size queries (oldest first).
+  std::vector<UserQuery> Flush();
+
+ private:
+  int batch_size_;
+  VirtualTime window_us_;
+  std::vector<UserQuery> pending_;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_QS_BATCHER_H_

@@ -1,0 +1,79 @@
+#include "src/qs/cluster.h"
+
+#include <algorithm>
+#include <map>
+
+namespace qsys {
+
+std::set<TableId> SourceTablesOf(const UserQuery& uq) {
+  std::set<TableId> out;
+  for (const ConjunctiveQuery& cq : uq.cqs) {
+    for (const Atom& a : cq.expr.atoms()) out.insert(a.table);
+  }
+  return out;
+}
+
+double JaccardSimilarity(const std::set<int>& a, const std::set<int>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  int64_t inter = 0;
+  for (int x : a) inter += b.count(x);
+  int64_t uni = static_cast<int64_t>(a.size() + b.size()) - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) /
+                              static_cast<double>(uni);
+}
+
+std::vector<std::vector<int>> ClusterUserQueries(
+    const std::vector<const UserQuery*>& uqs,
+    const ClusterOptions& options) {
+  // Reference counts per source relation.
+  std::map<TableId, std::set<int>> users_of_table;
+  std::vector<std::set<TableId>> tables_of(uqs.size());
+  for (size_t i = 0; i < uqs.size(); ++i) {
+    tables_of[i] = SourceTablesOf(*uqs[i]);
+    for (TableId t : tables_of[i]) {
+      users_of_table[t].insert(static_cast<int>(i));
+    }
+  }
+  // Seed one cluster per hot relation (> Tm referencing queries).
+  std::vector<std::set<int>> clusters;
+  for (const auto& [table, users] : users_of_table) {
+    (void)table;
+    if (static_cast<int>(users.size()) > options.tm) {
+      clusters.push_back(users);
+    }
+  }
+  // Merge clusters while any pair exceeds the Jaccard threshold.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (size_t i = 0; i < clusters.size() && !merged; ++i) {
+      for (size_t j = i + 1; j < clusters.size() && !merged; ++j) {
+        if (JaccardSimilarity(clusters[i], clusters[j]) > options.tc) {
+          clusters[i].insert(clusters[j].begin(), clusters[j].end());
+          clusters.erase(clusters.begin() + j);
+          merged = true;
+        }
+      }
+    }
+  }
+  // Assign each query to the first cluster containing it; leftovers get
+  // singletons.
+  std::vector<std::vector<int>> out;
+  std::vector<bool> assigned(uqs.size(), false);
+  for (const std::set<int>& c : clusters) {
+    std::vector<int> members;
+    for (int idx : c) {
+      if (!assigned[idx]) {
+        members.push_back(idx);
+        assigned[idx] = true;
+      }
+    }
+    if (!members.empty()) out.push_back(std::move(members));
+  }
+  for (size_t i = 0; i < uqs.size(); ++i) {
+    if (!assigned[i]) out.push_back({static_cast<int>(i)});
+  }
+  return out;
+}
+
+}  // namespace qsys

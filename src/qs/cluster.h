@@ -1,0 +1,48 @@
+// User-query clustering (§6.1, "Preventing over-sharing of results").
+//
+// A single shared plan graph can thrash: a query may depend on a small
+// fraction of a very large graph yet pay for everyone else's tuples. The
+// remedy is to partition user queries into clusters — each with its own
+// plan graph and ATC — by (1) seeding a cluster per frequently referenced
+// source relation (threshold Tm) and (2) merging clusters whose member
+// sets' Jaccard similarity exceeds Tc.
+
+#ifndef QSYS_QS_CLUSTER_H_
+#define QSYS_QS_CLUSTER_H_
+
+#include <set>
+#include <vector>
+
+#include "src/query/uq.h"
+
+namespace qsys {
+
+/// \brief Clustering thresholds.
+struct ClusterOptions {
+  /// Tm: a source relation seeds a cluster when referenced by more than
+  /// this many user queries.
+  int tm = 1;
+  /// Tc: clusters merge while the Jaccard similarity of their member
+  /// sets exceeds this.
+  double tc = 0.5;
+  /// Upper bound on concurrently live plan graphs (the paper's testbed
+  /// ran one ATC per core on a 4-core machine). Additional clusters are
+  /// routed to the existing graph with the highest source overlap.
+  int max_plan_graphs = 4;
+};
+
+/// Source relations referenced by any CQ of `uq`.
+std::set<TableId> SourceTablesOf(const UserQuery& uq);
+
+/// Jaccard similarity |a ∩ b| / |a ∪ b| (1.0 for two empty sets).
+double JaccardSimilarity(const std::set<int>& a, const std::set<int>& b);
+
+/// Partitions `uqs` (by index) into clusters per §6.1. Every index
+/// appears in exactly one cluster; queries touching no hot relation get
+/// singleton clusters.
+std::vector<std::vector<int>> ClusterUserQueries(
+    const std::vector<const UserQuery*>& uqs, const ClusterOptions& options);
+
+}  // namespace qsys
+
+#endif  // QSYS_QS_CLUSTER_H_

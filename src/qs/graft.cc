@@ -1,0 +1,267 @@
+#include "src/qs/graft.h"
+
+#include <algorithm>
+
+namespace qsys {
+
+RankMergeOp* PlanGrafter::GetOrCreateMerge(Atc* atc, const UserQuery& uq) {
+  for (RankMergeOp* rm : atc->graph().rank_merges()) {
+    if (rm->uq_id() == uq.id) return rm;
+  }
+  RankMergeOp* rm =
+      atc->graph().AddRankMerge(uq.id, uq.k, uq.submit_time_us);
+  rm->set_start_time_us(atc->clock().now());
+  PlanGraph* graph = &atc->graph();
+  rm->on_cq_pruned = [graph](int cq_id) { graph->UnlinkCq(cq_id); };
+  return rm;
+}
+
+bool PlanGrafter::Matches(const MJoinOp* candidate, const PlanSpec& spec,
+                          const PlanSpec::Component& comp,
+                          const std::vector<MJoinOp*>& comp_ops,
+                          const std::vector<bool>& comp_reused,
+                          int tag) const {
+  // Reuse never crosses sharing scopes: an ATC-UQ / ATC-CQ operator is
+  // fed by that scope's private streams.
+  auto tag_it = op_tag_.find(candidate);
+  if (tag_it == op_tag_.end() || tag_it->second != tag) return false;
+  if (candidate->num_modules() !=
+      static_cast<int>(comp.modules.size())) {
+    return false;
+  }
+  // Multiset match on (streamed?, module expr signature); frozen modules
+  // (recovery operators) never match.
+  std::vector<std::pair<bool, std::string>> want, have;
+  for (const PlanSpec::ModuleRef& ref : comp.modules) {
+    bool streamed = ref.kind != PlanSpec::ModuleRef::Kind::kProbe;
+    const Expr& e = ref.kind == PlanSpec::ModuleRef::Kind::kUpstream
+                        ? spec.components[ref.index].expr
+                        : spec.assignment.inputs[ref.index].expr;
+    want.emplace_back(streamed, e.Signature());
+  }
+  for (int p = 0; p < candidate->num_modules(); ++p) {
+    if (candidate->module_is_frozen(p)) return false;
+    have.emplace_back(candidate->module_is_stream(p) ||
+                          candidate->module_is_frozen(p),
+                      candidate->module_expr(p).Signature());
+  }
+  std::sort(want.begin(), want.end());
+  std::sort(have.begin(), have.end());
+  if (want != have) return false;
+  // Upstream feeders must be exactly the operators we resolved (and
+  // themselves reused, so their state continuity holds).
+  auto pit = producers_.find(candidate);
+  const std::vector<const MJoinOp*>* feeders =
+      pit == producers_.end() ? nullptr : &pit->second;
+  for (const PlanSpec::ModuleRef& ref : comp.modules) {
+    if (ref.kind != PlanSpec::ModuleRef::Kind::kUpstream) continue;
+    if (!comp_reused[ref.index]) return false;
+    bool found = false;
+    if (feeders != nullptr) {
+      for (const MJoinOp* f : *feeders) {
+        if (f == comp_ops[ref.index]) found = true;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+Status PlanGrafter::Graft(const OptimizedGroup& group,
+                          const std::vector<const UserQuery*>& uqs,
+                          Atc* atc, int tag) {
+  const PlanSpec& spec = group.spec;
+  PlanGraph& graph = atc->graph();
+  const int epoch = atc->epoch() + 1;
+  atc->set_epoch(epoch);
+  ExecContext ctx = atc->MakeContext();
+
+  // cq id -> (cq, uq) lookup.
+  std::unordered_map<int, std::pair<const ConjunctiveQuery*,
+                                    const UserQuery*>>
+      cq_lookup;
+  for (const UserQuery* uq : uqs) {
+    for (const ConjunctiveQuery& cq : uq->cqs) {
+      cq_lookup[cq.id] = {&cq, uq};
+    }
+  }
+
+  // ---- components, parents before children ----
+  std::vector<MJoinOp*> comp_ops(spec.components.size(), nullptr);
+  std::vector<bool> comp_reused(spec.components.size(), false);
+  for (const PlanSpec::Component& comp : spec.components) {
+    // Try to reuse an existing operator (newest first).
+    MJoinOp* resolved = nullptr;
+    for (MJoinOp* cand : graph.FindMJoins(comp.expr.Signature())) {
+      if (Matches(cand, spec, comp, comp_ops, comp_reused, tag)) {
+        resolved = cand;
+        break;
+      }
+    }
+    if (resolved != nullptr) {
+      resolved->set_active(true);
+      comp_ops[comp.id] = resolved;
+      comp_reused[comp.id] = true;
+      ops_reused_ += 1;
+      // Touch its state registrations.
+      for (int p = 0; p < resolved->num_modules(); ++p) {
+        if (JoinHashTable* t = resolved->module_table(p)) {
+          state_->RegisterModuleTable(tag,
+                                      resolved->module_expr(p).Signature(),
+                                      t, resolved, ctx.clock->now());
+        }
+      }
+      continue;
+    }
+    // Build a fresh operator.
+    MJoinOp* op = graph.AddMJoin(comp.expr);
+    op_tag_[op] = tag;
+    struct Wire {
+      StreamingSource* src;
+      int port;
+    };
+    std::vector<Wire> source_wires;
+    struct UpWire {
+      MJoinOp* up;
+      int port;
+    };
+    std::vector<UpWire> up_wires;
+    for (const PlanSpec::ModuleRef& ref : comp.modules) {
+      switch (ref.kind) {
+        case PlanSpec::ModuleRef::Kind::kStream: {
+          const CandidateInput& input = spec.assignment.inputs[ref.index];
+          StreamingSource* src =
+              sources_->GetOrCreateStream(input.expr, tag);
+          auto port = op->AddStreamModule(input.expr);
+          QSYS_RETURN_IF_ERROR(port.status());
+          source_wires.push_back({src, port.value()});
+          break;
+        }
+        case PlanSpec::ModuleRef::Kind::kUpstream: {
+          const Expr& up_expr = spec.components[ref.index].expr;
+          auto port = op->AddStreamModule(up_expr);
+          QSYS_RETURN_IF_ERROR(port.status());
+          up_wires.push_back({comp_ops[ref.index], port.value()});
+          break;
+        }
+        case PlanSpec::ModuleRef::Kind::kProbe: {
+          const CandidateInput& input = spec.assignment.inputs[ref.index];
+          auto port =
+              op->AddProbeModule(input.expr.atoms()[0], sources_, tag);
+          QSYS_RETURN_IF_ERROR(port.status());
+          break;
+        }
+      }
+    }
+    QSYS_RETURN_IF_ERROR(op->Finalize());
+    for (const Wire& w : source_wires) {
+      graph.ConnectSource(w.src, {op, w.port});
+    }
+    for (const UpWire& w : up_wires) {
+      graph.ConnectMJoin(w.up, {op, w.port});
+      producers_[op].push_back(w.up);
+    }
+    // Backfill stream modules from retained state, then (re)register.
+    for (int p = 0; p < op->num_modules(); ++p) {
+      JoinHashTable* table = op->module_table(p);
+      if (table == nullptr || !op->module_is_stream(p)) continue;
+      const std::string& sig = op->module_expr(p).Signature();
+      JoinHashTable* old = state_->FindModuleTable(tag, sig);
+      if (old != nullptr && old != table && old->num_entries() > 0) {
+        for (int64_t i = 0; i < old->num_entries(); ++i) {
+          table->Insert(old->entry_epoch(i), old->entry(i));
+        }
+        tuples_backfilled_ += old->num_entries();
+        ctx.Charge(TimeBucket::kJoin,
+                   static_cast<VirtualTime>(
+                       static_cast<double>(old->num_entries()) *
+                       ctx.delays->params().join_output_us));
+      }
+      state_->RegisterModuleTable(tag, sig, table, op, ctx.clock->now());
+    }
+    comp_ops[comp.id] = op;
+  }
+
+  // ---- rank-merge registration + recovery ----
+  for (int cq_id : group.cq_ids) {
+    auto it = cq_lookup.find(cq_id);
+    if (it == cq_lookup.end()) {
+      return Status::InvalidArgument("CQ " + std::to_string(cq_id) +
+                                     " has no owning user query");
+    }
+    const ConjunctiveQuery& cq = *it->second.first;
+    const UserQuery& uq = *it->second.second;
+    RankMergeOp* merge = GetOrCreateMerge(atc, uq);
+
+    auto term = spec.terminal_of_cq.find(cq_id);
+    if (term == spec.terminal_of_cq.end()) {
+      return Status::Internal("CQ lacks a terminal component");
+    }
+    MJoinOp* terminal = comp_ops[term->second];
+
+    CqRegistration reg;
+    reg.cq_id = cq.id;
+    reg.score_fn = cq.score_fn;
+    reg.max_sum = cq.max_sum;
+    std::vector<int> stream_inputs =
+        spec.assignment.StreamInputsOf(cq.id);
+    bool any_read = false, all_read = !stream_inputs.empty();
+    for (int idx : stream_inputs) {
+      StreamingSource* src = sources_->GetOrCreateStream(
+          spec.assignment.inputs[idx].expr, tag);
+      reg.streams.push_back(src);
+      if (src->tuples_read() > 0) {
+        any_read = true;
+      } else {
+        all_read = false;
+      }
+    }
+    (void)any_read;
+    int port = merge->RegisterCq(reg);
+    graph.ConnectMJoin(terminal, {merge, port});
+    for (const PlanSpec::Component& comp : spec.components) {
+      if (comp.cq_ids.count(cq_id) > 0) {
+        graph.RegisterCqDependency(cq_id, comp_ops[comp.id]);
+      }
+    }
+
+    // Algorithm 2: every streaming input already has buffered tuples,
+    // so the all-buffered results must be recovered.
+    if (all_read) {
+      std::vector<FrozenInput> frozen;
+      bool recoverable = true;
+      for (int idx : stream_inputs) {
+        FrozenInput f;
+        f.expr = spec.assignment.inputs[idx].expr;
+        f.table = state_->FindModuleTable(tag, f.expr.Signature());
+        if (f.table == nullptr || f.table->CountBefore(epoch) == 0) {
+          recoverable = false;
+          break;
+        }
+        frozen.push_back(std::move(f));
+      }
+      if (recoverable) {
+        // Drive from the input with the most buffered tuples.
+        std::stable_sort(frozen.begin(), frozen.end(),
+                         [epoch](const FrozenInput& a,
+                                 const FrozenInput& b) {
+                           return a.table->CountBefore(epoch) >
+                                  b.table->CountBefore(epoch);
+                         });
+        std::vector<Atom> probe_atoms;
+        for (const CandidateInput& input : spec.assignment.inputs) {
+          if (!input.streaming && input.cq_ids.count(cq_id) > 0) {
+            probe_atoms.push_back(input.expr.atoms()[0]);
+          }
+        }
+        QSYS_RETURN_IF_ERROR(BuildRecoveryQuery(cq, frozen, probe_atoms,
+                                                epoch, merge, atc,
+                                                sources_, tag, *catalog_));
+        recoveries_built_ += 1;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace qsys

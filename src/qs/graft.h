@@ -1,0 +1,72 @@
+// Grafting new query plan graphs onto running ones (§6.2).
+//
+// Each optimized batch yields PlanSpecs; the grafter materializes them
+// inside an ATC's live graph: existing m-joins are matched (by expression
+// and module structure) and reused together with their hash-table state;
+// unmatched components become new operators whose stream modules are
+// *backfilled* from the registered state of earlier executions, so future
+// arrivals join against everything that was already read. Conjunctive
+// queries whose streaming inputs were all partially consumed additionally
+// get a RecoverState query (Algorithm 2) for the all-buffered results.
+
+#ifndef QSYS_QS_GRAFT_H_
+#define QSYS_QS_GRAFT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/opt/optimizer.h"
+#include "src/qs/recover.h"
+#include "src/qs/state_manager.h"
+
+namespace qsys {
+
+/// \brief Builds/merges plan specs into ATC graphs. One grafter per
+/// system; it remembers producer wiring so operator reuse is sound.
+class PlanGrafter {
+ public:
+  PlanGrafter(const Catalog* catalog, SourceManager* sources,
+              StateManager* state)
+      : catalog_(catalog), sources_(sources), state_(state) {}
+
+  /// Grafts `group` (one optimized PlanSpec) into `atc` under sharing
+  /// scope `tag`. `uqs` must contain the user query of every CQ the spec
+  /// covers. Advances the ATC's epoch.
+  Status Graft(const OptimizedGroup& group,
+               const std::vector<const UserQuery*>& uqs, Atc* atc, int tag);
+
+  /// Number of recovery queries built so far (observability).
+  int64_t recoveries_built() const { return recoveries_built_; }
+  /// Number of m-join operators reused instead of rebuilt.
+  int64_t ops_reused() const { return ops_reused_; }
+  /// Tuples copied while backfilling fresh modules from retained state.
+  int64_t tuples_backfilled() const { return tuples_backfilled_; }
+
+ private:
+  RankMergeOp* GetOrCreateMerge(Atc* atc, const UserQuery& uq);
+
+  /// True if `candidate` can stand in for `comp`: built under the same
+  /// sharing scope (`tag`), same expression, same module structure, no
+  /// frozen modules, and every upstream feeder is the operator we
+  /// resolved for that upstream component.
+  bool Matches(const MJoinOp* candidate, const PlanSpec& spec,
+               const PlanSpec::Component& comp,
+               const std::vector<MJoinOp*>& comp_ops,
+               const std::vector<bool>& comp_reused, int tag) const;
+
+  const Catalog* catalog_;
+  SourceManager* sources_;
+  StateManager* state_;
+  /// child op -> upstream producer ops (wiring memory for safe reuse).
+  std::unordered_map<const MJoinOp*, std::vector<const MJoinOp*>>
+      producers_;
+  /// op -> sharing scope it was built under (reuse is scope-local).
+  std::unordered_map<const MJoinOp*, int> op_tag_;
+  int64_t recoveries_built_ = 0;
+  int64_t ops_reused_ = 0;
+  int64_t tuples_backfilled_ = 0;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_QS_GRAFT_H_

@@ -1,0 +1,51 @@
+// RecoverState (Algorithm 2 of the paper, §6.2).
+//
+// When a conjunctive query CQᵢ arrives after its streaming inputs have
+// already been partially consumed, the results derivable *entirely* from
+// the already-buffered prefixes would never be produced by the live
+// pipeline (which only reacts to new arrivals). RecoverState builds the
+// recovery query CQᵉ: an m-join whose driving input replays one buffered
+// prefix in original score order (the hash tables' arrival-order linked
+// list) and whose other inputs are the remaining prefixes mounted as
+// frozen (epoch < e) random-access modules — plus the query's ordinary
+// remote probe inputs. Results with at least one post-epoch component are
+// produced by the live pipeline, so the two partitions are exact and
+// duplicate-free.
+
+#ifndef QSYS_QS_RECOVER_H_
+#define QSYS_QS_RECOVER_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/exec/atc.h"
+#include "src/query/cq.h"
+
+namespace qsys {
+
+/// \brief One buffered streaming input of the recovering query.
+struct FrozenInput {
+  /// The input expression (as assigned by the optimizer).
+  Expr expr;
+  /// Hash table holding its arrivals (registered in the StateManager).
+  JoinHashTable* table = nullptr;
+};
+
+/// Builds and wires the recovery query CQᵉ for `cq` into `atc`'s graph.
+///
+/// `frozen[0]` is the driving input J (the paper picks one streaming
+/// input; we pick the one with the most buffered tuples — the caller
+/// orders them). `probe_atoms` are the query's random-access atoms.
+/// `epoch` is the new epoch e: only entries older than e participate.
+/// The recovery registration is added to `merge` as another ranked input
+/// with the replay stream's frontier driving its threshold.
+Status BuildRecoveryQuery(const ConjunctiveQuery& cq,
+                          const std::vector<FrozenInput>& frozen,
+                          const std::vector<Atom>& probe_atoms, int epoch,
+                          RankMergeOp* merge, Atc* atc,
+                          SourceManager* sources, int tag,
+                          const Catalog& catalog);
+
+}  // namespace qsys
+
+#endif  // QSYS_QS_RECOVER_H_

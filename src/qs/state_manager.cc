@@ -1,0 +1,114 @@
+#include "src/qs/state_manager.h"
+
+#include "src/source/table_stream.h"
+
+namespace qsys {
+
+void StateManager::RegisterModuleTable(int tag,
+                                       const std::string& expr_signature,
+                                       JoinHashTable* table, MJoinOp* owner,
+                                       VirtualTime now) {
+  TableEntry& e = tables_[Key(tag, expr_signature)];
+  e.table = table;
+  e.owner = owner;
+  e.last_used_us = now;
+}
+
+JoinHashTable* StateManager::FindModuleTable(
+    int tag, const std::string& expr_signature) const {
+  auto it = tables_.find(Key(tag, expr_signature));
+  return it == tables_.end() ? nullptr : it->second.table;
+}
+
+void StateManager::Pin(int tag, const std::string& expr_signature) {
+  auto it = tables_.find(Key(tag, expr_signature));
+  if (it != tables_.end()) it->second.pinned = true;
+}
+
+void StateManager::UnpinAll() {
+  for (auto& [key, e] : tables_) e.pinned = false;
+}
+
+void StateManager::SnapshotSourceStats() {
+  for (const auto& [key, stream] : sources_->streams()) {
+    (void)key;
+    auto* mat = dynamic_cast<const MaterializedStream*>(stream.get());
+    int64_t total = (mat != nullptr && mat->opened()) ? mat->total_tuples()
+                                                      : -1;
+    observed_.RecordStream(stream->expr().Signature(),
+                           stream->tuples_read(), stream->exhausted(),
+                           total);
+  }
+}
+
+int64_t StateManager::TotalCacheBytes() const {
+  int64_t total = 0;
+  for (const auto& [key, e] : tables_) {
+    (void)key;
+    if (e.table != nullptr) total += e.table->SizeBytes();
+  }
+  for (const auto& probe : sources_->probes()) {
+    total += probe->CacheSizeBytes();
+  }
+  return total;
+}
+
+int StateManager::EnforceBudget(VirtualTime now) {
+  int64_t total = TotalCacheBytes();
+  if (total <= memory_budget_bytes_) return 0;
+  int64_t need = total - memory_budget_bytes_;
+
+  // Build the cacheable-item view: registered hash tables (evictable
+  // only when their owner operator is inactive) and probe caches.
+  std::vector<CacheItem> items;
+  std::vector<const std::string*> table_keys;
+  std::vector<ProbeSource*> probe_ptrs;
+  for (auto& [key, e] : tables_) {
+    CacheItem item;
+    item.kind = CacheItem::Kind::kHashTable;
+    item.key = key;
+    item.size_bytes = e.table != nullptr ? e.table->SizeBytes() : 0;
+    item.last_used_us = e.last_used_us;
+    item.recompute_cost = static_cast<double>(item.size_bytes);
+    item.pinned = e.pinned;
+    item.referenced = e.owner != nullptr && e.owner->active();
+    table_keys.push_back(&key);
+    probe_ptrs.push_back(nullptr);
+    items.push_back(std::move(item));
+  }
+  for (const auto& probe : sources_->probes()) {
+    CacheItem item;
+    item.kind = CacheItem::Kind::kProbeCache;
+    item.key = "probe" + std::to_string(probe->id());
+    item.size_bytes = probe->CacheSizeBytes();
+    item.last_used_us = 0;  // probe caches are the coldest class
+    item.recompute_cost = static_cast<double>(probe->probes_issued());
+    item.pinned = false;
+    item.referenced = false;
+    table_keys.push_back(nullptr);
+    probe_ptrs.push_back(probe.get());
+    items.push_back(std::move(item));
+  }
+
+  std::vector<size_t> victims = ChooseVictims(items, policy_, need);
+  int evicted = 0;
+  std::vector<std::string> keys_to_erase;
+  for (size_t idx : victims) {
+    if (probe_ptrs[idx] != nullptr) {
+      probe_ptrs[idx]->EvictCache();
+    } else {
+      auto it = tables_.find(items[idx].key);
+      if (it != tables_.end() && it->second.table != nullptr) {
+        it->second.table->Clear();
+        keys_to_erase.push_back(items[idx].key);
+      }
+    }
+    ++evicted;
+  }
+  for (const std::string& k : keys_to_erase) tables_.erase(k);
+  evictions_ += evicted;
+  (void)now;
+  return evicted;
+}
+
+}  // namespace qsys

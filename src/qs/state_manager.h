@@ -1,0 +1,98 @@
+// The query state (QS) manager (§3, §6): the registry of retained
+// execution state — module hash tables, probe caches, materialized
+// streams — with pinning, memory accounting, and cache replacement.
+//
+// The registry is what makes reuse work: the plan grafter looks up the
+// hash table holding a subexpression's previously streamed tuples to
+// backfill new modules and to drive RecoverState replays; the optimizer
+// pins entries it is counting on so they survive until the new plan is
+// grafted.
+
+#ifndef QSYS_QS_STATE_MANAGER_H_
+#define QSYS_QS_STATE_MANAGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/exec/atc.h"
+#include "src/opt/stats_registry.h"
+#include "src/qs/eviction.h"
+#include "src/source/source_manager.h"
+
+namespace qsys {
+
+/// \brief Tracks reusable state across plan graphs and across time.
+class StateManager {
+ public:
+  StateManager(SourceManager* sources, int64_t memory_budget_bytes,
+               EvictionPolicy policy)
+      : sources_(sources),
+        memory_budget_bytes_(memory_budget_bytes),
+        policy_(policy) {}
+
+  // ---- module-table registry (reuse + recovery) ----
+
+  /// Registers the hash table holding arrivals of expression
+  /// `expr_signature` under sharing scope `tag`. Later registrations for
+  /// the same key supersede earlier ones (the newest table is fullest).
+  void RegisterModuleTable(int tag, const std::string& expr_signature,
+                           JoinHashTable* table, MJoinOp* owner,
+                           VirtualTime now);
+
+  /// The most recently registered live table for the expression, or
+  /// nullptr.
+  JoinHashTable* FindModuleTable(int tag,
+                                 const std::string& expr_signature) const;
+
+  // ---- pinning (§6.1: the optimizer pins inputs it plans to reuse) ----
+
+  void Pin(int tag, const std::string& expr_signature);
+  void UnpinAll();
+
+  // ---- statistics feedback ----
+
+  StatsRegistry& observed_stats() { return observed_; }
+  const StatsRegistry& observed_stats() const { return observed_; }
+
+  /// Records stream progress for all sources (called at batch
+  /// boundaries so the next optimization sees fresh numbers).
+  void SnapshotSourceStats();
+
+  // ---- memory accounting & eviction (§6.3) ----
+
+  int64_t memory_budget_bytes() const { return memory_budget_bytes_; }
+  void set_memory_budget_bytes(int64_t b) { memory_budget_bytes_ = b; }
+
+  /// Total bytes across registered tables, probe caches and streams.
+  int64_t TotalCacheBytes() const;
+
+  /// Enforces the budget: evicts unpinned, unreferenced items per the
+  /// policy until under budget. Returns the number of items evicted.
+  int EnforceBudget(VirtualTime now);
+
+  int64_t evictions() const { return evictions_; }
+
+ private:
+  struct TableEntry {
+    JoinHashTable* table = nullptr;
+    MJoinOp* owner = nullptr;
+    VirtualTime last_used_us = 0;
+    bool pinned = false;
+  };
+
+  static std::string Key(int tag, const std::string& sig) {
+    return std::to_string(tag) + "/" + sig;
+  }
+
+  SourceManager* sources_;
+  int64_t memory_budget_bytes_;
+  EvictionPolicy policy_;
+  std::unordered_map<std::string, TableEntry> tables_;
+  StatsRegistry observed_;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_QS_STATE_MANAGER_H_

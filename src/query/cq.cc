@@ -1,0 +1,16 @@
+#include "src/query/cq.h"
+
+#include <cstdio>
+
+#include "src/storage/catalog.h"
+
+namespace qsys {
+
+std::string ConjunctiveQuery::ToString(const Catalog* catalog) const {
+  char head[64];
+  snprintf(head, sizeof(head), "CQ%d[UQ%d,U=%.4g]: ", id, uq_id,
+           UpperBound());
+  return head + expr.ToString(catalog);
+}
+
+}  // namespace qsys

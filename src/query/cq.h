@@ -1,0 +1,38 @@
+// Conjunctive queries: the relational subqueries a keyword search expands
+// into (candidate networks), each paired with a monotone score function.
+
+#ifndef QSYS_QUERY_CQ_H_
+#define QSYS_QUERY_CQ_H_
+
+#include <string>
+
+#include "src/query/expr.h"
+#include "src/query/score.h"
+
+namespace qsys {
+
+/// \brief One conjunctive query CQᵢ within a user query UQⱼ (§2 of the
+/// paper), carrying its canonical expression and scoring function.
+struct ConjunctiveQuery {
+  /// Globally unique id, assigned by the system.
+  int id = -1;
+  /// Owning user query.
+  int uq_id = -1;
+  /// The SPJ body.
+  Expr expr;
+  /// The per-user monotone score function Cᵢ.
+  ScoreFunction score_fn;
+  /// Σ over atoms of the maximum base score obtainable from that atom
+  /// (from catalog statistics). U(Cᵢ) = score_fn.Score(max_sum).
+  double max_sum = 0.0;
+
+  /// Upper bound on the score of any tuple this query can return (the
+  /// function U of §3).
+  double UpperBound() const { return score_fn.Score(max_sum); }
+
+  std::string ToString(const class Catalog* catalog = nullptr) const;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_QUERY_CQ_H_

@@ -1,0 +1,321 @@
+#include "src/query/expr.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/storage/catalog.h"
+#include "src/storage/inverted_index.h"
+
+namespace qsys {
+
+namespace {
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+}  // namespace
+
+bool Selection::operator<(const Selection& o) const {
+  if (column != o.column) return column < o.column;
+  if (kind != o.kind) return kind < o.kind;
+  return constant < o.constant;
+}
+
+bool Selection::Matches(const Row& row) const {
+  const Value& v = row[column];
+  switch (kind) {
+    case SelectionKind::kEquals:
+      return v == constant;
+    case SelectionKind::kContainsTerm: {
+      if (v.type() != ValueType::kString ||
+          constant.type() != ValueType::kString) {
+        return false;
+      }
+      for (const std::string& tok : TokenizeKeywords(v.AsString())) {
+        if (tok == constant.AsString()) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+std::string Selection::ToString() const {
+  std::string op = kind == SelectionKind::kEquals ? "=" : "~";
+  return "c" + std::to_string(column) + op + constant.ToString();
+}
+
+uint64_t SelectionDigest(const std::vector<Selection>& sels) {
+  std::vector<Selection> sorted = sels;
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t h = 0x2545f4914f6cdd1dull;
+  for (const Selection& s : sorted) {
+    h = HashCombine(h, static_cast<uint64_t>(s.kind));
+    h = HashCombine(h, static_cast<uint64_t>(s.column));
+    h = HashCombine(h, s.constant.Hash());
+  }
+  return h;
+}
+
+AtomKey Atom::Key() const {
+  AtomKey k;
+  k.table = table;
+  k.occurrence = occurrence;
+  k.selection_digest = SelectionDigest(selections);
+  return k;
+}
+
+int Expr::AddAtom(Atom atom) {
+  normalized_ = false;
+  signature_.clear();
+  atoms_.push_back(std::move(atom));
+  return static_cast<int>(atoms_.size()) - 1;
+}
+
+void Expr::AddEdge(JoinEdge edge) {
+  normalized_ = false;
+  signature_.clear();
+  edges_.push_back(edge);
+}
+
+void Expr::Normalize() {
+  if (normalized_) return;
+  for (Atom& a : atoms_) {
+    std::sort(a.selections.begin(), a.selections.end());
+  }
+  // Sort atoms by key, remembering the permutation to remap edges.
+  std::vector<int> order(atoms_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<AtomKey> keys(atoms_.size());
+  for (size_t i = 0; i < atoms_.size(); ++i) keys[i] = atoms_[i].Key();
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return keys[a] < keys[b]; });
+  std::vector<int> inverse(atoms_.size());
+  for (size_t i = 0; i < order.size(); ++i) inverse[order[i]] = i;
+  std::vector<Atom> sorted;
+  sorted.reserve(atoms_.size());
+  for (int idx : order) sorted.push_back(std::move(atoms_[idx]));
+  atoms_ = std::move(sorted);
+  // Remap and orient edges (lower atom index on the left), then sort and
+  // dedupe them.
+  for (JoinEdge& e : edges_) {
+    e.left_atom = inverse[e.left_atom];
+    e.right_atom = inverse[e.right_atom];
+    if (e.left_atom > e.right_atom ||
+        (e.left_atom == e.right_atom && e.left_column > e.right_column)) {
+      std::swap(e.left_atom, e.right_atom);
+      std::swap(e.left_column, e.right_column);
+    }
+  }
+  std::sort(edges_.begin(), edges_.end(), [](const JoinEdge& a,
+                                             const JoinEdge& b) {
+    return std::tie(a.left_atom, a.right_atom, a.left_column,
+                    a.right_column) < std::tie(b.left_atom, b.right_atom,
+                                               b.left_column, b.right_column);
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const JoinEdge& a, const JoinEdge& b) {
+                             return a.left_atom == b.left_atom &&
+                                    a.right_atom == b.right_atom &&
+                                    a.left_column == b.left_column &&
+                                    a.right_column == b.right_column;
+                           }),
+               edges_.end());
+  normalized_ = true;
+  signature_.clear();
+}
+
+const std::string& Expr::Signature() const {
+  if (!signature_.empty()) return signature_;
+  std::string sig;
+  for (const Atom& a : atoms_) {
+    sig += "A" + std::to_string(a.table) + "." +
+           std::to_string(a.occurrence) + "." +
+           std::to_string(SelectionDigest(a.selections));
+  }
+  for (const JoinEdge& e : edges_) {
+    sig += "|E" + std::to_string(e.left_atom) + "." +
+           std::to_string(e.left_column) + "-" +
+           std::to_string(e.right_atom) + "." +
+           std::to_string(e.right_column);
+  }
+  signature_ = std::move(sig);
+  return signature_;
+}
+
+int Expr::FindAtom(const AtomKey& key) const {
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (atoms_[i].Key() == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Expr::ContainsAsSubexpression(const Expr& sub) const {
+  // Map sub atoms into this expression.
+  std::vector<int> map(sub.atoms_.size(), -1);
+  for (size_t i = 0; i < sub.atoms_.size(); ++i) {
+    map[i] = FindAtom(sub.atoms_[i].Key());
+    if (map[i] < 0) return false;
+  }
+  // Every sub edge must exist here.
+  auto has_edge = [&](int a, int ca, int b, int cb) {
+    for (const JoinEdge& e : edges_) {
+      if (e.left_atom == a && e.left_column == ca && e.right_atom == b &&
+          e.right_column == cb) {
+        return true;
+      }
+      if (e.left_atom == b && e.left_column == cb && e.right_atom == a &&
+          e.right_column == ca) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const JoinEdge& e : sub.edges_) {
+    if (!has_edge(map[e.left_atom], e.left_column, map[e.right_atom],
+                  e.right_column)) {
+      return false;
+    }
+  }
+  // Induced-edge requirement: any edge of this expression between two
+  // mapped atoms must also be present in sub, otherwise sub's result
+  // would be a superset not directly usable.
+  std::vector<bool> mapped(atoms_.size(), false);
+  for (int m : map) mapped[m] = true;
+  auto sub_has_edge = [&](int a, int ca, int b, int cb) {
+    // Translate indices of this expr back into sub.
+    auto back = [&](int idx) {
+      for (size_t i = 0; i < map.size(); ++i) {
+        if (map[i] == idx) return static_cast<int>(i);
+      }
+      return -1;
+    };
+    int sa = back(a), sb = back(b);
+    for (const JoinEdge& e : sub.edges_) {
+      if (e.left_atom == sa && e.left_column == ca && e.right_atom == sb &&
+          e.right_column == cb) {
+        return true;
+      }
+      if (e.left_atom == sb && e.left_column == cb && e.right_atom == sa &&
+          e.right_column == ca) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const JoinEdge& e : edges_) {
+    if (mapped[e.left_atom] && mapped[e.right_atom]) {
+      if (!sub_has_edge(e.left_atom, e.left_column, e.right_atom,
+                        e.right_column)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Expr::Overlaps(const Expr& other) const {
+  for (const Atom& a : atoms_) {
+    if (other.FindAtom(a.Key()) >= 0) return true;
+  }
+  return false;
+}
+
+bool Expr::IsConnected() const {
+  if (atoms_.empty()) return false;
+  if (atoms_.size() == 1) return true;
+  std::vector<bool> seen(atoms_.size(), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    for (const JoinEdge& e : edges_) {
+      int next = -1;
+      if (e.left_atom == cur) next = e.right_atom;
+      if (e.right_atom == cur) next = e.left_atom;
+      if (next >= 0 && !seen[next]) {
+        seen[next] = true;
+        ++count;
+        stack.push_back(next);
+      }
+    }
+  }
+  return count == atoms_.size();
+}
+
+double Expr::TotalEdgeCost() const {
+  double total = 0.0;
+  for (const JoinEdge& e : edges_) total += e.cost;
+  return total;
+}
+
+Result<Expr> Expr::Merge(const Expr& a, const Expr& b,
+                         const std::vector<JoinEdge>& cross_edges_in_a_b) {
+  Expr out;
+  // Copy a's atoms then b's; duplicate keys collapse.
+  std::vector<int> a_map(a.atoms_.size()), b_map(b.atoms_.size());
+  for (size_t i = 0; i < a.atoms_.size(); ++i) {
+    a_map[i] = out.AddAtom(a.atoms_[i]);
+  }
+  for (size_t i = 0; i < b.atoms_.size(); ++i) {
+    int existing = -1;
+    for (size_t j = 0; j < a.atoms_.size(); ++j) {
+      if (a.atoms_[j].Key() == b.atoms_[i].Key()) {
+        existing = a_map[j];
+        break;
+      }
+    }
+    b_map[i] = existing >= 0 ? existing : out.AddAtom(b.atoms_[i]);
+  }
+  for (const JoinEdge& e : a.edges_) {
+    JoinEdge ne = e;
+    ne.left_atom = a_map[e.left_atom];
+    ne.right_atom = a_map[e.right_atom];
+    out.AddEdge(ne);
+  }
+  for (const JoinEdge& e : b.edges_) {
+    JoinEdge ne = e;
+    ne.left_atom = b_map[e.left_atom];
+    ne.right_atom = b_map[e.right_atom];
+    out.AddEdge(ne);
+  }
+  for (const JoinEdge& e : cross_edges_in_a_b) {
+    // cross edges reference a-index on the left, b-index on the right.
+    if (e.left_atom < 0 || e.left_atom >= static_cast<int>(a_map.size()) ||
+        e.right_atom < 0 || e.right_atom >= static_cast<int>(b_map.size())) {
+      return Status::InvalidArgument("cross edge index out of range");
+    }
+    JoinEdge ne = e;
+    ne.left_atom = a_map[e.left_atom];
+    ne.right_atom = b_map[e.right_atom];
+    out.AddEdge(ne);
+  }
+  out.set_has_scored_atom(a.has_scored_atom() || b.has_scored_atom());
+  out.Normalize();
+  if (!out.IsConnected()) {
+    return Status::InvalidArgument("merged expression is disconnected");
+  }
+  return out;
+}
+
+std::string Expr::ToString(const Catalog* catalog) const {
+  std::string out;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i) out += " ⨝ ";
+    const Atom& a = atoms_[i];
+    std::string name = catalog ? catalog->table(a.table).schema().name()
+                               : "T" + std::to_string(a.table);
+    if (a.occurrence > 0) name += "#" + std::to_string(a.occurrence);
+    if (!a.selections.empty()) {
+      out += "σ(" + name;
+      for (const Selection& s : a.selections) out += "," + s.ToString();
+      out += ")";
+    } else {
+      out += name;
+    }
+  }
+  return out;
+}
+
+}  // namespace qsys

@@ -1,0 +1,162 @@
+// Canonical select-project-join expressions.
+//
+// Everything the paper shares — pushed-down subexpressions (§5.1), plan
+// graph nodes (§5.2), grafting matches (§6.2), cached state (§6.3) — is
+// keyed by a *canonical* SPJ expression over schema-graph relations. Two
+// conjunctive queries share work exactly when they contain equal (by
+// signature) subexpressions.
+
+#ifndef QSYS_QUERY_EXPR_H_
+#define QSYS_QUERY_EXPR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/storage/schema.h"
+
+namespace qsys {
+
+/// How a selection predicate compares its column.
+enum class SelectionKind {
+  /// column == constant.
+  kEquals,
+  /// column (a string) contains the token `constant` (keyword match).
+  kContainsTerm,
+};
+
+/// \brief One selection predicate bound to a column of one atom.
+struct Selection {
+  SelectionKind kind = SelectionKind::kEquals;
+  int column = 0;
+  Value constant;
+
+  bool operator==(const Selection& o) const {
+    return kind == o.kind && column == o.column && constant == o.constant;
+  }
+  bool operator<(const Selection& o) const;
+
+  /// Evaluates the predicate against a stored row.
+  bool Matches(const Row& row) const;
+
+  std::string ToString() const;
+};
+
+/// \brief Identity of an atom across conjunctive queries: the relation, an
+/// occurrence tag (distinguishing self-join instances), and a digest of
+/// its selections. Atoms with equal keys are the same logical
+/// subexpression leaf in any query that contains them.
+struct AtomKey {
+  TableId table = kInvalidTable;
+  int16_t occurrence = 0;
+  uint64_t selection_digest = 0;
+
+  bool operator==(const AtomKey& o) const {
+    return table == o.table && occurrence == o.occurrence &&
+           selection_digest == o.selection_digest;
+  }
+  bool operator<(const AtomKey& o) const {
+    if (table != o.table) return table < o.table;
+    if (occurrence != o.occurrence) return occurrence < o.occurrence;
+    return selection_digest < o.selection_digest;
+  }
+};
+
+/// \brief A relation occurrence inside an expression, with its pushed
+/// selections.
+struct Atom {
+  TableId table = kInvalidTable;
+  int16_t occurrence = 0;
+  std::vector<Selection> selections;  // kept sorted by Normalize()
+
+  AtomKey Key() const;
+};
+
+/// \brief An equi-join edge between two atoms of the same expression
+/// (indices into Expr::atoms()). `cost` is the schema-graph edge cost used
+/// by the Q System scoring model.
+struct JoinEdge {
+  int left_atom = 0;
+  int left_column = 0;
+  int right_atom = 0;
+  int right_column = 0;
+  double cost = 0.0;
+};
+
+/// \brief A canonical SPJ expression: a set of atoms and equi-join edges.
+///
+/// Build with AddAtom()/AddEdge(), then call Normalize() — which sorts
+/// atoms by key, remaps and orients edges, and computes the signature.
+/// All comparison operations require normalized expressions.
+class Expr {
+ public:
+  Expr() = default;
+
+  /// Appends an atom; returns its (pre-normalization) index.
+  int AddAtom(Atom atom);
+
+  /// Appends an edge referencing pre-normalization atom indices.
+  void AddEdge(JoinEdge edge);
+
+  /// Canonicalizes the expression. Idempotent.
+  void Normalize();
+  bool normalized() const { return normalized_; }
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const std::vector<JoinEdge>& edges() const { return edges_; }
+  int num_atoms() const { return static_cast<int>(atoms_.size()); }
+
+  /// Canonical identity string; equal signatures == equal expressions.
+  const std::string& Signature() const;
+
+  /// Index of the atom with key `key`, or -1.
+  int FindAtom(const AtomKey& key) const;
+
+  /// True if every atom of `sub` appears here (by key) and `sub`'s edge
+  /// set equals this expression's edges induced on those atoms — i.e.
+  /// `sub`'s result is directly usable when computing this expression.
+  bool ContainsAsSubexpression(const Expr& sub) const;
+
+  /// True if the two expressions mention at least one common atom key.
+  bool Overlaps(const Expr& other) const;
+
+  /// True if the join graph is connected (single-atom exprs are).
+  bool IsConnected() const;
+
+  /// Whether any atom's relation has a score attribute (determines if
+  /// this expression can be a *streaming* input; heuristic 2, §5.1.1).
+  /// Requires the catalog tables referenced to be known to the caller —
+  /// the flag is set by the candidate generator / optimizer.
+  bool has_scored_atom() const { return has_scored_atom_; }
+  void set_has_scored_atom(bool v) { has_scored_atom_ = v; }
+
+  /// Sum of edge costs (the static score component in the Q model).
+  double TotalEdgeCost() const;
+
+  /// Union of this expression with `other`, adding `bridge` edges (which
+  /// reference atoms by key, via the given key pairs). Used when a
+  /// factored component joins two upstream components.
+  static Result<Expr> Merge(const Expr& a, const Expr& b,
+                            const std::vector<JoinEdge>& cross_edges_in_a_b);
+
+  /// Human-readable rendering, e.g. "TP ⨝ E2M ⨝ σ(T)".
+  std::string ToString(const class Catalog* catalog = nullptr) const;
+
+  bool operator==(const Expr& o) const { return Signature() == o.Signature(); }
+
+ private:
+  std::vector<Atom> atoms_;
+  std::vector<JoinEdge> edges_;
+  bool normalized_ = false;
+  bool has_scored_atom_ = false;
+  mutable std::string signature_;
+};
+
+/// Digest of a selection list (order-insensitive via pre-sorting).
+uint64_t SelectionDigest(const std::vector<Selection>& sels);
+
+}  // namespace qsys
+
+#endif  // QSYS_QUERY_EXPR_H_

@@ -1,0 +1,79 @@
+#include "src/query/score.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qsys {
+
+const char* ScoreModelName(ScoreModel m) {
+  switch (m) {
+    case ScoreModel::kDiscoverSize:
+      return "discover-size";
+    case ScoreModel::kDiscoverSum:
+      return "discover-sum";
+    case ScoreModel::kQSystem:
+      return "q-system";
+    case ScoreModel::kBanksLike:
+      return "banks-like";
+  }
+  return "?";
+}
+
+ScoreFunction ScoreFunction::DiscoverSize(int size) {
+  assert(size >= 1);
+  ScoreFunction f;
+  f.model_ = ScoreModel::kDiscoverSize;
+  f.size_ = size;
+  return f;
+}
+
+ScoreFunction ScoreFunction::DiscoverSum(int size) {
+  assert(size >= 1);
+  ScoreFunction f;
+  f.model_ = ScoreModel::kDiscoverSum;
+  f.size_ = size;
+  return f;
+}
+
+ScoreFunction ScoreFunction::QSystem(double static_cost, int size) {
+  assert(size >= 1);
+  ScoreFunction f;
+  f.model_ = ScoreModel::kQSystem;
+  f.size_ = size;
+  f.static_cost_ = static_cost;
+  return f;
+}
+
+ScoreFunction ScoreFunction::BanksLike(double alpha, double static_part) {
+  ScoreFunction f;
+  f.model_ = ScoreModel::kBanksLike;
+  f.alpha_ = alpha;
+  f.static_cost_ = static_part;
+  return f;
+}
+
+double ScoreFunction::Score(double sum_base_scores) const {
+  switch (model_) {
+    case ScoreModel::kDiscoverSize:
+      return 1.0 / size_;
+    case ScoreModel::kDiscoverSum:
+      return sum_base_scores / size_;
+    case ScoreModel::kQSystem: {
+      // cost(tᵢ) = 1 − score(tᵢ) per base tuple, so Σᵢ cost = size − sum.
+      double c = static_cost_ + (static_cast<double>(size_) -
+                                 sum_base_scores);
+      return std::exp2(-c);
+    }
+    case ScoreModel::kBanksLike:
+      return alpha_ * sum_base_scores + static_cost_;
+  }
+  return 0.0;
+}
+
+std::string ScoreFunction::ToString() const {
+  return std::string(ScoreModelName(model_)) + "(size=" +
+         std::to_string(size_) + ",static=" + std::to_string(static_cost_) +
+         ")";
+}
+
+}  // namespace qsys

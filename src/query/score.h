@@ -1,0 +1,67 @@
+// Scoring models for ranked keyword-search answers (§2.1 of the paper).
+//
+// All three families the paper describes — DISCOVER, the Q System, and
+// BANKS/BLINKS-style monotone combinations — are monotone functions of
+// (static query cost, Σ of base-tuple scores, query size). A ScoreFunction
+// captures one instance: the static component is frozen per conjunctive
+// query, the dynamic component is the running sum of base scores carried
+// by composite tuples. Monotonicity is what makes frontier-based upper
+// bounds (function U in §3) sound.
+
+#ifndef QSYS_QUERY_SCORE_H_
+#define QSYS_QUERY_SCORE_H_
+
+#include <string>
+
+namespace qsys {
+
+/// Which published scoring model a ScoreFunction instantiates.
+enum class ScoreModel {
+  /// DISCOVER: C(t) = 1 / size(CQ). Purely static.
+  kDiscoverSize,
+  /// DISCOVER (IR variant): C(t) = Σᵢ score(tᵢ) / size(CQ).
+  kDiscoverSum,
+  /// Q System: C(t) = 2^−c, c = Σₑ cₑ + Σᵢ (1 − score(tᵢ)).
+  kQSystem,
+  /// BANKS/BLINKS-like: C(t) = α·Σᵢ score(tᵢ) + β·(static edge weight).
+  kBanksLike,
+};
+
+const char* ScoreModelName(ScoreModel m);
+
+/// \brief A monotone, per-conjunctive-query scoring function.
+///
+/// Score(sum) must be nondecreasing in `sum` (the sum of base-tuple
+/// scores); upper bounds are then Score(max-possible-sum).
+class ScoreFunction {
+ public:
+  /// Default: DISCOVER size-1 scoring (constant 1.0).
+  ScoreFunction() = default;
+
+  static ScoreFunction DiscoverSize(int size);
+  static ScoreFunction DiscoverSum(int size);
+  /// `static_cost` is Σₑ cₑ (schema-graph edge costs, possibly per-user),
+  /// `size` the number of atoms.
+  static ScoreFunction QSystem(double static_cost, int size);
+  /// `alpha` weights the dynamic sum; `static_part` is β·Σ edge weights.
+  static ScoreFunction BanksLike(double alpha, double static_part);
+
+  /// Result score given the sum of base-tuple scores.
+  double Score(double sum_base_scores) const;
+
+  ScoreModel model() const { return model_; }
+  int size() const { return size_; }
+  double static_cost() const { return static_cost_; }
+
+  std::string ToString() const;
+
+ private:
+  ScoreModel model_ = ScoreModel::kDiscoverSize;
+  int size_ = 1;
+  double static_cost_ = 0.0;
+  double alpha_ = 1.0;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_QUERY_SCORE_H_

@@ -1,0 +1,25 @@
+#include "src/query/uq.h"
+
+#include <algorithm>
+
+#include "src/storage/catalog.h"
+
+namespace qsys {
+
+void UserQuery::SortCqs() {
+  std::stable_sort(cqs.begin(), cqs.end(),
+                   [](const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+                     return a.UpperBound() > b.UpperBound();
+                   });
+}
+
+std::string UserQuery::ToString(const Catalog* catalog) const {
+  std::string out = "UQ" + std::to_string(id) + " \"" + keywords +
+                    "\" (k=" + std::to_string(k) + ")";
+  for (const ConjunctiveQuery& cq : cqs) {
+    out += "\n  " + cq.ToString(catalog);
+  }
+  return out;
+}
+
+}  // namespace qsys

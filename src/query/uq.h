@@ -1,0 +1,39 @@
+// User queries: the union of conjunctive queries answering one keyword
+// search, ranked by their score upper bounds.
+
+#ifndef QSYS_QUERY_UQ_H_
+#define QSYS_QUERY_UQ_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/virtual_clock.h"
+#include "src/query/cq.h"
+
+namespace qsys {
+
+/// \brief A user query UQⱼ: the set of conjunctive queries generated for
+/// one keyword query KQⱼ, whose results are rank-merged into the top-k.
+struct UserQuery {
+  int id = -1;
+  /// Posing user (different users may carry different scoring models).
+  int user_id = 0;
+  /// Number of results requested.
+  int k = 50;
+  /// The original keyword text (for reporting).
+  std::string keywords;
+  /// Member CQs, in nonincreasing order of UpperBound() — the order the
+  /// query batcher delivers them and the rank-merge activates them.
+  std::vector<ConjunctiveQuery> cqs;
+  /// Virtual time the keyword query was posed.
+  VirtualTime submit_time_us = 0;
+
+  /// Sorts cqs by nonincreasing upper bound (stable).
+  void SortCqs();
+
+  std::string ToString(const class Catalog* catalog = nullptr) const;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_QUERY_UQ_H_

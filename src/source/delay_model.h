@@ -1,0 +1,68 @@
+// Simulated wide-area access costs (§7 "Delays" in the paper).
+//
+// The paper injects Poisson-distributed delays (mean 2 ms) for each tuple
+// read from a data stream and each join probe against a remote DBMS. The
+// DelayModel reproduces those charges on the virtual clock, plus small
+// CPU charges for in-middleware work so that Figure 8's join bucket is
+// populated.
+
+#ifndef QSYS_SOURCE_DELAY_MODEL_H_
+#define QSYS_SOURCE_DELAY_MODEL_H_
+
+#include "src/common/rng.h"
+#include "src/common/virtual_clock.h"
+
+namespace qsys {
+
+/// \brief Tunable delay/cost parameters, in virtual microseconds.
+struct DelayParams {
+  /// Mean network delay per streamed tuple (paper: 2 ms Poisson).
+  double stream_tuple_mean_us = 2000.0;
+  /// Mean network delay per remote probe (paper: 2 ms Poisson).
+  double probe_mean_us = 2000.0;
+  /// One-time cost of installing a pushed-down subquery at a source.
+  double pushdown_setup_us = 4000.0;
+  /// Source-side compute charged per intermediate work unit of a pushed-
+  /// down subexpression (joins executed by the remote DBMS).
+  double pushdown_work_unit_us = 1.0;
+  /// Middleware CPU per probe into an in-memory hash module.
+  double join_probe_us = 4.0;
+  /// Middleware CPU per join output tuple constructed.
+  double join_output_us = 2.0;
+};
+
+/// \brief Seeded sampler for the delays above.
+class DelayModel {
+ public:
+  DelayModel(const DelayParams& params, uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  const DelayParams& params() const { return params_; }
+
+  /// Poisson-distributed per-tuple stream delay.
+  VirtualTime SampleStream() {
+    return static_cast<VirtualTime>(
+        rng_.NextPoisson(params_.stream_tuple_mean_us));
+  }
+
+  /// Poisson-distributed per-probe delay.
+  VirtualTime SampleProbe() {
+    return static_cast<VirtualTime>(rng_.NextPoisson(params_.probe_mean_us));
+  }
+
+  /// Deterministic source-side cost for a pushdown that performed
+  /// `work_units` units of work.
+  VirtualTime PushdownCost(int64_t work_units) const {
+    return static_cast<VirtualTime>(
+        params_.pushdown_setup_us +
+        params_.pushdown_work_unit_us * static_cast<double>(work_units));
+  }
+
+ private:
+  DelayParams params_;
+  Rng rng_;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_SOURCE_DELAY_MODEL_H_

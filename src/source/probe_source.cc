@@ -1,0 +1,53 @@
+#include "src/source/probe_source.h"
+
+#include "src/source/pushdown.h"
+
+namespace qsys {
+
+ProbeSource::ProbeSource(Atom atom, int key_column, const Catalog& catalog)
+    : atom_(std::move(atom)),
+      key_column_(key_column),
+      max_score_(AtomMaxScore(atom_, catalog)) {}
+
+const std::vector<BaseRef>& ProbeSource::Probe(const Value& key,
+                                               ExecContext& ctx) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    ctx.stats->probe_cache_hits += 1;
+    return it->second;
+  }
+  // Remote round trip.
+  ctx.Charge(TimeBucket::kRandomAccess, ctx.delays->SampleProbe());
+  ctx.stats->probes_issued += 1;
+  ++probes_issued_;
+  const Table& table = ctx.catalog->table(atom_.table);
+  const HashIndex& index = table.GetHashIndex(key_column_);
+  std::vector<BaseRef> answers;
+  for (RowId r : index.Lookup(key)) {
+    const Row& row = table.row(r);
+    bool ok = true;
+    for (const Selection& s : atom_.selections) {
+      if (!s.Matches(row)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) answers.push_back({atom_.table, r, table.RowScore(r)});
+  }
+  auto [pos, inserted] = cache_.emplace(key, std::move(answers));
+  (void)inserted;
+  return pos->second;
+}
+
+int64_t ProbeSource::CacheSizeBytes() const {
+  int64_t total = 0;
+  for (const auto& [key, vec] : cache_) {
+    total += 48 + static_cast<int64_t>(vec.size() * sizeof(BaseRef));
+  }
+  return total;
+}
+
+void ProbeSource::EvictCache() { cache_.clear(); }
+
+}  // namespace qsys

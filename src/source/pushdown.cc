@@ -1,0 +1,172 @@
+#include "src/source/pushdown.h"
+
+#include <algorithm>
+
+namespace qsys {
+
+namespace {
+
+/// Rows of `atom`'s table passing its selections, as single-slot refs.
+std::vector<BaseRef> ScanAtom(const Atom& atom, const Catalog& catalog,
+                              int64_t* work_units) {
+  const Table& table = catalog.table(atom.table);
+  std::vector<BaseRef> out;
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    *work_units += 1;
+    const Row& row = table.row(r);
+    bool ok = true;
+    for (const Selection& s : atom.selections) {
+      if (!s.Matches(row)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back({atom.table, r, table.RowScore(r)});
+  }
+  return out;
+}
+
+}  // namespace
+
+double AtomMaxScore(const Atom& atom, const Catalog& catalog) {
+  const Table& table = catalog.table(atom.table);
+  if (!table.schema().has_score()) return 1.0;
+  return table.max_score();
+}
+
+double ExprMaxSum(const Expr& expr, const Catalog& catalog) {
+  double sum = 0.0;
+  for (const Atom& a : expr.atoms()) sum += AtomMaxScore(a, catalog);
+  return sum;
+}
+
+bool ExprHasScoredAtom(const Expr& expr, const Catalog& catalog) {
+  for (const Atom& a : expr.atoms()) {
+    if (catalog.table(a.table).schema().has_score()) return true;
+  }
+  return false;
+}
+
+Result<PushdownResult> EvaluatePushdown(const Expr& expr,
+                                        const Catalog& catalog) {
+  if (expr.num_atoms() == 0) {
+    return Status::InvalidArgument("empty pushdown expression");
+  }
+  if (!expr.IsConnected()) {
+    return Status::InvalidArgument("disconnected pushdown expression");
+  }
+  PushdownResult result;
+  const auto& atoms = expr.atoms();
+  const auto& edges = expr.edges();
+  const int n = expr.num_atoms();
+
+  // Join order: BFS over the join graph from atom 0.
+  std::vector<int> order = {0};
+  std::vector<bool> covered(n, false);
+  covered[0] = true;
+  while (static_cast<int>(order.size()) < n) {
+    for (const JoinEdge& e : edges) {
+      int next = -1;
+      if (covered[e.left_atom] && !covered[e.right_atom]) next = e.right_atom;
+      if (covered[e.right_atom] && !covered[e.left_atom]) next = e.left_atom;
+      if (next >= 0) {
+        covered[next] = true;
+        order.push_back(next);
+        break;
+      }
+    }
+  }
+
+  // Seed composites with atom order[0].
+  std::vector<CompositeTuple> current;
+  for (const BaseRef& ref :
+       ScanAtom(atoms[order[0]], catalog, &result.work_units)) {
+    CompositeTuple t = CompositeTuple::WithSlots(n);
+    t.set_ref(order[0], ref);
+    current.push_back(std::move(t));
+  }
+
+  std::vector<bool> placed(n, false);
+  placed[order[0]] = true;
+  for (size_t step = 1; step < order.size(); ++step) {
+    const int target = order[step];
+    const Atom& atom = atoms[target];
+    const Table& table = catalog.table(atom.table);
+    // Pick one connecting edge for the hash lookup; the rest (plus
+    // selections) verify.
+    const JoinEdge* lookup = nullptr;
+    std::vector<const JoinEdge*> verify;
+    for (const JoinEdge& e : edges) {
+      bool touches_target =
+          e.left_atom == target || e.right_atom == target;
+      if (!touches_target) continue;
+      int other = e.left_atom == target ? e.right_atom : e.left_atom;
+      if (!placed[other]) continue;
+      if (lookup == nullptr) {
+        lookup = &e;
+      } else {
+        verify.push_back(&e);
+      }
+    }
+    if (lookup == nullptr) {
+      return Status::Internal("BFS order lost connectivity");
+    }
+    const int target_col = lookup->left_atom == target
+                               ? lookup->left_column
+                               : lookup->right_column;
+    const int other_atom = lookup->left_atom == target ? lookup->right_atom
+                                                       : lookup->left_atom;
+    const int other_col = lookup->left_atom == target ? lookup->right_column
+                                                      : lookup->left_column;
+    const HashIndex& index = table.GetHashIndex(target_col);
+
+    std::vector<CompositeTuple> next;
+    for (const CompositeTuple& c : current) {
+      const BaseRef& anchor = c.ref(other_atom);
+      const Value& key = catalog.GetValue(anchor.table, anchor.row,
+                                          other_col);
+      for (RowId r : index.Lookup(key)) {
+        result.work_units += 1;
+        const Row& row = table.row(r);
+        bool ok = true;
+        for (const Selection& s : atom.selections) {
+          if (!s.Matches(row)) {
+            ok = false;
+            break;
+          }
+        }
+        // Verify remaining edges touching `target` whose other side is
+        // already placed.
+        for (const JoinEdge* e : verify) {
+          if (!ok) break;
+          int o = e->left_atom == target ? e->right_atom : e->left_atom;
+          int oc = e->left_atom == target ? e->right_column : e->left_column;
+          int tc = e->left_atom == target ? e->left_column : e->right_column;
+          const BaseRef& oref = c.ref(o);
+          if (!(catalog.GetValue(oref.table, oref.row, oc) ==
+                row[tc])) {
+            ok = false;
+          }
+        }
+        if (!ok) continue;
+        CompositeTuple merged = c;
+        merged.set_ref(target, {atom.table, r, table.RowScore(r)});
+        next.push_back(std::move(merged));
+      }
+    }
+    placed[target] = true;
+    current = std::move(next);
+    if (current.empty()) break;
+  }
+
+  for (CompositeTuple& c : current) c.RecomputeSum();
+  std::stable_sort(current.begin(), current.end(),
+                   [](const CompositeTuple& a, const CompositeTuple& b) {
+                     return a.sum_scores() > b.sum_scores();
+                   });
+  result.tuples = std::move(current);
+  result.work_units += static_cast<int64_t>(result.tuples.size());
+  return result;
+}
+
+}  // namespace qsys

@@ -1,0 +1,51 @@
+// Source-side evaluation of pushed-down subexpressions.
+//
+// The optimizer (§5.1) may decide that a subexpression J ∈ I should be
+// computed *at the remote DBMS* and streamed to the middleware in score
+// order. The PushdownExecutor simulates that remote evaluation: it joins
+// and filters against the catalog directly (no per-tuple network charges)
+// and reports the work units the source performed, which the delay model
+// converts into a one-time setup latency.
+
+#ifndef QSYS_SOURCE_PUSHDOWN_H_
+#define QSYS_SOURCE_PUSHDOWN_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/exec/composite.h"
+#include "src/query/expr.h"
+#include "src/storage/catalog.h"
+
+namespace qsys {
+
+/// \brief Result of evaluating a pushdown at the source.
+struct PushdownResult {
+  /// All result composites, sorted by nonincreasing sum of base scores
+  /// (the canonical stream order; cf. DESIGN.md §1).
+  std::vector<CompositeTuple> tuples;
+  /// Rows scanned plus intermediates produced — the source-side work.
+  int64_t work_units = 0;
+};
+
+/// Evaluates `expr` (a connected SPJ expression) against `catalog`.
+/// Fails if the expression is empty or disconnected.
+Result<PushdownResult> EvaluatePushdown(const Expr& expr,
+                                        const Catalog& catalog);
+
+/// Maximum base-score contribution of one atom: the table's max score for
+/// scored relations, 1.0 otherwise (a sound upper bound even under
+/// selections).
+double AtomMaxScore(const Atom& atom, const Catalog& catalog);
+
+/// Σ over the expression's atoms of AtomMaxScore: the largest sum of base
+/// scores any result of `expr` can carry.
+double ExprMaxSum(const Expr& expr, const Catalog& catalog);
+
+/// True if any atom's relation carries a score attribute (whether the
+/// expression can serve as a *streaming* input; §5.1.1 heuristic 2).
+bool ExprHasScoredAtom(const Expr& expr, const Catalog& catalog);
+
+}  // namespace qsys
+
+#endif  // QSYS_SOURCE_PUSHDOWN_H_

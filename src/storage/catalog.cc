@@ -1,0 +1,25 @@
+#include "src/storage/catalog.h"
+
+namespace qsys {
+
+Result<TableId> Catalog::AddTable(TableSchema schema) {
+  if (by_name_.count(schema.name()) > 0) {
+    return Status::AlreadyExists("table " + schema.name());
+  }
+  TableId id = static_cast<TableId>(tables_.size());
+  by_name_[schema.name()] = id;
+  tables_.push_back(std::make_unique<Table>(std::move(schema)));
+  return id;
+}
+
+void Catalog::FinalizeAll() {
+  for (auto& t : tables_) t->Finalize();
+}
+
+Result<TableId> Catalog::FindTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("table " + name);
+  return it->second;
+}
+
+}  // namespace qsys

@@ -1,0 +1,12 @@
+#include "src/storage/schema.h"
+
+namespace qsys {
+
+int TableSchema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace qsys

@@ -1,0 +1,72 @@
+// Relational schema descriptions for simulated remote databases.
+
+#ifndef QSYS_STORAGE_SCHEMA_H_
+#define QSYS_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace qsys {
+
+/// Identifies a table within a Catalog. Dense, assigned at registration.
+using TableId = int32_t;
+constexpr TableId kInvalidTable = -1;
+
+/// Index of a row within its table.
+using RowId = uint32_t;
+
+/// A stored tuple: one Value per schema column.
+using Row = std::vector<Value>;
+
+/// Declared type of a column.
+enum class FieldType { kInt, kDouble, kString };
+
+/// \brief One column of a table.
+struct FieldDef {
+  std::string name;
+  FieldType type = FieldType::kInt;
+};
+
+/// \brief Schema of one relation: name, columns, and the two designated
+/// columns the paper's machinery relies on — the surrogate key and the
+/// (optional) score attribute.
+///
+/// Relations with a score attribute can be read as *streaming sources*
+/// (non-increasing score order); relations without one are accessed by
+/// probe unless small (pruning heuristic 2, §5.1.1 of the paper).
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<FieldDef> fields)
+      : name_(std::move(name)), fields_(std::move(fields)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<FieldDef>& fields() const { return fields_; }
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+
+  /// Index of the column named `name`, or -1 if absent.
+  int FieldIndex(const std::string& name) const;
+
+  /// Column holding the relevance score, or -1 if the relation carries no
+  /// scoring attribute.
+  int score_field() const { return score_field_; }
+  void set_score_field(int idx) { score_field_ = idx; }
+  bool has_score() const { return score_field_ >= 0; }
+
+  /// Column holding the primary (surrogate) key.
+  int key_field() const { return key_field_; }
+  void set_key_field(int idx) { key_field_ = idx; }
+
+ private:
+  std::string name_;
+  std::vector<FieldDef> fields_;
+  int score_field_ = -1;
+  int key_field_ = 0;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_STORAGE_SCHEMA_H_

@@ -1,0 +1,72 @@
+#include "src/workload/bio_terms.h"
+
+#include "src/common/rng.h"
+
+namespace qsys {
+
+const std::vector<std::string>& BioVocabulary() {
+  static const std::vector<std::string> kVocab = {
+      "protein",    "gene",       "membrane",   "plasma",
+      "metabolism", "kinase",     "enzyme",     "receptor",
+      "sequence",   "domain",     "family",     "pathway",
+      "disease",    "genome",     "transcript", "mutation",
+      "binding",    "ligand",     "antibody",   "peptide",
+      "chromosome", "nucleus",    "cytoplasm",  "mitochondria",
+      "ribosome",   "transport",  "signal",     "regulation",
+      "expression", "promoter",   "homolog",    "ortholog",
+      "structure",  "fold",       "motif",      "residue",
+      "catalysis",  "substrate",  "inhibitor",  "activation",
+      "phosphorylation", "glycosylation", "apoptosis", "replication",
+      "translation", "repair",    "synthesis",  "degradation",
+      "channel",    "transporter", "hormone",   "cytokine",
+      "growth",     "factor",     "tumor",      "immune",
+      "virus",      "bacteria",   "plasmid",    "vector",
+      "marker",     "assay",      "clone",      "variant",
+  };
+  return kVocab;
+}
+
+std::vector<WorkloadQuery> GenerateBioWorkload(
+    const std::vector<std::string>& vocabulary,
+    const WorkloadOptions& options) {
+  Rng rng(options.seed);
+  Rng time_rng = rng.Fork();
+  ZipfTable zipf(vocabulary.size(), options.zipf_theta);
+
+  std::vector<WorkloadQuery> out;
+  VirtualTime t = 0;
+  for (int q = 0; q < options.num_queries; ++q) {
+    WorkloadQuery wq;
+    // Draw distinct keywords via Zipf (hot concepts recur).
+    std::vector<std::string> terms;
+    while (static_cast<int>(terms.size()) < options.keywords_per_query) {
+      const std::string& term = vocabulary[zipf.Sample(rng)];
+      bool dup = false;
+      for (const std::string& s : terms) {
+        if (s == term) dup = true;
+      }
+      if (!dup) terms.push_back(term);
+    }
+    for (size_t i = 0; i < terms.size(); ++i) {
+      if (i) wq.keywords += " ";
+      wq.keywords += terms[i];
+    }
+    wq.user_id = 1 + (q % options.num_users);
+    wq.options = options.gen;
+    // Per-user learned edge costs and (optionally) scoring models.
+    wq.options.user_edge_cost_factor =
+        0.8 + 0.2 * static_cast<double>(wq.user_id - 1);
+    if (options.vary_score_models) {
+      wq.options.score_model = (wq.user_id % 2 == 0)
+                                   ? ScoreModel::kDiscoverSum
+                                   : ScoreModel::kQSystem;
+    }
+    wq.pose_time_us = t;
+    t += static_cast<VirtualTime>(
+        time_rng.NextDouble() * static_cast<double>(options.max_gap_us));
+    out.push_back(std::move(wq));
+  }
+  return out;
+}
+
+}  // namespace qsys

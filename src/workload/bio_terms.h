@@ -1,0 +1,56 @@
+// Biological keyword vocabulary and workload generation (§7).
+//
+// The paper builds 15 user queries by drawing pairs of keywords from a
+// list of common biological terms under a Zipf distribution, posing them
+// within 6 seconds of one another, with per-user scoring functions. This
+// module reproduces that workload generator.
+
+#ifndef QSYS_WORKLOAD_BIO_TERMS_H_
+#define QSYS_WORKLOAD_BIO_TERMS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/keyword/candidate_gen.h"
+
+namespace qsys {
+
+/// The common-biological-terms vocabulary used by both datasets.
+const std::vector<std::string>& BioVocabulary();
+
+/// \brief Knobs of the keyword workload generator.
+struct WorkloadOptions {
+  /// Number of user queries (the paper's suite has 15).
+  int num_queries = 15;
+  /// Keywords per query (the paper uses pairs).
+  int keywords_per_query = 2;
+  /// Zipf exponent over the vocabulary (hot terms recur across users).
+  double zipf_theta = 1.0;
+  /// Maximum gap between consecutive poses (paper: within 6 seconds).
+  VirtualTime max_gap_us = 6'000'000;
+  /// Distinct users cycling through the workload (each with its own
+  /// learned edge-cost factor; §2.1).
+  int num_users = 3;
+  /// Vary the scoring model across users (Q System / DISCOVER-sum).
+  bool vary_score_models = true;
+  /// Candidate generation template (per-query copies are customized).
+  CandidateGenOptions gen;
+  uint64_t seed = 7;
+};
+
+/// \brief One pose event of the workload timeline.
+struct WorkloadQuery {
+  std::string keywords;
+  int user_id = 0;
+  VirtualTime pose_time_us = 0;
+  CandidateGenOptions options;
+};
+
+/// Generates the keyword-query timeline over `vocabulary`.
+std::vector<WorkloadQuery> GenerateBioWorkload(
+    const std::vector<std::string>& vocabulary,
+    const WorkloadOptions& options);
+
+}  // namespace qsys
+
+#endif  // QSYS_WORKLOAD_BIO_TERMS_H_

@@ -1,0 +1,156 @@
+#include "src/workload/gus.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/workload/bio_terms.h"
+
+namespace qsys {
+
+namespace {
+
+/// Zipf-shaped relevance score in (0, 1]: a few highly relevant tuples,
+/// a long low-relevance tail.
+double SampleScore(Rng& rng, const ZipfTable& ranks) {
+  uint64_t rank = ranks.Sample(rng);
+  double base = 1.0 / (1.0 + static_cast<double>(rank));
+  return base * (0.9 + 0.1 * rng.NextDouble());
+}
+
+}  // namespace
+
+Status BuildGusDataset(QSystem& sys, const GusOptions& options) {
+  const std::vector<std::string>& vocab = BioVocabulary();
+  Rng rng(options.seed);
+  Rng data_rng = rng.Fork();
+  Rng cost_rng = rng.Fork();
+  ZipfTable score_ranks(64, 1.0);
+  ZipfTable theme_starts(vocab.size(), options.zipf_theta);
+
+  const int num_entities = std::max(
+      2, static_cast<int>(options.num_relations * options.entity_fraction));
+  const int num_bridges = std::max(1, options.num_relations - num_entities);
+
+  Catalog& catalog = sys.catalog();
+
+  // ---- entity tables ----
+  struct EntityInfo {
+    TableId id;
+    int64_t rows;
+    int theme_start;
+  };
+  std::vector<EntityInfo> entities;
+  for (int i = 0; i < num_entities; ++i) {
+    // First pass round-robins theme starts so every vocabulary term is
+    // covered by some relation; later entities cluster on Zipf-hot
+    // themes (shared "core concepts" across queries, §1).
+    int theme = i < static_cast<int>(vocab.size())
+                    ? i
+                    : static_cast<int>(theme_starts.Sample(rng));
+    // Table names carry vocabulary tokens so keywords produce metadata
+    // matches (Figure 1: a keyword may match a table by name).
+    std::string name = vocab[theme % vocab.size()] + "_" +
+                       vocab[(theme + 1) % vocab.size()] + "_e" +
+                       std::to_string(i);
+    TableSchema schema(name, {{"id", FieldType::kInt},
+                              {"name", FieldType::kString},
+                              {"description", FieldType::kString},
+                              {"score", FieldType::kDouble}});
+    schema.set_key_field(0);
+    schema.set_score_field(3);
+    auto tid = catalog.AddTable(std::move(schema));
+    QSYS_RETURN_IF_ERROR(tid.status());
+    int64_t rows =
+        options.min_rows +
+        static_cast<int64_t>(data_rng.NextUint(static_cast<uint64_t>(
+            options.max_rows - options.min_rows + 1)));
+    Table& table = catalog.table(tid.value());
+    for (int64_t r = 0; r < rows; ++r) {
+      // Content terms drawn from the table's theme window.
+      std::string nm = vocab[(theme + static_cast<int>(data_rng.NextUint(
+                                          options.theme_window))) %
+                             vocab.size()];
+      std::string desc;
+      for (int w = 0; w < 3; ++w) {
+        if (w) desc += " ";
+        desc += vocab[(theme + static_cast<int>(data_rng.NextUint(
+                                   options.theme_window))) %
+                      vocab.size()];
+      }
+      QSYS_RETURN_IF_ERROR(table.AddRow(
+          {Value(static_cast<int64_t>(r)), Value(std::move(nm)),
+           Value(std::move(desc)), Value(SampleScore(data_rng,
+                                                     score_ranks))}));
+    }
+    entities.push_back({tid.value(), rows, theme});
+  }
+
+  // ---- bridge (relationship / record-link) tables ----
+  ZipfTable hub(entities.size(), options.zipf_theta);
+  struct BridgeSpec {
+    TableId id;
+    int a, b;
+    bool scored;
+    int64_t rows;
+  };
+  std::vector<BridgeSpec> bridges;
+  for (int i = 0; i < num_bridges; ++i) {
+    // The first num_entities-1 bridges form a preferential-attachment
+    // spanning structure (every entity reachable, hubs emerge); the rest
+    // land between Zipf-hot entities.
+    int a, b;
+    if (i < num_entities - 1) {
+      b = i + 1;
+      a = static_cast<int>(hub.Sample(data_rng)) % (i + 1);
+    } else {
+      a = static_cast<int>(hub.Sample(data_rng));
+      b = static_cast<int>(hub.Sample(data_rng));
+      if (b == a) b = (a + 1) % static_cast<int>(entities.size());
+    }
+    bool scored =
+        data_rng.NextDouble() >= options.unscored_bridge_fraction;
+    std::string name = "rel" + std::to_string(i);
+    std::vector<FieldDef> fields = {{"id", FieldType::kInt},
+                                    {"a_id", FieldType::kInt},
+                                    {"b_id", FieldType::kInt}};
+    if (scored) fields.push_back({"sim", FieldType::kDouble});
+    TableSchema schema(name, std::move(fields));
+    schema.set_key_field(0);
+    if (scored) schema.set_score_field(3);
+    auto tid = catalog.AddTable(std::move(schema));
+    QSYS_RETURN_IF_ERROR(tid.status());
+    int64_t rows =
+        options.min_rows +
+        static_cast<int64_t>(data_rng.NextUint(static_cast<uint64_t>(
+            options.max_rows - options.min_rows + 1)));
+    Table& table = catalog.table(tid.value());
+    ZipfTable a_keys(static_cast<uint64_t>(entities[a].rows),
+                     options.zipf_theta);
+    ZipfTable b_keys(static_cast<uint64_t>(entities[b].rows),
+                     options.zipf_theta);
+    for (int64_t r = 0; r < rows; ++r) {
+      Row row = {Value(static_cast<int64_t>(r)),
+                 Value(static_cast<int64_t>(a_keys.Sample(data_rng))),
+                 Value(static_cast<int64_t>(b_keys.Sample(data_rng)))};
+      if (scored) row.push_back(Value(SampleScore(data_rng, score_ranks)));
+      QSYS_RETURN_IF_ERROR(table.AddRow(std::move(row)));
+    }
+    bridges.push_back({tid.value(), a, b, scored, rows});
+  }
+
+  // ---- schema-graph edges + node costs ----
+  SchemaGraph& graph = sys.InitSchemaGraph();
+  for (const BridgeSpec& bridge : bridges) {
+    double ca = 0.5 + cost_rng.NextDouble();
+    double cb = 0.5 + cost_rng.NextDouble();
+    graph.AddEdgeByIndex(bridge.id, 1, entities[bridge.a].id, 0, ca);
+    graph.AddEdgeByIndex(bridge.id, 2, entities[bridge.b].id, 0, cb);
+  }
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    graph.set_node_cost(t, 0.5 * cost_rng.NextDouble());
+  }
+
+  return sys.FinalizeCatalog();
+}
+
+}  // namespace qsys

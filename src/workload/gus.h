@@ -1,0 +1,48 @@
+// Synthetic dataset generator modeled on the Genomics Unified Schema
+// (GUS) evaluation setup of §7.
+//
+// The paper populates the 358-relation GUS schema with 20k–100k random
+// tuples per relation, Zipfian join keys and scores, and synthetic
+// IR-style score attributes on keyword-matched relations. This generator
+// reproduces the *structure* that drives the experiments — many entity
+// tables bridged by relationship/record-link tables, hot hub relations,
+// themed keyword content so each term matches several tables — with
+// configurable scale (defaults are laptop-sized; see DESIGN.md §1).
+
+#ifndef QSYS_WORKLOAD_GUS_H_
+#define QSYS_WORKLOAD_GUS_H_
+
+#include "src/core/qsystem.h"
+
+namespace qsys {
+
+/// \brief Scale and shape knobs of the GUS-like dataset.
+struct GusOptions {
+  /// Total relations (GUS has 358).
+  int num_relations = 358;
+  /// Rows per relation, uniform in [min_rows, max_rows] (the paper used
+  /// 20k–100k; defaults are scaled down so the full suite runs in
+  /// seconds — the experiments depend on relative, not absolute, sizes).
+  int64_t min_rows = 200;
+  int64_t max_rows = 1000;
+  /// Zipf exponent for join keys, scores and theme placement.
+  double zipf_theta = 0.8;
+  /// Fraction of relations that are entity tables (rest are
+  /// relationship / record-link bridges).
+  double entity_fraction = 0.45;
+  /// Fraction of bridge tables lacking a score attribute (these become
+  /// probe-only random access sources; §5.1.1 heuristic 2).
+  double unscored_bridge_fraction = 0.3;
+  /// Vocabulary window size per entity table (themes make keywords
+  /// selective: a term matches ~window/|vocab| of the tables).
+  int theme_window = 8;
+  uint64_t seed = 1;
+};
+
+/// Builds the dataset inside `sys` (tables, rows, schema-graph edges,
+/// node costs) and finalizes the catalog.
+Status BuildGusDataset(QSystem& sys, const GusOptions& options);
+
+}  // namespace qsys
+
+#endif  // QSYS_WORKLOAD_GUS_H_

@@ -1,0 +1,191 @@
+#include "src/workload/pfam.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/workload/bio_terms.h"
+
+namespace qsys {
+
+namespace {
+
+struct Builder {
+  QSystem& sys;
+  Rng rng;
+  ZipfTable score_ranks{64, 1.0};
+  const std::vector<std::string>& vocab = BioVocabulary();
+
+  double Score() {
+    uint64_t rank = score_ranks.Sample(rng);
+    return (1.0 / (1.0 + static_cast<double>(rank))) *
+           (0.9 + 0.1 * rng.NextDouble());
+  }
+
+  std::string Text(int theme, int words) {
+    std::string out;
+    for (int w = 0; w < words; ++w) {
+      if (w) out += " ";
+      out += vocab[(theme + static_cast<int>(rng.NextUint(10))) %
+                   vocab.size()];
+    }
+    return out;
+  }
+
+  /// Entity-style table: (id, name, description, score).
+  Result<TableId> Entity(const std::string& name, int64_t rows,
+                         int theme) {
+    TableSchema schema(name, {{"id", FieldType::kInt},
+                              {"name", FieldType::kString},
+                              {"description", FieldType::kString},
+                              {"score", FieldType::kDouble}});
+    schema.set_key_field(0);
+    schema.set_score_field(3);
+    auto tid = sys.catalog().AddTable(std::move(schema));
+    if (!tid.ok()) return tid;
+    Table& t = sys.catalog().table(tid.value());
+    for (int64_t r = 0; r < rows; ++r) {
+      QSYS_RETURN_IF_ERROR(
+          t.AddRow({Value(r), Value(Text(theme, 2)), Value(Text(theme, 4)),
+                    Value(Score())}));
+    }
+    return tid;
+  }
+
+  /// Link table (a_id, b_id [, sim]) with Zipfian foreign keys.
+  Result<TableId> Link(const std::string& name, int64_t rows,
+                       int64_t a_max, int64_t b_max, bool scored,
+                       double theta) {
+    std::vector<FieldDef> fields = {{"id", FieldType::kInt},
+                                    {"a_id", FieldType::kInt},
+                                    {"b_id", FieldType::kInt}};
+    if (scored) fields.push_back({"sim", FieldType::kDouble});
+    TableSchema schema(name, std::move(fields));
+    schema.set_key_field(0);
+    if (scored) schema.set_score_field(3);
+    auto tid = sys.catalog().AddTable(std::move(schema));
+    if (!tid.ok()) return tid;
+    Table& t = sys.catalog().table(tid.value());
+    ZipfTable a_keys(static_cast<uint64_t>(a_max), theta);
+    ZipfTable b_keys(static_cast<uint64_t>(b_max), theta);
+    for (int64_t r = 0; r < rows; ++r) {
+      Row row = {Value(r),
+                 Value(static_cast<int64_t>(a_keys.Sample(rng))),
+                 Value(static_cast<int64_t>(b_keys.Sample(rng)))};
+      if (scored) row.push_back(Value(Score()));
+      QSYS_RETURN_IF_ERROR(t.AddRow(std::move(row)));
+    }
+    return tid;
+  }
+
+  /// Publication table: (id, owner_id, title, year_score). The second
+  /// score attribute of §7.5 (publication age) is normalized into (0,1].
+  Result<TableId> Publications(const std::string& name, int64_t rows,
+                               int64_t owner_max, int theme) {
+    TableSchema schema(name, {{"id", FieldType::kInt},
+                              {"owner_id", FieldType::kInt},
+                              {"title", FieldType::kString},
+                              {"year_score", FieldType::kDouble}});
+    schema.set_key_field(0);
+    schema.set_score_field(3);
+    auto tid = sys.catalog().AddTable(std::move(schema));
+    if (!tid.ok()) return tid;
+    Table& t = sys.catalog().table(tid.value());
+    for (int64_t r = 0; r < rows; ++r) {
+      double year = 0.3 + 0.7 * rng.NextDouble();  // recency score
+      QSYS_RETURN_IF_ERROR(
+          t.AddRow({Value(r),
+                    Value(static_cast<int64_t>(
+                        rng.NextUint(static_cast<uint64_t>(owner_max)))),
+                    Value(Text(theme, 5)), Value(year)}));
+    }
+    return tid;
+  }
+};
+
+int64_t Scaled(int64_t base, double scale) {
+  return std::max<int64_t>(8, static_cast<int64_t>(base * scale));
+}
+
+}  // namespace
+
+Status BuildPfamDataset(QSystem& sys, const PfamOptions& o) {
+  Builder b{sys, Rng(o.seed)};
+  const double th = o.zipf_theta;
+
+  QSYS_ASSIGN_OR_RETURN(
+      TableId fam, b.Entity("pfam_family_protein", Scaled(o.families,
+                                                          o.scale), 0));
+  QSYS_ASSIGN_OR_RETURN(
+      TableId seq, b.Entity("pfam_sequence_protein",
+                            Scaled(o.sequences, o.scale), 8));
+  QSYS_ASSIGN_OR_RETURN(
+      TableId ipr, b.Entity("interpro_entry_domain",
+                            Scaled(o.interpro_entries, o.scale), 4));
+  QSYS_ASSIGN_OR_RETURN(
+      TableId go, b.Entity("go_term_pathway", Scaled(o.go_terms, o.scale),
+                           24));
+  QSYS_ASSIGN_OR_RETURN(
+      TableId clan, b.Entity("pfam_clan_family",
+                             Scaled(o.families / 8, o.scale), 32));
+
+  QSYS_ASSIGN_OR_RETURN(
+      TableId fam_seq,
+      b.Link("pfam_family_sequence", Scaled(o.family_sequence_links,
+                                            o.scale),
+             Scaled(o.families, o.scale), Scaled(o.sequences, o.scale),
+             /*scored=*/true, th));
+  QSYS_ASSIGN_OR_RETURN(
+      TableId ipr_match,
+      b.Link("interpro_match", Scaled(o.interpro_matches, o.scale),
+             Scaled(o.interpro_entries, o.scale),
+             Scaled(o.sequences, o.scale), /*scored=*/true, th));
+  // The Pfam -> InterPro mapping table the paper highlights.
+  QSYS_ASSIGN_OR_RETURN(
+      TableId p2i,
+      b.Link("pfam2interpro_map", Scaled(o.families, o.scale),
+             Scaled(o.families, o.scale),
+             Scaled(o.interpro_entries, o.scale), /*scored=*/true, th));
+  QSYS_ASSIGN_OR_RETURN(
+      TableId i2g,
+      b.Link("interpro2go", Scaled(o.interpro_entries, o.scale),
+             Scaled(o.interpro_entries, o.scale),
+             Scaled(o.go_terms, o.scale), /*scored=*/true, th));
+  // Clan membership carries no score attribute: probe-only source.
+  QSYS_ASSIGN_OR_RETURN(
+      TableId clan_mem,
+      b.Link("pfam_clan_membership", Scaled(o.families, o.scale),
+             Scaled(o.families / 8, o.scale), Scaled(o.families, o.scale),
+             /*scored=*/false, th));
+
+  QSYS_ASSIGN_OR_RETURN(
+      TableId fam_pub,
+      b.Publications("pfam_publication", Scaled(o.publications, o.scale),
+                     Scaled(o.families, o.scale), 48));
+  QSYS_ASSIGN_OR_RETURN(
+      TableId ipr_pub,
+      b.Publications("interpro_publication",
+                     Scaled(o.publications / 2, o.scale),
+                     Scaled(o.interpro_entries, o.scale), 52));
+
+  SchemaGraph& graph = sys.InitSchemaGraph();
+  Rng cost_rng(o.seed ^ 0x5bd1e995);
+  auto cost = [&]() { return 0.5 + cost_rng.NextDouble(); };
+  graph.AddEdgeByIndex(fam_seq, 1, fam, 0, cost());
+  graph.AddEdgeByIndex(fam_seq, 2, seq, 0, cost());
+  graph.AddEdgeByIndex(ipr_match, 1, ipr, 0, cost());
+  graph.AddEdgeByIndex(ipr_match, 2, seq, 0, cost());
+  graph.AddEdgeByIndex(p2i, 1, fam, 0, cost());
+  graph.AddEdgeByIndex(p2i, 2, ipr, 0, cost());
+  graph.AddEdgeByIndex(i2g, 1, ipr, 0, cost());
+  graph.AddEdgeByIndex(i2g, 2, go, 0, cost());
+  graph.AddEdgeByIndex(clan_mem, 1, clan, 0, cost());
+  graph.AddEdgeByIndex(clan_mem, 2, fam, 0, cost());
+  graph.AddEdgeByIndex(fam_pub, 1, fam, 0, cost());
+  graph.AddEdgeByIndex(ipr_pub, 1, ipr, 0, cost());
+  for (TableId t = 0; t < sys.catalog().num_tables(); ++t) {
+    graph.set_node_cost(t, 0.5 * cost_rng.NextDouble());
+  }
+  return sys.FinalizeCatalog();
+}
+
+}  // namespace qsys

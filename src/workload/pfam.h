@@ -1,0 +1,38 @@
+// Dataset generator modeled on the paper's real-data evaluation (§7.5):
+// the Pfam protein-family database joined with InterPro through a
+// mapping table, with MySQL-text-search-like similarity scores plus a
+// publication-year score attribute.
+//
+// Figure 12's finding is driven by data *scale*: the real dataset is much
+// larger than the synthetic instances, so the shared-everything plan
+// graph suffers middleware contention and clustering wins big. The
+// generator reproduces that scale relationship (see DESIGN.md §1).
+
+#ifndef QSYS_WORKLOAD_PFAM_H_
+#define QSYS_WORKLOAD_PFAM_H_
+
+#include "src/core/qsystem.h"
+
+namespace qsys {
+
+/// \brief Scale knobs of the Pfam/InterPro-like dataset.
+struct PfamOptions {
+  /// Global multiplier over the base cardinalities below.
+  double scale = 1.0;
+  int64_t families = 1200;
+  int64_t sequences = 5000;
+  int64_t family_sequence_links = 10000;
+  int64_t publications = 2500;
+  int64_t interpro_entries = 1800;
+  int64_t interpro_matches = 10000;
+  int64_t go_terms = 900;
+  double zipf_theta = 0.8;
+  uint64_t seed = 3;
+};
+
+/// Builds the dataset inside `sys` and finalizes the catalog.
+Status BuildPfamDataset(QSystem& sys, const PfamOptions& options);
+
+}  // namespace qsys
+
+#endif  // QSYS_WORKLOAD_PFAM_H_

@@ -1,0 +1,59 @@
+#include "src/workload/runner.h"
+
+namespace qsys {
+
+Result<ExperimentOutcome> RunExperiment(const ExperimentOptions& options) {
+  QSystem sys(options.config);
+  switch (options.dataset) {
+    case DatasetKind::kGusSynthetic:
+      QSYS_RETURN_IF_ERROR(BuildGusDataset(sys, options.gus));
+      break;
+    case DatasetKind::kPfamInterpro:
+      QSYS_RETURN_IF_ERROR(BuildPfamDataset(sys, options.pfam));
+      break;
+  }
+  std::vector<std::string> vocabulary = BioVocabulary();
+  if (options.restrict_vocabulary_to_matches) {
+    std::vector<std::string> matching;
+    for (const std::string& term : vocabulary) {
+      if (!sys.inverted_index().Lookup(term).empty()) {
+        matching.push_back(term);
+      }
+    }
+    if (matching.size() >= 2) vocabulary = std::move(matching);
+  }
+  std::vector<WorkloadQuery> queries =
+      GenerateBioWorkload(vocabulary, options.workload);
+  if (options.max_queries >= 0 &&
+      static_cast<int>(queries.size()) > options.max_queries) {
+    queries.resize(options.max_queries);
+  }
+  for (const WorkloadQuery& q : queries) {
+    auto posed = sys.Pose(q.keywords, q.user_id, q.pose_time_us,
+                          &q.options);
+    QSYS_RETURN_IF_ERROR(posed.status());
+  }
+  QSYS_RETURN_IF_ERROR(sys.Run());
+
+  ExperimentOutcome out;
+  out.metrics = sys.metrics();
+  out.stats = sys.aggregate_stats();
+  out.opt_records = sys.optimization_records();
+  out.num_atcs = sys.num_atcs();
+  out.ops_reused = sys.grafter().ops_reused();
+  out.recoveries = sys.grafter().recoveries_built();
+  out.tuples_backfilled = sys.grafter().tuples_backfilled();
+  out.evictions = sys.state_manager().evictions();
+  return out;
+}
+
+double MeanLatencySeconds(const ExperimentOutcome& outcome) {
+  if (outcome.metrics.empty()) return 0.0;
+  double total = 0.0;
+  for (const UserQueryMetrics& m : outcome.metrics) {
+    total += m.LatencySeconds();
+  }
+  return total / static_cast<double>(outcome.metrics.size());
+}
+
+}  // namespace qsys

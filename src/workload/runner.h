@@ -1,0 +1,54 @@
+// Shared experiment harness: builds a dataset + keyword workload inside
+// a fresh QSystem under one evaluation configuration, runs the timeline,
+// and returns everything the benches print (per-UQ latencies, work
+// counters, time breakdowns, optimizer records).
+
+#ifndef QSYS_WORKLOAD_RUNNER_H_
+#define QSYS_WORKLOAD_RUNNER_H_
+
+#include "src/workload/bio_terms.h"
+#include "src/workload/gus.h"
+#include "src/workload/pfam.h"
+
+namespace qsys {
+
+/// Which dataset the experiment runs over.
+enum class DatasetKind { kGusSynthetic, kPfamInterpro };
+
+/// \brief One experiment run's configuration.
+struct ExperimentOptions {
+  DatasetKind dataset = DatasetKind::kGusSynthetic;
+  GusOptions gus;
+  PfamOptions pfam;
+  WorkloadOptions workload;
+  QConfig config;
+  /// Take only the first N workload queries (-1 = all) — Figure 10 runs
+  /// the 5-query prefix vs the full 15.
+  int max_queries = -1;
+  /// Draw keywords only from vocabulary terms that actually match the
+  /// dataset (the paper chose keywords "that matched to sequence, family,
+  /// and publication data" for the real-data workload).
+  bool restrict_vocabulary_to_matches = false;
+};
+
+/// \brief Everything measured in one run.
+struct ExperimentOutcome {
+  std::vector<UserQueryMetrics> metrics;  // sorted by uq id
+  ExecStats stats;
+  std::vector<OptimizationRecord> opt_records;
+  int num_atcs = 0;
+  int64_t ops_reused = 0;
+  int64_t recoveries = 0;
+  int64_t tuples_backfilled = 0;
+  int64_t evictions = 0;
+};
+
+/// Builds, runs, and measures one experiment.
+Result<ExperimentOutcome> RunExperiment(const ExperimentOptions& options);
+
+/// Convenience: mean latency (virtual seconds) across user queries.
+double MeanLatencySeconds(const ExperimentOutcome& outcome);
+
+}  // namespace qsys
+
+#endif  // QSYS_WORKLOAD_RUNNER_H_

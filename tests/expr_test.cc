@@ -1,0 +1,233 @@
+// Unit tests for canonical expressions: normalization, signatures,
+// subexpression containment, overlap, connectivity, merging.
+
+#include <gtest/gtest.h>
+
+#include "src/query/expr.h"
+
+namespace qsys {
+namespace {
+
+Atom MakeAtom(TableId t, std::vector<Selection> sels = {}) {
+  Atom a;
+  a.table = t;
+  a.occurrence = 0;
+  a.selections = std::move(sels);
+  return a;
+}
+
+Selection TermSel(int col, const std::string& term) {
+  Selection s;
+  s.kind = SelectionKind::kContainsTerm;
+  s.column = col;
+  s.constant = Value(term);
+  return s;
+}
+
+/// A ⋈ B ⋈ C chain: A.0 = B.1, B.2 = C.0.
+Expr Chain3() {
+  Expr e;
+  int a = e.AddAtom(MakeAtom(0));
+  int b = e.AddAtom(MakeAtom(1));
+  int c = e.AddAtom(MakeAtom(2));
+  e.AddEdge({a, 0, b, 1, 0.5});
+  e.AddEdge({b, 2, c, 0, 0.7});
+  e.Normalize();
+  return e;
+}
+
+TEST(ExprTest, NormalizationIsOrderInsensitive) {
+  Expr e1;
+  int a1 = e1.AddAtom(MakeAtom(3));
+  int b1 = e1.AddAtom(MakeAtom(1));
+  e1.AddEdge({a1, 0, b1, 1, 1.0});
+  e1.Normalize();
+
+  Expr e2;
+  int b2 = e2.AddAtom(MakeAtom(1));
+  int a2 = e2.AddAtom(MakeAtom(3));
+  e2.AddEdge({b2, 1, a2, 0, 1.0});  // reversed orientation
+  e2.Normalize();
+
+  EXPECT_EQ(e1.Signature(), e2.Signature());
+  EXPECT_TRUE(e1 == e2);
+}
+
+TEST(ExprTest, SelectionsChangeSignature) {
+  Expr plain;
+  plain.AddAtom(MakeAtom(0));
+  plain.Normalize();
+  Expr selected;
+  selected.AddAtom(MakeAtom(0, {TermSel(1, "kinase")}));
+  selected.Normalize();
+  EXPECT_NE(plain.Signature(), selected.Signature());
+}
+
+TEST(ExprTest, SelectionDigestOrderInsensitive) {
+  std::vector<Selection> a = {TermSel(1, "x"), TermSel(2, "y")};
+  std::vector<Selection> b = {TermSel(2, "y"), TermSel(1, "x")};
+  EXPECT_EQ(SelectionDigest(a), SelectionDigest(b));
+}
+
+TEST(ExprTest, DuplicateEdgesCollapse) {
+  Expr e;
+  int a = e.AddAtom(MakeAtom(0));
+  int b = e.AddAtom(MakeAtom(1));
+  e.AddEdge({a, 0, b, 1, 1.0});
+  e.AddEdge({b, 1, a, 0, 1.0});  // same edge, reversed
+  e.Normalize();
+  EXPECT_EQ(e.edges().size(), 1u);
+}
+
+TEST(ExprTest, FindAtom) {
+  Expr e = Chain3();
+  EXPECT_GE(e.FindAtom(MakeAtom(1).Key()), 0);
+  EXPECT_EQ(e.FindAtom(MakeAtom(9).Key()), -1);
+}
+
+TEST(ExprTest, SubexpressionContainment) {
+  Expr full = Chain3();
+  Expr sub;
+  int a = sub.AddAtom(MakeAtom(0));
+  int b = sub.AddAtom(MakeAtom(1));
+  sub.AddEdge({a, 0, b, 1, 0.5});
+  sub.Normalize();
+  EXPECT_TRUE(full.ContainsAsSubexpression(sub));
+  EXPECT_FALSE(sub.ContainsAsSubexpression(full));
+}
+
+TEST(ExprTest, InducedEdgeRequirement) {
+  Expr full = Chain3();
+  // {A, B} with NO edge is not a usable subexpression of the chain
+  // (its result would be a cross product).
+  Expr loose;
+  loose.AddAtom(MakeAtom(0));
+  loose.AddAtom(MakeAtom(1));
+  loose.Normalize();
+  EXPECT_FALSE(full.ContainsAsSubexpression(loose));
+}
+
+TEST(ExprTest, WrongColumnEdgeNotContained) {
+  Expr full = Chain3();
+  Expr sub;
+  int a = sub.AddAtom(MakeAtom(0));
+  int b = sub.AddAtom(MakeAtom(1));
+  sub.AddEdge({a, 1, b, 1, 0.5});  // different join column
+  sub.Normalize();
+  EXPECT_FALSE(full.ContainsAsSubexpression(sub));
+}
+
+TEST(ExprTest, Overlap) {
+  Expr e1 = Chain3();
+  Expr e2;
+  e2.AddAtom(MakeAtom(2));
+  e2.AddAtom(MakeAtom(7));
+  e2.AddEdge({0, 0, 1, 0, 1.0});
+  e2.Normalize();
+  EXPECT_TRUE(e1.Overlaps(e2));
+  Expr e3;
+  e3.AddAtom(MakeAtom(9));
+  e3.Normalize();
+  EXPECT_FALSE(e1.Overlaps(e3));
+  // Same table with different selections does NOT overlap (distinct
+  // atom keys).
+  Expr e4;
+  e4.AddAtom(MakeAtom(0, {TermSel(1, "kinase")}));
+  e4.Normalize();
+  EXPECT_FALSE(e1.Overlaps(e4));
+}
+
+TEST(ExprTest, Connectivity) {
+  EXPECT_TRUE(Chain3().IsConnected());
+  Expr disconnected;
+  disconnected.AddAtom(MakeAtom(0));
+  disconnected.AddAtom(MakeAtom(1));
+  disconnected.Normalize();
+  EXPECT_FALSE(disconnected.IsConnected());
+  Expr single;
+  single.AddAtom(MakeAtom(5));
+  single.Normalize();
+  EXPECT_TRUE(single.IsConnected());
+  Expr empty;
+  empty.Normalize();
+  EXPECT_FALSE(empty.IsConnected());
+}
+
+TEST(ExprTest, TotalEdgeCost) {
+  EXPECT_DOUBLE_EQ(Chain3().TotalEdgeCost(), 1.2);
+}
+
+TEST(ExprTest, MergeCombinesAtomsAndEdges) {
+  Expr left;
+  int a = left.AddAtom(MakeAtom(0));
+  (void)a;
+  left.Normalize();
+  Expr right;
+  right.AddAtom(MakeAtom(1));
+  right.Normalize();
+  JoinEdge cross;
+  cross.left_atom = 0;   // index into left
+  cross.left_column = 0;
+  cross.right_atom = 0;  // index into right
+  cross.right_column = 1;
+  cross.cost = 0.3;
+  auto merged = Expr::Merge(left, right, {cross});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().num_atoms(), 2);
+  EXPECT_EQ(merged.value().edges().size(), 1u);
+}
+
+TEST(ExprTest, MergeSharedAtomCollapses) {
+  Expr left = Chain3();
+  Expr right;
+  right.AddAtom(MakeAtom(2));  // shared with chain
+  right.Normalize();
+  auto merged = Expr::Merge(left, right, {});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().num_atoms(), 3);
+}
+
+TEST(ExprTest, MergeDisconnectedFails) {
+  Expr left;
+  left.AddAtom(MakeAtom(0));
+  left.Normalize();
+  Expr right;
+  right.AddAtom(MakeAtom(1));
+  right.Normalize();
+  auto merged = Expr::Merge(left, right, {});
+  EXPECT_FALSE(merged.ok());
+}
+
+TEST(SelectionTest, EqualsMatch) {
+  Selection s;
+  s.kind = SelectionKind::kEquals;
+  s.column = 0;
+  s.constant = Value(int64_t{5});
+  Row row = {Value(int64_t{5}), Value("x")};
+  EXPECT_TRUE(s.Matches(row));
+  row[0] = Value(int64_t{6});
+  EXPECT_FALSE(s.Matches(row));
+}
+
+TEST(SelectionTest, ContainsTermMatch) {
+  Selection s = TermSel(1, "membrane");
+  Row row = {Value(int64_t{0}), Value("plasma membrane protein")};
+  EXPECT_TRUE(s.Matches(row));
+  row[1] = Value("nucleus");
+  EXPECT_FALSE(s.Matches(row));
+  // Token match, not substring: "membranes" != "membrane".
+  row[1] = Value("membranes");
+  EXPECT_FALSE(s.Matches(row));
+  // Non-string cells never match.
+  row[1] = Value(int64_t{3});
+  EXPECT_FALSE(s.Matches(row));
+}
+
+TEST(ExprTest, ToStringMentionsAtoms) {
+  std::string s = Chain3().ToString();
+  EXPECT_NE(s.find("T0"), std::string::npos);
+  EXPECT_NE(s.find("⨝"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qsys

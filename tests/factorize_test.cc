@@ -1,0 +1,166 @@
+// Unit tests for plan-graph factorization (§5.2): components cover every
+// query, shared prefixes collapse into shared components, terminals are
+// correct.
+
+#include <gtest/gtest.h>
+
+#include "src/opt/factorize.h"
+#include "src/opt/heuristics.h"
+#include "src/opt/best_plan.h"
+#include "tests/test_util.h"
+
+namespace qsys {
+namespace {
+
+using ::qsys::testing::BuildTinyBioDataset;
+using ::qsys::testing::FastTestConfig;
+
+class FactorizeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sys_ = std::make_unique<QSystem>(FastTestConfig());
+    ASSERT_TRUE(BuildTinyBioDataset(*sys_).ok());
+    matcher_ = std::make_unique<KeywordMatcher>(&sys_->inverted_index(),
+                                                &sys_->catalog());
+    gen_ = std::make_unique<CandidateGenerator>(&sys_->schema_graph(),
+                                                matcher_.get());
+    cost_model_ = std::make_unique<CostModel>(
+        &sys_->catalog(), DelayParams{}, &sys_->inverted_index(), nullptr,
+        nullptr);
+  }
+
+  std::vector<const ConjunctiveQuery*> MakeQueries(
+      const std::string& keywords, UserQuery* storage) {
+    auto uq = gen_->Generate(keywords, 5, CandidateGenOptions{});
+    EXPECT_TRUE(uq.ok());
+    *storage = std::move(uq).value();
+    int next_id = 1;
+    std::vector<const ConjunctiveQuery*> out;
+    for (ConjunctiveQuery& cq : storage->cqs) {
+      cq.id = next_id++;
+      out.push_back(&cq);
+    }
+    return out;
+  }
+
+  InputAssignment Assign(
+      const std::vector<const ConjunctiveQuery*>& queries) {
+    CandidateSet cands = EnumerateCandidates(queries, 4);
+    PruningOptions options;
+    std::vector<CandidateInput> pruned = ApplyPruningHeuristics(
+        cands.inputs, queries, *cost_model_, sys_->catalog(), options);
+    BestPlanSearch search(cost_model_.get(), &sys_->catalog(), &options,
+                          5, -1);
+    return search.Run(queries, pruned).assignment;
+  }
+
+  std::unique_ptr<QSystem> sys_;
+  std::unique_ptr<KeywordMatcher> matcher_;
+  std::unique_ptr<CandidateGenerator> gen_;
+  std::unique_ptr<CostModel> cost_model_;
+};
+
+TEST_F(FactorizeTest, EveryQueryGetsATerminalCoveringItsExpr) {
+  UserQuery storage;
+  auto queries = MakeQueries("membrane gene", &storage);
+  InputAssignment assignment = Assign(queries);
+  auto spec = FactorizePlan(queries, assignment, *cost_model_);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  for (const ConjunctiveQuery* q : queries) {
+    auto it = spec.value().terminal_of_cq.find(q->id);
+    ASSERT_NE(it, spec.value().terminal_of_cq.end());
+    const PlanSpec::Component& comp = spec.value().components[it->second];
+    EXPECT_EQ(comp.expr.Signature(), q->expr.Signature())
+        << "terminal expr mismatch for " << q->expr.ToString();
+  }
+}
+
+TEST_F(FactorizeTest, ComponentModulesPartitionTheirExpr) {
+  UserQuery storage;
+  auto queries = MakeQueries("membrane gene", &storage);
+  InputAssignment assignment = Assign(queries);
+  auto spec = FactorizePlan(queries, assignment, *cost_model_);
+  ASSERT_TRUE(spec.ok());
+  for (const PlanSpec::Component& comp : spec.value().components) {
+    // Union of module atoms == component atoms, no double coverage.
+    std::multiset<std::string> covered;
+    for (const PlanSpec::ModuleRef& ref : comp.modules) {
+      const Expr& e =
+          ref.kind == PlanSpec::ModuleRef::Kind::kUpstream
+              ? spec.value().components[ref.index].expr
+              : spec.value().assignment.inputs[ref.index].expr;
+      for (const Atom& a : e.atoms()) {
+        covered.insert(std::to_string(a.table) + "/" +
+                       std::to_string(SelectionDigest(a.selections)));
+      }
+    }
+    EXPECT_EQ(covered.size(),
+              static_cast<size_t>(comp.expr.num_atoms()));
+    for (const Atom& a : comp.expr.atoms()) {
+      std::string key = std::to_string(a.table) + "/" +
+                        std::to_string(SelectionDigest(a.selections));
+      EXPECT_EQ(covered.count(key), 1u) << key;
+    }
+  }
+}
+
+TEST_F(FactorizeTest, SharedPrefixProducesSharedComponent) {
+  UserQuery storage;
+  auto queries = MakeQueries("membrane gene", &storage);
+  if (queries.size() < 2) GTEST_SKIP() << "need overlapping CQs";
+  InputAssignment assignment = Assign(queries);
+  auto spec = FactorizePlan(queries, assignment, *cost_model_);
+  ASSERT_TRUE(spec.ok());
+  // With overlapping queries there must be at least one component that
+  // serves two or more CQs OR a shared input feeding multiple CQs.
+  bool shared_component = false;
+  for (const PlanSpec::Component& comp : spec.value().components) {
+    if (comp.cq_ids.size() >= 2) shared_component = true;
+  }
+  bool shared_input = false;
+  for (const CandidateInput& input : spec.value().assignment.inputs) {
+    if (input.cq_ids.size() >= 2) shared_input = true;
+  }
+  EXPECT_TRUE(shared_component || shared_input);
+}
+
+TEST_F(FactorizeTest, UpstreamReferencesPointBackwards) {
+  UserQuery storage;
+  auto queries = MakeQueries("protein membrane gene", &storage);
+  InputAssignment assignment = Assign(queries);
+  auto spec = FactorizePlan(queries, assignment, *cost_model_);
+  ASSERT_TRUE(spec.ok());
+  for (const PlanSpec::Component& comp : spec.value().components) {
+    for (const PlanSpec::ModuleRef& ref : comp.modules) {
+      if (ref.kind == PlanSpec::ModuleRef::Kind::kUpstream) {
+        EXPECT_LT(ref.index, comp.id);
+      } else {
+        EXPECT_LT(ref.index,
+                  static_cast<int>(spec.value().assignment.inputs.size()));
+      }
+    }
+  }
+}
+
+TEST_F(FactorizeTest, ResidualOnlyAssignmentYieldsOneComponentPerQuery) {
+  UserQuery storage;
+  auto queries = MakeQueries("membrane gene", &storage);
+  PruningOptions options;
+  InputAssignment residual = CompleteAssignment(queries, {}, sys_->catalog(),
+                                                *cost_model_, options);
+  auto spec = FactorizePlan(queries, residual, *cost_model_);
+  ASSERT_TRUE(spec.ok());
+  // Without multi-atom pushdowns, components can still be shared at
+  // common single-atom prefixes, but every terminal must exist.
+  EXPECT_EQ(spec.value().terminal_of_cq.size(), queries.size());
+}
+
+TEST_F(FactorizeTest, FailsOnQueryWithNoInputs) {
+  UserQuery storage;
+  auto queries = MakeQueries("membrane gene", &storage);
+  InputAssignment empty;
+  EXPECT_FALSE(FactorizePlan(queries, empty, *cost_model_).ok());
+}
+
+}  // namespace
+}  // namespace qsys

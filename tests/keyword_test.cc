@@ -1,0 +1,161 @@
+// Unit tests for the keyword front end: schema graph paths, keyword
+// matching, and candidate-network generation.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace qsys {
+namespace {
+
+using ::qsys::testing::BuildTinyBioDataset;
+using ::qsys::testing::FastTestConfig;
+
+class KeywordTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sys_ = std::make_unique<QSystem>(FastTestConfig());
+    ASSERT_TRUE(BuildTinyBioDataset(*sys_).ok());
+  }
+  std::unique_ptr<QSystem> sys_;
+};
+
+TEST_F(KeywordTest, ShortestPathConnectsEntities) {
+  SchemaGraph& graph = sys_->schema_graph();
+  TableId protein = sys_->catalog().FindTable("protein_info").value();
+  TableId gene = sys_->catalog().FindTable("gene_info").value();
+  SchemaGraph::Path path = graph.ShortestPath({protein}, gene);
+  ASSERT_TRUE(path.found);
+  EXPECT_GE(path.edge_ids.size(), 1u);
+  EXPECT_GT(path.cost, 0.0);
+  // Path from a node to itself is trivial.
+  SchemaGraph::Path self = graph.ShortestPath({protein}, protein);
+  EXPECT_TRUE(self.found);
+  EXPECT_TRUE(self.edge_ids.empty());
+}
+
+TEST_F(KeywordTest, ShortestPathUnreachable) {
+  // A fresh graph with an isolated extra table.
+  Catalog catalog;
+  TableSchema s1("a", {{"id", FieldType::kInt}});
+  TableSchema s2("b", {{"id", FieldType::kInt}});
+  TableId a = catalog.AddTable(std::move(s1)).value();
+  TableId b = catalog.AddTable(std::move(s2)).value();
+  catalog.FinalizeAll();
+  SchemaGraph graph(&catalog);
+  SchemaGraph::Path path = graph.ShortestPath({a}, b);
+  EXPECT_FALSE(path.found);
+}
+
+TEST_F(KeywordTest, MatcherFindsMetadataAndContent) {
+  KeywordMatcher matcher(&sys_->inverted_index(), &sys_->catalog());
+  // "protein" appears in the table name protein_info (metadata).
+  std::vector<TableMatch> meta = matcher.Match("protein", 8);
+  ASSERT_FALSE(meta.empty());
+  bool has_metadata = false;
+  for (const TableMatch& m : meta) {
+    if (m.is_metadata) has_metadata = true;
+  }
+  EXPECT_TRUE(has_metadata);
+  // "membrane" appears in tuple content: matches carry selections.
+  std::vector<TableMatch> content = matcher.Match("membrane", 8);
+  ASSERT_FALSE(content.empty());
+  bool has_selection = false;
+  for (const TableMatch& m : content) {
+    if (!m.selections.empty()) has_selection = true;
+  }
+  EXPECT_TRUE(has_selection);
+  // Results capped and sorted by score.
+  std::vector<TableMatch> capped = matcher.Match("membrane", 1);
+  EXPECT_EQ(capped.size(), 1u);
+  EXPECT_TRUE(matcher.Match("qqqqq", 4).empty());
+}
+
+TEST_F(KeywordTest, GeneratorProducesConnectedRankedCqs) {
+  KeywordMatcher matcher(&sys_->inverted_index(), &sys_->catalog());
+  CandidateGenerator gen(&sys_->schema_graph(), &matcher);
+  CandidateGenOptions options;
+  options.max_cqs = 10;
+  auto uq = gen.Generate("membrane gene", 5, options);
+  ASSERT_TRUE(uq.ok()) << uq.status().ToString();
+  ASSERT_FALSE(uq.value().cqs.empty());
+  for (const ConjunctiveQuery& cq : uq.value().cqs) {
+    EXPECT_TRUE(cq.expr.IsConnected());
+    EXPECT_LE(cq.expr.num_atoms(), options.max_atoms);
+    EXPECT_GT(cq.max_sum, 0.0);
+  }
+  // Sorted by nonincreasing upper bound.
+  for (size_t i = 1; i < uq.value().cqs.size(); ++i) {
+    EXPECT_GE(uq.value().cqs[i - 1].UpperBound(),
+              uq.value().cqs[i].UpperBound() - 1e-12);
+  }
+}
+
+TEST_F(KeywordTest, GeneratorDeduplicatesCqs) {
+  KeywordMatcher matcher(&sys_->inverted_index(), &sys_->catalog());
+  CandidateGenerator gen(&sys_->schema_graph(), &matcher);
+  CandidateGenOptions options;
+  auto uq = gen.Generate("membrane membrane gene", 5, options);
+  ASSERT_TRUE(uq.ok());
+  std::set<std::string> sigs;
+  for (const ConjunctiveQuery& cq : uq.value().cqs) {
+    EXPECT_TRUE(sigs.insert(cq.expr.Signature()).second)
+        << "duplicate CQ " << cq.expr.ToString(&sys_->catalog());
+  }
+}
+
+TEST_F(KeywordTest, GeneratorRespectsMaxCqs) {
+  KeywordMatcher matcher(&sys_->inverted_index(), &sys_->catalog());
+  CandidateGenerator gen(&sys_->schema_graph(), &matcher);
+  CandidateGenOptions options;
+  options.max_cqs = 2;
+  auto uq = gen.Generate("membrane gene", 5, options);
+  ASSERT_TRUE(uq.ok());
+  EXPECT_LE(uq.value().cqs.size(), 2u);
+}
+
+TEST_F(KeywordTest, GeneratorFailsOnUnknownKeyword) {
+  KeywordMatcher matcher(&sys_->inverted_index(), &sys_->catalog());
+  CandidateGenerator gen(&sys_->schema_graph(), &matcher);
+  CandidateGenOptions options;
+  EXPECT_EQ(gen.Generate("zzzz", 5, options).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(gen.Generate("", 5, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(KeywordTest, ScoreModelSelectionAffectsFunctions) {
+  KeywordMatcher matcher(&sys_->inverted_index(), &sys_->catalog());
+  CandidateGenerator gen(&sys_->schema_graph(), &matcher);
+  for (ScoreModel model :
+       {ScoreModel::kDiscoverSize, ScoreModel::kDiscoverSum,
+        ScoreModel::kQSystem, ScoreModel::kBanksLike}) {
+    CandidateGenOptions options;
+    options.score_model = model;
+    auto uq = gen.Generate("membrane gene", 5, options);
+    ASSERT_TRUE(uq.ok());
+    EXPECT_EQ(uq.value().cqs[0].score_fn.model(), model);
+  }
+}
+
+TEST_F(KeywordTest, UserEdgeCostFactorShiftsQSystemBounds) {
+  KeywordMatcher matcher(&sys_->inverted_index(), &sys_->catalog());
+  CandidateGenerator gen(&sys_->schema_graph(), &matcher);
+  CandidateGenOptions cheap;
+  cheap.score_model = ScoreModel::kQSystem;
+  cheap.user_edge_cost_factor = 0.5;
+  CandidateGenOptions costly = cheap;
+  costly.user_edge_cost_factor = 2.0;
+  auto uq_cheap = gen.Generate("membrane gene", 5, cheap);
+  auto uq_costly = gen.Generate("membrane gene", 5, costly);
+  ASSERT_TRUE(uq_cheap.ok());
+  ASSERT_TRUE(uq_costly.ok());
+  // Higher per-user edge costs -> lower Q-model score upper bounds for
+  // multi-atom queries.
+  double cheap_best = uq_cheap.value().cqs[0].UpperBound();
+  double costly_best = uq_costly.value().cqs[0].UpperBound();
+  EXPECT_GE(cheap_best, costly_best);
+}
+
+}  // namespace
+}  // namespace qsys

@@ -1,0 +1,321 @@
+// Unit tests for the m-join (STeM eddy) operator: symmetric hash joins,
+// exactly-once production, probe modules, frozen (epoch-limited)
+// modules, adaptive probe ordering, and validation errors.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/exec/mjoin_op.h"
+
+namespace qsys {
+namespace {
+
+/// Collects everything an operator emits.
+class SinkOp : public Operator {
+ public:
+  void Consume(int port, const CompositeTuple& tuple,
+               ExecContext& ctx) override {
+    (void)port;
+    (void)ctx;
+    tuples.push_back(tuple);
+  }
+  std::string Describe() const override { return "sink"; }
+  std::vector<CompositeTuple> tuples;
+};
+
+class MJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // R(id,score), S(id, r_id, t_id, score), T(id,score):
+    // chain R -< S >- T.
+    auto entity = [](const std::string& name) {
+      TableSchema s(name, {{"id", FieldType::kInt},
+                           {"score", FieldType::kDouble}});
+      s.set_key_field(0);
+      s.set_score_field(1);
+      return s;
+    };
+    TableSchema link("s", {{"id", FieldType::kInt},
+                           {"r_id", FieldType::kInt},
+                           {"t_id", FieldType::kInt},
+                           {"score", FieldType::kDouble}});
+    link.set_key_field(0);
+    link.set_score_field(3);
+    r_ = catalog_.AddTable(entity("r")).value();
+    s_ = catalog_.AddTable(std::move(link)).value();
+    t_ = catalog_.AddTable(entity("t")).value();
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(catalog_.table(r_)
+                      .AddRow({Value(int64_t{i}), Value(0.9 - 0.1 * i)})
+                      .ok());
+      ASSERT_TRUE(catalog_.table(t_)
+                      .AddRow({Value(int64_t{i}), Value(0.8 - 0.1 * i)})
+                      .ok());
+    }
+    // S: (r_id, t_id) pairs.
+    int64_t pairs[][2] = {{0, 0}, {0, 1}, {1, 2}, {3, 3}, {3, 0}};
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(catalog_.table(s_)
+                      .AddRow({Value(int64_t{i}), Value(pairs[i][0]),
+                               Value(pairs[i][1]), Value(0.5)})
+                      .ok());
+    }
+    catalog_.FinalizeAll();
+    delays_ = std::make_unique<DelayModel>(DelayParams{}, 5);
+    sources_ = std::make_unique<SourceManager>(&catalog_);
+    ctx_.clock = &clock_;
+    ctx_.stats = &stats_;
+    ctx_.catalog = &catalog_;
+    ctx_.delays = delays_.get();
+  }
+
+  Expr SingleAtomExpr(TableId t) {
+    Expr e;
+    Atom a;
+    a.table = t;
+    e.AddAtom(a);
+    e.Normalize();
+    return e;
+  }
+
+  /// R ⋈ S ⋈ T (S.r_id = R.id, S.t_id = T.id).
+  Expr ChainExpr() {
+    Expr e;
+    Atom ra, sa, ta;
+    ra.table = r_;
+    sa.table = s_;
+    ta.table = t_;
+    int ri = e.AddAtom(ra);
+    int si = e.AddAtom(sa);
+    int ti = e.AddAtom(ta);
+    e.AddEdge({ri, 0, si, 1, 1.0});
+    e.AddEdge({si, 2, ti, 0, 1.0});
+    e.Normalize();
+    return e;
+  }
+
+  CompositeTuple BaseTuple(TableId t, RowId row) {
+    return CompositeTuple::ForBase(t, row, catalog_.table(t).RowScore(row));
+  }
+
+  Catalog catalog_;
+  TableId r_, s_, t_;
+  VirtualClock clock_;
+  ExecStats stats_;
+  std::unique_ptr<DelayModel> delays_;
+  std::unique_ptr<SourceManager> sources_;
+  ExecContext ctx_;
+};
+
+TEST_F(MJoinTest, TwoWaySymmetricJoinExactlyOnce) {
+  Expr e;
+  Atom ra, sa;
+  ra.table = r_;
+  sa.table = s_;
+  int ri = e.AddAtom(ra);
+  int si = e.AddAtom(sa);
+  e.AddEdge({ri, 0, si, 1, 1.0});
+  e.Normalize();
+  MJoinOp join(e, &catalog_, /*adaptive=*/true);
+  int rp = join.AddStreamModule(SingleAtomExpr(r_)).value();
+  int sp = join.AddStreamModule(SingleAtomExpr(s_)).value();
+  ASSERT_TRUE(join.Finalize().ok());
+  SinkOp sink;
+  join.SetConsumer({&sink, 0});
+
+  // Interleave arrivals; expected matches: R0-S0, R0-S1, R1-S2, R3-S3,
+  // R3-S4 = 5 results, each exactly once.
+  for (RowId i = 0; i < 4; ++i) join.Consume(rp, BaseTuple(r_, i), ctx_);
+  for (RowId i = 0; i < 5; ++i) join.Consume(sp, BaseTuple(s_, i), ctx_);
+  EXPECT_EQ(sink.tuples.size(), 5u);
+  std::set<uint64_t> identities;
+  for (const CompositeTuple& t : sink.tuples) {
+    identities.insert(t.IdentityHash());
+  }
+  EXPECT_EQ(identities.size(), 5u);  // no duplicates
+  EXPECT_EQ(stats_.join_outputs, 5);
+  EXPECT_GT(stats_.join_probes, 0);
+}
+
+TEST_F(MJoinTest, InterleavedArrivalsStillExactlyOnce) {
+  Expr e;
+  Atom ra, sa;
+  ra.table = r_;
+  sa.table = s_;
+  int ri = e.AddAtom(ra);
+  int si = e.AddAtom(sa);
+  e.AddEdge({ri, 0, si, 1, 1.0});
+  e.Normalize();
+  MJoinOp join(e, &catalog_, true);
+  int rp = join.AddStreamModule(SingleAtomExpr(r_)).value();
+  int sp = join.AddStreamModule(SingleAtomExpr(s_)).value();
+  ASSERT_TRUE(join.Finalize().ok());
+  SinkOp sink;
+  join.SetConsumer({&sink, 0});
+  join.Consume(sp, BaseTuple(s_, 0), ctx_);  // S first: no match yet
+  EXPECT_EQ(sink.tuples.size(), 0u);
+  join.Consume(rp, BaseTuple(r_, 0), ctx_);  // R0 matches S0
+  EXPECT_EQ(sink.tuples.size(), 1u);
+  join.Consume(sp, BaseTuple(s_, 1), ctx_);  // S1 matches stored R0
+  EXPECT_EQ(sink.tuples.size(), 2u);
+}
+
+TEST_F(MJoinTest, ThreeWayChainProducesFullJoin) {
+  MJoinOp join(ChainExpr(), &catalog_, true);
+  int rp = join.AddStreamModule(SingleAtomExpr(r_)).value();
+  int sp = join.AddStreamModule(SingleAtomExpr(s_)).value();
+  int tp = join.AddStreamModule(SingleAtomExpr(t_)).value();
+  ASSERT_TRUE(join.Finalize().ok());
+  SinkOp sink;
+  join.SetConsumer({&sink, 0});
+  for (RowId i = 0; i < 4; ++i) join.Consume(rp, BaseTuple(r_, i), ctx_);
+  for (RowId i = 0; i < 4; ++i) join.Consume(tp, BaseTuple(t_, i), ctx_);
+  for (RowId i = 0; i < 5; ++i) join.Consume(sp, BaseTuple(s_, i), ctx_);
+  // Every S row finds its R and T: 5 results.
+  EXPECT_EQ(sink.tuples.size(), 5u);
+  // Composites cover all three atoms with correct join keys.
+  for (const CompositeTuple& t : sink.tuples) {
+    ASSERT_EQ(t.num_refs(), 3);
+    int s_slot = ChainExpr().FindAtom([&] {
+      Atom a;
+      a.table = s_;
+      return a.Key();
+    }());
+    const BaseRef& sref = t.ref(s_slot);
+    const Row& srow = catalog_.table(s_).row(sref.row);
+    // The R ref's id must equal S.r_id, T ref's id must equal S.t_id.
+    for (const BaseRef& ref : t.refs()) {
+      if (ref.table == r_) {
+        EXPECT_EQ(catalog_.table(r_).row(ref.row)[0], srow[1]);
+      }
+      if (ref.table == t_) {
+        EXPECT_EQ(catalog_.table(t_).row(ref.row)[0], srow[2]);
+      }
+    }
+  }
+}
+
+TEST_F(MJoinTest, ProbeModuleReachesRemoteSource) {
+  // R streamed, S probed remotely.
+  Expr e;
+  Atom ra, sa;
+  ra.table = r_;
+  sa.table = s_;
+  int ri = e.AddAtom(ra);
+  int si = e.AddAtom(sa);
+  e.AddEdge({ri, 0, si, 1, 1.0});
+  e.Normalize();
+  MJoinOp join(e, &catalog_, true);
+  int rp = join.AddStreamModule(SingleAtomExpr(r_)).value();
+  Atom sa2;
+  sa2.table = s_;
+  ASSERT_TRUE(join.AddProbeModule(sa2, sources_.get()).ok());
+  ASSERT_TRUE(join.Finalize().ok());
+  SinkOp sink;
+  join.SetConsumer({&sink, 0});
+  for (RowId i = 0; i < 4; ++i) join.Consume(rp, BaseTuple(r_, i), ctx_);
+  EXPECT_EQ(sink.tuples.size(), 5u);
+  EXPECT_GT(stats_.probes_issued, 0);
+}
+
+TEST_F(MJoinTest, FrozenModuleSeesOnlyOldEpochs) {
+  Expr e;
+  Atom ra, sa;
+  ra.table = r_;
+  sa.table = s_;
+  int ri = e.AddAtom(ra);
+  int si = e.AddAtom(sa);
+  e.AddEdge({ri, 0, si, 1, 1.0});
+  e.Normalize();
+  // Pre-populate an S hash table: epochs 0 and 1.
+  JoinHashTable s_table(&catalog_);
+  s_table.Insert(0, BaseTuple(s_, 0));  // r_id 0
+  s_table.Insert(1, BaseTuple(s_, 1));  // r_id 0
+  MJoinOp join(e, &catalog_, true);
+  int rp = join.AddStreamModule(SingleAtomExpr(r_)).value();
+  ASSERT_TRUE(
+      join.AddFrozenModule(SingleAtomExpr(s_), &s_table,
+                           /*max_epoch_exclusive=*/1)
+          .ok());
+  ASSERT_TRUE(join.Finalize().ok());
+  SinkOp sink;
+  join.SetConsumer({&sink, 0});
+  join.Consume(rp, BaseTuple(r_, 0), ctx_);
+  // Only the epoch-0 S tuple is visible.
+  EXPECT_EQ(sink.tuples.size(), 1u);
+  // And the frozen table was not re-inserted into.
+  EXPECT_EQ(s_table.num_entries(), 2);
+}
+
+TEST_F(MJoinTest, FinalizeValidatesCoverage) {
+  MJoinOp join(ChainExpr(), &catalog_, true);
+  ASSERT_TRUE(join.AddStreamModule(SingleAtomExpr(r_)).ok());
+  // Missing S and T coverage.
+  EXPECT_FALSE(join.Finalize().ok());
+}
+
+TEST_F(MJoinTest, FinalizeRejectsOverlappingModules) {
+  Expr e;
+  Atom ra, sa;
+  ra.table = r_;
+  sa.table = s_;
+  int ri = e.AddAtom(ra);
+  int si = e.AddAtom(sa);
+  e.AddEdge({ri, 0, si, 1, 1.0});
+  e.Normalize();
+  MJoinOp join(e, &catalog_, true);
+  ASSERT_TRUE(join.AddStreamModule(SingleAtomExpr(r_)).ok());
+  ASSERT_TRUE(join.AddStreamModule(SingleAtomExpr(s_)).ok());
+  ASSERT_TRUE(join.AddStreamModule(SingleAtomExpr(r_)).ok());  // overlap
+  EXPECT_FALSE(join.Finalize().ok());
+}
+
+TEST_F(MJoinTest, AdaptiveProbeOrderFavorsSelectiveModules) {
+  MJoinOp join(ChainExpr(), &catalog_, /*adaptive=*/true);
+  int rp = join.AddStreamModule(SingleAtomExpr(r_)).value();
+  int sp = join.AddStreamModule(SingleAtomExpr(s_)).value();
+  int tp = join.AddStreamModule(SingleAtomExpr(t_)).value();
+  ASSERT_TRUE(join.Finalize().ok());
+  SinkOp sink;
+  join.SetConsumer({&sink, 0});
+  for (RowId i = 0; i < 4; ++i) join.Consume(rp, BaseTuple(r_, i), ctx_);
+  for (RowId i = 0; i < 4; ++i) join.Consume(tp, BaseTuple(t_, i), ctx_);
+  for (RowId i = 0; i < 5; ++i) join.Consume(sp, BaseTuple(s_, i), ctx_);
+  // The monitor has observed fanouts now; from S's perspective the order
+  // must visit connectable modules only and cover all others.
+  std::vector<int> order = join.CurrentProbeOrder(sp);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_TRUE((order[0] == rp && order[1] == tp) ||
+              (order[0] == tp && order[1] == rp));
+  EXPECT_GE(join.ModuleFanout(rp), 0.0);
+  EXPECT_GT(join.StateSizeBytes(), 0);
+}
+
+TEST_F(MJoinTest, SingleModulePassthrough) {
+  // A component whose expression equals its only input acts as identity
+  // (used when a whole CQ is pushed down to the source).
+  Expr e = SingleAtomExpr(r_);
+  MJoinOp join(e, &catalog_, true);
+  int rp = join.AddStreamModule(e).value();
+  ASSERT_TRUE(join.Finalize().ok());
+  SinkOp sink;
+  join.SetConsumer({&sink, 0});
+  join.Consume(rp, BaseTuple(r_, 0), ctx_);
+  EXPECT_EQ(sink.tuples.size(), 1u);
+}
+
+TEST_F(MJoinTest, InactiveOperatorDropsInput) {
+  Expr e = SingleAtomExpr(r_);
+  MJoinOp join(e, &catalog_, true);
+  int rp = join.AddStreamModule(e).value();
+  ASSERT_TRUE(join.Finalize().ok());
+  SinkOp sink;
+  join.SetConsumer({&sink, 0});
+  join.set_active(false);
+  join.Consume(rp, BaseTuple(r_, 0), ctx_);
+  EXPECT_TRUE(sink.tuples.empty());
+}
+
+}  // namespace
+}  // namespace qsys

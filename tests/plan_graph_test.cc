@@ -1,0 +1,153 @@
+// Unit tests for the plan graph: wiring, automatic split insertion,
+// source routing, CQ dependency tracking and unlinking (§6.3).
+
+#include <gtest/gtest.h>
+
+#include "src/exec/plan_graph.h"
+
+namespace qsys {
+namespace {
+
+class CountingSink : public Operator {
+ public:
+  void Consume(int, const CompositeTuple&, ExecContext&) override {
+    ++count;
+  }
+  std::string Describe() const override { return "counting-sink"; }
+  int count = 0;
+};
+
+class PlanGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableSchema schema("t", {{"id", FieldType::kInt},
+                             {"score", FieldType::kDouble}});
+    schema.set_score_field(1);
+    tid_ = catalog_.AddTable(std::move(schema)).value();
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(catalog_.table(tid_)
+                      .AddRow({Value(int64_t{i}), Value(0.9 - 0.1 * i)})
+                      .ok());
+    }
+    catalog_.FinalizeAll();
+    sources_ = std::make_unique<SourceManager>(&catalog_);
+    delays_ = std::make_unique<DelayModel>(DelayParams{}, 1);
+    ctx_.clock = &clock_;
+    ctx_.stats = &stats_;
+    ctx_.catalog = &catalog_;
+    ctx_.delays = delays_.get();
+  }
+
+  Expr SingleExpr() {
+    Expr e;
+    Atom a;
+    a.table = tid_;
+    e.AddAtom(a);
+    e.Normalize();
+    return e;
+  }
+
+  Catalog catalog_;
+  TableId tid_;
+  std::unique_ptr<SourceManager> sources_;
+  std::unique_ptr<DelayModel> delays_;
+  VirtualClock clock_;
+  ExecStats stats_;
+  ExecContext ctx_;
+};
+
+TEST_F(PlanGraphTest, SourceRoutingSingleConsumer) {
+  PlanGraph graph(&catalog_, true);
+  StreamingSource* src = sources_->GetOrCreateStream(SingleExpr());
+  CountingSink sink;
+  graph.ConnectSource(src, {&sink, 0});
+  EXPECT_TRUE(graph.SourceAttached(src));
+  graph.RouteFromSource(src, CompositeTuple::ForBase(tid_, 0, 0.9), ctx_);
+  EXPECT_EQ(sink.count, 1);
+  EXPECT_EQ(stats_.split_routed, 0);  // no fan-out, no split
+}
+
+TEST_F(PlanGraphTest, FanOutInsertsSplit) {
+  PlanGraph graph(&catalog_, true);
+  StreamingSource* src = sources_->GetOrCreateStream(SingleExpr());
+  CountingSink a, b, c;
+  graph.ConnectSource(src, {&a, 0});
+  graph.ConnectSource(src, {&b, 0});
+  graph.ConnectSource(src, {&c, 0});
+  graph.RouteFromSource(src, CompositeTuple::ForBase(tid_, 0, 0.9), ctx_);
+  EXPECT_EQ(a.count, 1);
+  EXPECT_EQ(b.count, 1);
+  EXPECT_EQ(c.count, 1);
+  EXPECT_EQ(stats_.split_routed, 3);  // routed through a SplitOp
+}
+
+TEST_F(PlanGraphTest, MJoinFanOutInsertsSplit) {
+  PlanGraph graph(&catalog_, true);
+  MJoinOp* join = graph.AddMJoin(SingleExpr());
+  int port = join->AddStreamModule(SingleExpr()).value();
+  ASSERT_TRUE(join->Finalize().ok());
+  CountingSink a, b;
+  graph.ConnectMJoin(join, {&a, 0});
+  graph.ConnectMJoin(join, {&b, 0});
+  join->Consume(port, CompositeTuple::ForBase(tid_, 0, 0.9), ctx_);
+  EXPECT_EQ(a.count, 1);
+  EXPECT_EQ(b.count, 1);
+}
+
+TEST_F(PlanGraphTest, SplitSkipsInactiveConsumers) {
+  SplitOp split;
+  CountingSink a, b;
+  split.AddConsumer({&a, 0});
+  split.AddConsumer({&b, 0});
+  b.set_active(false);
+  split.Consume(0, CompositeTuple::ForBase(tid_, 0, 0.9), ctx_);
+  EXPECT_EQ(a.count, 1);
+  EXPECT_EQ(b.count, 0);
+  EXPECT_EQ(split.RemoveConsumer(&a), 1);
+}
+
+TEST_F(PlanGraphTest, FindMJoinsBySignature) {
+  PlanGraph graph(&catalog_, true);
+  Expr e = SingleExpr();
+  MJoinOp* j1 = graph.AddMJoin(e);
+  MJoinOp* j2 = graph.AddMJoin(e);
+  std::vector<MJoinOp*> found = graph.FindMJoins(e.Signature());
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0], j2);  // newest first
+  EXPECT_EQ(found[1], j1);
+  EXPECT_TRUE(graph.FindMJoins("nope").empty());
+}
+
+TEST_F(PlanGraphTest, UnlinkCqDeactivatesOrphanedOperators) {
+  PlanGraph graph(&catalog_, true);
+  MJoinOp* shared = graph.AddMJoin(SingleExpr());
+  MJoinOp* exclusive = graph.AddMJoin(SingleExpr());
+  graph.RegisterCqDependency(1, shared);
+  graph.RegisterCqDependency(2, shared);
+  graph.RegisterCqDependency(1, exclusive);
+  graph.UnlinkCq(1);
+  EXPECT_TRUE(shared->active());      // CQ 2 still flows through
+  EXPECT_FALSE(exclusive->active());  // orphaned: deactivated
+  graph.UnlinkCq(2);
+  EXPECT_FALSE(shared->active());
+}
+
+TEST_F(PlanGraphTest, AllCompleteOnEmptyAndWithMerges) {
+  PlanGraph graph(&catalog_, true);
+  EXPECT_TRUE(graph.AllComplete());
+  RankMergeOp* rm = graph.AddRankMerge(1, 5, 0);
+  EXPECT_FALSE(graph.AllComplete());
+  (void)rm;
+}
+
+TEST_F(PlanGraphTest, ToStringRendersOperators) {
+  PlanGraph graph(&catalog_, true);
+  graph.AddMJoin(SingleExpr());
+  graph.AddRankMerge(3, 5, 0);
+  std::string s = graph.ToString();
+  EXPECT_NE(s.find("m-join"), std::string::npos);
+  EXPECT_NE(s.find("rank-merge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qsys

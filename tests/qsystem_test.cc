@@ -1,0 +1,222 @@
+// Facade-level tests for QSystem: lifecycle preconditions, configuration
+// knobs (k, batching, adaptivity, eviction, temporal reuse), per-user
+// scoring, and discrete-event timeline behavior.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace qsys {
+namespace {
+
+using ::qsys::testing::BuildTinyBioDataset;
+using ::qsys::testing::FastTestConfig;
+
+TEST(QSystemLifecycle, PoseBeforeFinalizeFails) {
+  QSystem sys(FastTestConfig());
+  auto uq = sys.Pose("anything", 1, 0);
+  EXPECT_EQ(uq.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sys.Run().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(QSystemLifecycle, FinalizeRequiresSchemaGraph) {
+  QSystem sys(FastTestConfig());
+  EXPECT_EQ(sys.FinalizeCatalog().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(QSystemLifecycle, FinalizeIsIdempotent) {
+  QSystem sys(FastTestConfig());
+  ASSERT_TRUE(BuildTinyBioDataset(sys).ok());
+  EXPECT_TRUE(sys.FinalizeCatalog().ok());  // second call is a no-op
+}
+
+TEST(QSystemLifecycle, RunWithNoQueriesSucceeds) {
+  QSystem sys(FastTestConfig());
+  ASSERT_TRUE(BuildTinyBioDataset(sys).ok());
+  EXPECT_TRUE(sys.Run().ok());
+  EXPECT_TRUE(sys.metrics().empty());
+  EXPECT_EQ(sys.num_atcs(), 0);
+}
+
+TEST(QSystemConfig, KControlsResultCount) {
+  for (int k : {1, 3, 8}) {
+    QConfig config = FastTestConfig();
+    config.k = k;
+    QSystem sys(config);
+    ASSERT_TRUE(BuildTinyBioDataset(sys).ok());
+    auto uq = sys.Pose("membrane gene", 1, 0);
+    ASSERT_TRUE(uq.ok());
+    ASSERT_TRUE(sys.Run().ok());
+    const auto* results = sys.ResultsFor(uq.value());
+    ASSERT_NE(results, nullptr);
+    EXPECT_LE(static_cast<int>(results->size()), k);
+    if (k <= 3) EXPECT_EQ(static_cast<int>(results->size()), k);
+  }
+}
+
+TEST(QSystemConfig, LargerKIsPrefixConsistent) {
+  // The top-3 of a k=8 run must equal the k=3 run's results.
+  auto run = [](int k) {
+    QConfig config = FastTestConfig();
+    config.k = k;
+    auto sys = std::make_unique<QSystem>(config);
+    EXPECT_TRUE(BuildTinyBioDataset(*sys).ok());
+    auto uq = sys->Pose("membrane gene", 1, 0);
+    EXPECT_TRUE(uq.ok());
+    EXPECT_TRUE(sys->Run().ok());
+    std::vector<double> scores;
+    for (const ResultTuple& r : *sys->ResultsFor(uq.value())) {
+      scores.push_back(r.score);
+    }
+    return scores;
+  };
+  std::vector<double> small = run(3);
+  std::vector<double> large = run(8);
+  ASSERT_GE(large.size(), small.size());
+  for (size_t i = 0; i < small.size(); ++i) {
+    EXPECT_NEAR(small[i], large[i], 1e-9) << "rank " << i;
+  }
+}
+
+TEST(QSystemConfig, PerUserScoreModelsApply) {
+  QSystem sys(FastTestConfig());
+  ASSERT_TRUE(BuildTinyBioDataset(sys).ok());
+  CandidateGenOptions discover;
+  discover.score_model = ScoreModel::kDiscoverSum;
+  CandidateGenOptions qmodel;
+  qmodel.score_model = ScoreModel::kQSystem;
+  auto a = sys.Pose("membrane gene", 1, 0, &discover);
+  auto b = sys.Pose("membrane gene", 2, 1'000'000, &qmodel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(sys.Run().ok());
+  EXPECT_EQ(sys.GetUserQuery(a.value())->cqs[0].score_fn.model(),
+            ScoreModel::kDiscoverSum);
+  EXPECT_EQ(sys.GetUserQuery(b.value())->cqs[0].score_fn.model(),
+            ScoreModel::kQSystem);
+  // Different score functions, both answered.
+  EXPECT_EQ(sys.metrics().size(), 2u);
+}
+
+TEST(QSystemConfig, MaxRoundsGuardTrips) {
+  QConfig config = FastTestConfig();
+  config.max_rounds = 1;
+  QSystem sys(config);
+  ASSERT_TRUE(BuildTinyBioDataset(sys).ok());
+  ASSERT_TRUE(sys.Pose("membrane gene", 1, 0).ok());
+  EXPECT_EQ(sys.Run().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(QSystemConfig, AdaptiveFlagPreservesResults) {
+  std::vector<double> scores[2];
+  int i = 0;
+  for (bool adaptive : {true, false}) {
+    QConfig config = FastTestConfig();
+    config.adaptive_probing = adaptive;
+    QSystem sys(config);
+    ASSERT_TRUE(BuildTinyBioDataset(sys).ok());
+    auto uq = sys.Pose("protein membrane", 1, 0);
+    ASSERT_TRUE(uq.ok());
+    ASSERT_TRUE(sys.Run().ok());
+    for (const ResultTuple& r : *sys.ResultsFor(uq.value())) {
+      scores[i].push_back(r.score);
+    }
+    ++i;
+  }
+  ASSERT_EQ(scores[0].size(), scores[1].size());
+  for (size_t r = 0; r < scores[0].size(); ++r) {
+    EXPECT_NEAR(scores[0][r], scores[1][r], 1e-9);
+  }
+}
+
+TEST(QSystemConfig, TemporalReuseOffIsolatesQueries) {
+  auto run = [](bool reuse) {
+    QConfig config = FastTestConfig();
+    config.temporal_reuse = reuse;
+    auto sys = std::make_unique<QSystem>(config);
+    EXPECT_TRUE(BuildTinyBioDataset(*sys).ok());
+    EXPECT_TRUE(sys->Pose("membrane gene", 1, 0).ok());
+    EXPECT_TRUE(sys->Pose("membrane gene", 2, 5'000'000).ok());
+    EXPECT_TRUE(sys->Run().ok());
+    return sys->aggregate_stats().tuples_streamed;
+  };
+  int64_t with_reuse = run(true);
+  int64_t without = run(false);
+  // Isolation re-reads what reuse would have recovered.
+  EXPECT_GT(without, with_reuse);
+}
+
+TEST(QSystemConfig, TightBudgetStillAnswersCorrectly) {
+  QConfig config = FastTestConfig();
+  config.memory_budget_bytes = 1 << 10;  // 1 KiB: constant pressure
+  QSystem sys(config);
+  ASSERT_TRUE(BuildTinyBioDataset(sys).ok());
+  auto a = sys.Pose("membrane gene", 1, 0);
+  auto b = sys.Pose("membrane gene", 2, 5'000'000);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(sys.Run().ok());
+  ASSERT_EQ(sys.metrics().size(), 2u);
+  // Under pressure the second query may recompute, but answers match a
+  // fresh system.
+  QSystem fresh(FastTestConfig());
+  ASSERT_TRUE(BuildTinyBioDataset(fresh).ok());
+  auto base = fresh.Pose("membrane gene", 1, 0);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(fresh.Run().ok());
+  const auto* got = sys.ResultsFor(b.value());
+  const auto* want = fresh.ResultsFor(base.value());
+  ASSERT_EQ(got->size(), want->size());
+  for (size_t i = 0; i < got->size(); ++i) {
+    EXPECT_NEAR((*got)[i].score, (*want)[i].score, 1e-9);
+  }
+}
+
+TEST(QSystemTimeline, ArrivalOrderIndependentOfPoseOrder) {
+  // Posing queries out of submission order must not change outcomes:
+  // Run() sorts arrivals by time.
+  auto run = [](bool reversed) {
+    QSystem sys(FastTestConfig());
+    EXPECT_TRUE(BuildTinyBioDataset(sys).ok());
+    std::vector<std::pair<std::string, VirtualTime>> poses = {
+        {"membrane gene", 0}, {"protein membrane", 4'000'000}};
+    if (reversed) std::swap(poses[0], poses[1]);
+    for (auto& [kw, t] : poses) {
+      EXPECT_TRUE(sys.Pose(kw, 1, t).ok());
+    }
+    EXPECT_TRUE(sys.Run().ok());
+    return sys.aggregate_stats().tuples_streamed;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(QSystemTimeline, MetricsTimestampsAreConsistent) {
+  QSystem sys(FastTestConfig());
+  ASSERT_TRUE(BuildTinyBioDataset(sys).ok());
+  ASSERT_TRUE(sys.Pose("membrane gene", 1, 2'000'000).ok());
+  ASSERT_TRUE(sys.Run().ok());
+  const UserQueryMetrics& m = sys.metrics()[0];
+  EXPECT_GE(m.start_time_us, m.submit_time_us);
+  EXPECT_GE(m.complete_time_us, m.start_time_us);
+  EXPECT_GE(m.LatencySeconds(), m.RunningSeconds());
+}
+
+TEST(QSystemTimeline, ClusteredConfigRespectsGraphCap) {
+  QConfig config = FastTestConfig();
+  config.sharing = SharingConfig::kAtcCl;
+  config.clustering.max_plan_graphs = 2;
+  QSystem sys(config);
+  ASSERT_TRUE(BuildTinyBioDataset(sys).ok());
+  const char* kws[] = {"membrane gene", "protein membrane",
+                       "metabolism protein", "gene transport"};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(sys.Pose(kws[i], 1 + i, i * 2'000'000).ok());
+  }
+  ASSERT_TRUE(sys.Run().ok());
+  EXPECT_LE(sys.num_atcs(), 2);
+  EXPECT_EQ(sys.metrics().size(), 4u);
+}
+
+}  // namespace
+}  // namespace qsys

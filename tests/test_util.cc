@@ -1,0 +1,118 @@
+#include "tests/test_util.h"
+
+#include "src/common/rng.h"
+
+namespace qsys::testing {
+
+namespace {
+
+const char* kProteinWords[] = {"kinase", "receptor", "membrane",
+                               "enzyme"};
+const char* kGeneWords[] = {"promoter", "transcript", "mutation",
+                            "variant"};
+const char* kTermWords[] = {"membrane", "metabolism", "pathway",
+                            "transport"};
+
+Status FillEntity(Table& table, Rng& rng, const char* const* words,
+                  int num_words, int rows) {
+  for (int r = 0; r < rows; ++r) {
+    std::string name = words[r % num_words];
+    std::string desc = std::string(words[(r + 1) % num_words]) + " " +
+                       words[(r + 2) % num_words];
+    double score = 1.0 - 0.05 * r + 0.01 * rng.NextDouble();
+    QSYS_RETURN_IF_ERROR(
+        table.AddRow({Value(static_cast<int64_t>(r)), Value(name),
+                      Value(desc), Value(score)}));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BuildTinyBioDataset(QSystem& sys, uint64_t seed) {
+  Rng rng(seed);
+  Catalog& catalog = sys.catalog();
+
+  auto entity_schema = [](const std::string& name) {
+    TableSchema s(name, {{"id", FieldType::kInt},
+                         {"name", FieldType::kString},
+                         {"description", FieldType::kString},
+                         {"score", FieldType::kDouble}});
+    s.set_key_field(0);
+    s.set_score_field(3);
+    return s;
+  };
+
+  QSYS_ASSIGN_OR_RETURN(TableId protein,
+                        catalog.AddTable(entity_schema("protein_info")));
+  QSYS_ASSIGN_OR_RETURN(TableId gene,
+                        catalog.AddTable(entity_schema("gene_info")));
+  QSYS_ASSIGN_OR_RETURN(TableId term,
+                        catalog.AddTable(entity_schema("term_info")));
+  QSYS_RETURN_IF_ERROR(
+      FillEntity(catalog.table(protein), rng, kProteinWords, 4, 16));
+  QSYS_RETURN_IF_ERROR(
+      FillEntity(catalog.table(gene), rng, kGeneWords, 4, 16));
+  QSYS_RETURN_IF_ERROR(
+      FillEntity(catalog.table(term), rng, kTermWords, 4, 12));
+
+  auto bridge_schema = [](const std::string& name, bool scored) {
+    std::vector<FieldDef> fields = {{"id", FieldType::kInt},
+                                    {"a_id", FieldType::kInt},
+                                    {"b_id", FieldType::kInt}};
+    if (scored) fields.push_back({"sim", FieldType::kDouble});
+    TableSchema s(name, std::move(fields));
+    s.set_key_field(0);
+    if (scored) s.set_score_field(3);
+    return s;
+  };
+
+  QSYS_ASSIGN_OR_RETURN(
+      TableId p2t, catalog.AddTable(bridge_schema("prot2term", true)));
+  QSYS_ASSIGN_OR_RETURN(
+      TableId g2t, catalog.AddTable(bridge_schema("gene2term", true)));
+  QSYS_ASSIGN_OR_RETURN(
+      TableId p2g, catalog.AddTable(bridge_schema("prot2gene", false)));
+
+  for (int r = 0; r < 24; ++r) {
+    double sim = 1.0 - 0.04 * r + 0.01 * rng.NextDouble();
+    QSYS_RETURN_IF_ERROR(catalog.table(p2t).AddRow(
+        {Value(static_cast<int64_t>(r)),
+         Value(static_cast<int64_t>(rng.NextUint(16))),
+         Value(static_cast<int64_t>(rng.NextUint(12))), Value(sim)}));
+    QSYS_RETURN_IF_ERROR(catalog.table(g2t).AddRow(
+        {Value(static_cast<int64_t>(r)),
+         Value(static_cast<int64_t>(rng.NextUint(16))),
+         Value(static_cast<int64_t>(rng.NextUint(12))), Value(sim)}));
+  }
+  for (int r = 0; r < 20; ++r) {
+    QSYS_RETURN_IF_ERROR(catalog.table(p2g).AddRow(
+        {Value(static_cast<int64_t>(r)),
+         Value(static_cast<int64_t>(rng.NextUint(16))),
+         Value(static_cast<int64_t>(rng.NextUint(16)))}));
+  }
+
+  SchemaGraph& graph = sys.InitSchemaGraph();
+  graph.AddEdgeByIndex(p2t, 1, protein, 0, 0.8);
+  graph.AddEdgeByIndex(p2t, 2, term, 0, 0.7);
+  graph.AddEdgeByIndex(g2t, 1, gene, 0, 0.9);
+  graph.AddEdgeByIndex(g2t, 2, term, 0, 0.6);
+  graph.AddEdgeByIndex(p2g, 1, protein, 0, 1.1);
+  graph.AddEdgeByIndex(p2g, 2, gene, 0, 1.0);
+
+  return sys.FinalizeCatalog();
+}
+
+QConfig FastTestConfig() {
+  QConfig config;
+  config.k = 5;
+  config.batch_size = 1;
+  config.batch_window_us = 1000;
+  config.delays.stream_tuple_mean_us = 100.0;
+  config.delays.probe_mean_us = 100.0;
+  config.delays.pushdown_setup_us = 200.0;
+  config.max_rounds = 2'000'000;
+  return config;
+}
+
+}  // namespace qsys::testing

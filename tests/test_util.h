@@ -1,0 +1,34 @@
+// Shared fixtures for the test suite: a miniature bioinformatics catalog
+// shaped like Figure 1 of the paper (protein / gene / term entities with
+// bridge tables), small enough to reason about by hand.
+
+#ifndef QSYS_TESTS_TEST_UTIL_H_
+#define QSYS_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/qsystem.h"
+
+namespace qsys::testing {
+
+/// Builds the miniature Figure-1-style dataset inside `sys`:
+///
+///   protein_info (id, name, description, score)      16 rows
+///   gene_info    (id, name, description, score)      16 rows
+///   term_info    (id, name, description, score)      12 rows
+///   prot2term    (id, a_id, b_id, sim)               24 rows (scored)
+///   gene2term    (id, a_id, b_id, sim)               24 rows (scored)
+///   prot2gene    (id, a_id, b_id)                    20 rows (unscored)
+///
+/// Edges: prot2term(a->protein, b->term), gene2term(a->gene, b->term),
+/// prot2gene(a->protein, b->gene). Deterministic contents (seeded).
+Status BuildTinyBioDataset(QSystem& sys, uint64_t seed = 11);
+
+/// Default config for fast tests: tiny delays, batch size 1.
+QConfig FastTestConfig();
+
+}  // namespace qsys::testing
+
+#endif  // QSYS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,152 @@
+// Tests for the workload generators: GUS synthetic, Pfam/InterPro-like,
+// and the keyword workload.
+
+#include <gtest/gtest.h>
+
+#include "src/workload/runner.h"
+#include "tests/test_util.h"
+
+namespace qsys {
+namespace {
+
+TEST(BioWorkloadTest, GeneratesRequestedQueries) {
+  WorkloadOptions options;
+  options.num_queries = 15;
+  std::vector<WorkloadQuery> queries =
+      GenerateBioWorkload(BioVocabulary(), options);
+  ASSERT_EQ(queries.size(), 15u);
+  VirtualTime prev = -1;
+  for (const WorkloadQuery& q : queries) {
+    EXPECT_FALSE(q.keywords.empty());
+    EXPECT_GE(q.user_id, 1);
+    EXPECT_LE(q.user_id, options.num_users);
+    EXPECT_GE(q.pose_time_us, prev);  // nondecreasing times
+    prev = q.pose_time_us;
+  }
+  // Gaps bounded by the configured maximum (paper: within 6 seconds).
+  for (size_t i = 1; i < queries.size(); ++i) {
+    EXPECT_LE(queries[i].pose_time_us - queries[i - 1].pose_time_us,
+              options.max_gap_us);
+  }
+}
+
+TEST(BioWorkloadTest, DeterministicPerSeed) {
+  WorkloadOptions options;
+  auto a = GenerateBioWorkload(BioVocabulary(), options);
+  auto b = GenerateBioWorkload(BioVocabulary(), options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].keywords, b[i].keywords);
+    EXPECT_EQ(a[i].pose_time_us, b[i].pose_time_us);
+  }
+  options.seed = 99;
+  auto c = GenerateBioWorkload(BioVocabulary(), options);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].keywords != c[i].keywords) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BioWorkloadTest, KeywordsComeFromVocabulary) {
+  WorkloadOptions options;
+  auto queries = GenerateBioWorkload(BioVocabulary(), options);
+  const auto& vocab = BioVocabulary();
+  for (const WorkloadQuery& q : queries) {
+    for (const std::string& tok : TokenizeKeywords(q.keywords)) {
+      EXPECT_NE(std::find(vocab.begin(), vocab.end(), tok), vocab.end())
+          << tok;
+    }
+  }
+}
+
+TEST(GusTest, BuildsRequestedShape) {
+  QConfig config = qsys::testing::FastTestConfig();
+  QSystem sys(config);
+  GusOptions options;
+  options.num_relations = 30;
+  options.min_rows = 20;
+  options.max_rows = 60;
+  ASSERT_TRUE(BuildGusDataset(sys, options).ok());
+  EXPECT_EQ(sys.catalog().num_tables(), 30);
+  // Entity tables have score attributes; some bridges do not.
+  int scored = 0, unscored = 0;
+  for (TableId t = 0; t < sys.catalog().num_tables(); ++t) {
+    const Table& table = sys.catalog().table(t);
+    EXPECT_GE(table.num_rows(), options.min_rows);
+    EXPECT_LE(table.num_rows(), options.max_rows);
+    if (table.schema().has_score()) {
+      ++scored;
+      EXPECT_LE(table.max_score(), 1.0 + 1e-9);
+      EXPECT_GE(table.min_score(), 0.0);
+    } else {
+      ++unscored;
+    }
+  }
+  EXPECT_GT(scored, 0);
+  EXPECT_GT(unscored, 0);
+  // Schema graph connects bridges to entities (2 edges per bridge).
+  EXPECT_GE(sys.schema_graph().edges().size(), 2u);
+  // Keywords from the vocabulary match somewhere.
+  EXPECT_GT(sys.inverted_index().num_terms(), 0u);
+}
+
+TEST(GusTest, DeterministicPerSeed) {
+  GusOptions options;
+  options.num_relations = 12;
+  options.min_rows = 10;
+  options.max_rows = 20;
+  QSystem a(qsys::testing::FastTestConfig());
+  QSystem b(qsys::testing::FastTestConfig());
+  ASSERT_TRUE(BuildGusDataset(a, options).ok());
+  ASSERT_TRUE(BuildGusDataset(b, options).ok());
+  ASSERT_EQ(a.catalog().num_tables(), b.catalog().num_tables());
+  for (TableId t = 0; t < a.catalog().num_tables(); ++t) {
+    ASSERT_EQ(a.catalog().table(t).num_rows(),
+              b.catalog().table(t).num_rows());
+    EXPECT_EQ(a.catalog().table(t).schema().name(),
+              b.catalog().table(t).schema().name());
+  }
+}
+
+TEST(PfamTest, BuildsLinkedDatabases) {
+  QSystem sys(qsys::testing::FastTestConfig());
+  PfamOptions options;
+  options.scale = 0.05;
+  ASSERT_TRUE(BuildPfamDataset(sys, options).ok());
+  // The Pfam->InterPro mapping table must exist and be connected.
+  auto map_table = sys.catalog().FindTable("pfam2interpro_map");
+  ASSERT_TRUE(map_table.ok());
+  bool map_connected = false;
+  for (const SchemaEdge& e : sys.schema_graph().edges()) {
+    if (e.table_a == map_table.value() || e.table_b == map_table.value()) {
+      map_connected = true;
+    }
+  }
+  EXPECT_TRUE(map_connected);
+  // Clan membership is the probe-only (unscored) source.
+  auto clan_mem = sys.catalog().FindTable("pfam_clan_membership");
+  ASSERT_TRUE(clan_mem.ok());
+  EXPECT_FALSE(sys.catalog().table(clan_mem.value()).schema().has_score());
+}
+
+TEST(RunnerTest, SmallExperimentEndToEnd) {
+  ExperimentOptions options;
+  options.dataset = DatasetKind::kGusSynthetic;
+  options.gus.num_relations = 24;
+  options.gus.min_rows = 20;
+  options.gus.max_rows = 50;
+  options.workload.num_queries = 3;
+  options.workload.gen.max_cqs = 6;
+  options.restrict_vocabulary_to_matches = true;
+  options.config = qsys::testing::FastTestConfig();
+  options.config.sharing = SharingConfig::kAtcFull;
+  auto outcome = RunExperiment(options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome.value().metrics.size(), 3u);
+  EXPECT_GT(outcome.value().stats.tuples_streamed, 0);
+  EXPECT_GE(MeanLatencySeconds(outcome.value()), 0.0);
+}
+
+}  // namespace
+}  // namespace qsys
