@@ -1,0 +1,184 @@
+// Serving-layer throughput bench: N concurrent client threads submit a
+// GUS keyword workload through one QueryService, and the shared-work
+// counters are compared against the same workload executed as isolated
+// single-query runs (no sharing of any kind).
+//
+//   serve    — QueryService, ATC-Full sharing, batched epochs
+//   isolated — one query per batch, per-CQ scope, no temporal reuse
+//
+// Shape expectations: every client receives its ranked results, and the
+// batched shared execution consumes strictly fewer streamed tuples (and
+// no more probes) than the isolated runs — the paper's core claim,
+// observed through the serving front end instead of the simulator.
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/serve/query_service.h"
+
+using namespace qsys;
+using qsys::bench::ShapeChecker;
+
+namespace {
+
+constexpr int kNumQueries = 20;
+constexpr int kNumClients = 4;
+
+std::vector<WorkloadQuery> MakeWorkload() {
+  WorkloadOptions options;
+  options.num_queries = kNumQueries;
+  options.seed = 7;
+  return GenerateBioWorkload(BioVocabulary(), options);
+}
+
+GusOptions SmallGus() {
+  GusOptions gus;
+  gus.seed = 1;
+  return gus;
+}
+
+QConfig BaseConfig() {
+  QConfig config;
+  config.k = 50;
+  config.batch_size = 5;
+  config.max_rounds = 200'000'000;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  printf("bench_serve_throughput: %d queries, %d client threads\n",
+         kNumQueries, kNumClients);
+  std::vector<WorkloadQuery> workload = MakeWorkload();
+
+  // ---- isolated baseline: every query optimized and executed alone ----
+  ExecStats isolated;
+  int isolated_completed = 0;
+  {
+    QConfig config = BaseConfig();
+    config.sharing = SharingConfig::kAtcCq;
+    config.temporal_reuse = false;
+    config.batch_size = 1;
+    QSystem sim(config);
+    Status built = BuildGusDataset(sim, SmallGus());
+    if (!built.ok()) {
+      printf("dataset build failed: %s\n", built.ToString().c_str());
+      return 1;
+    }
+    // Spread arrivals far beyond the batch window so every query runs
+    // in its own flush, sharing nothing.
+    VirtualTime t = 0;
+    for (const WorkloadQuery& q : workload) {
+      sim.Pose(q.keywords, q.user_id, t, &q.options);
+      t += 30'000'000;
+    }
+    Status run = sim.Run();
+    if (!run.ok()) {
+      printf("isolated run failed: %s\n", run.ToString().c_str());
+      return 1;
+    }
+    isolated = sim.aggregate_stats();
+    isolated_completed = static_cast<int>(sim.metrics().size());
+  }
+
+  // ---- served: N client threads share one QueryService ----
+  ServiceOptions options;
+  options.config = BaseConfig();
+  options.config.sharing = SharingConfig::kAtcFull;
+  options.config.batch_window_us = 50'000;  // tight wall-clock window
+  options.queue_capacity = kNumQueries;
+  QueryService service(options);
+  Status built = BuildGusDataset(service.engine(), SmallGus());
+  if (!built.ok()) {
+    printf("dataset build failed: %s\n", built.ToString().c_str());
+    return 1;
+  }
+  Status start = service.Start();
+  if (!start.ok()) {
+    printf("service start failed: %s\n", start.ToString().c_str());
+    return 1;
+  }
+
+  auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  std::mutex results_mu;
+  int delivered = 0;
+  int64_t result_tuples = 0;
+  for (int c = 0; c < kNumClients; ++c) {
+    clients.emplace_back([&, c] {
+      SessionId session =
+          service.OpenSession("client-" + std::to_string(c)).value();
+      std::vector<QueryTicket> tickets;
+      for (int i = c; i < kNumQueries; i += kNumClients) {
+        auto ticket = service.Submit(session, workload[i].keywords,
+                                     workload[i].options);
+        if (ticket.ok()) tickets.push_back(ticket.value());
+      }
+      for (QueryTicket& t : tickets) {
+        const QueryOutcome& out = t.Wait();
+        std::lock_guard<std::mutex> lock(results_mu);
+        if (out.status.ok()) {
+          delivered += 1;
+          result_tuples += static_cast<int64_t>(out.results.size());
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  Status stop = service.Shutdown();
+  if (!stop.ok()) {
+    printf("service shutdown failed: %s\n", stop.ToString().c_str());
+    return 1;
+  }
+  ExecStats shared = service.stats_snapshot();
+
+  int64_t submitted = service.counters().submitted.load();
+  int64_t completed = service.counters().completed.load();
+  int64_t failed = service.counters().failed.load();
+  printf("\nserved: %lld submitted, %lld completed, %lld failed, "
+         "%lld epochs, %lld batches\n",
+         static_cast<long long>(submitted),
+         static_cast<long long>(completed),
+         static_cast<long long>(failed),
+         static_cast<long long>(service.counters().epochs.load()),
+         static_cast<long long>(service.counters().batches_flushed.load()));
+  printf("wall time %.3f s  ->  %.1f queries/s (%d clients, %lld result "
+         "tuples)\n",
+         wall_seconds, static_cast<double>(completed) / wall_seconds,
+         kNumClients, static_cast<long long>(result_tuples));
+  printf("\n%-22s %14s %14s %8s\n", "total work", "isolated", "served",
+         "ratio");
+  auto row = [](const char* name, int64_t a, int64_t b) {
+    printf("%-22s %14lld %14lld %7.2fx\n", name,
+           static_cast<long long>(a), static_cast<long long>(b),
+           b > 0 ? static_cast<double>(a) / static_cast<double>(b) : 0.0);
+  };
+  row("tuples streamed", isolated.tuples_streamed, shared.tuples_streamed);
+  row("probes issued", isolated.probes_issued, shared.probes_issued);
+  row("probe cache hits", isolated.probe_cache_hits,
+      shared.probe_cache_hits);
+  row("join probes", isolated.join_probes, shared.join_probes);
+
+  ShapeChecker check;
+  check.Check(completed + failed == submitted &&
+                  submitted == kNumQueries,
+              "every submitted query resolved");
+  check.Check(delivered == completed && completed > 0,
+              "every completed query delivered ranked results");
+  check.Check(isolated_completed + failed >= kNumQueries,
+              "isolated baseline completed the same workload");
+  check.Check(shared.tuples_streamed < isolated.tuples_streamed,
+              "shared execution streams fewer tuples than isolated runs");
+  check.Check(shared.probes_issued <= isolated.probes_issued,
+              "shared execution issues no more probes");
+  return check.Finish();
+}

@@ -4,6 +4,7 @@
 #ifndef QSYS_COMMON_METRICS_H_
 #define QSYS_COMMON_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -71,6 +72,82 @@ struct ExecStats {
 
   /// One-line rendering for logs and bench output.
   std::string ToString() const;
+};
+
+/// \brief Lock-free mirror of ExecStats for cross-thread observability.
+///
+/// The serving layer's executor thread publishes a fresh snapshot after
+/// every shared-execution epoch (while holding the engine lock); client
+/// threads read counters at any time without taking that lock. Relaxed
+/// ordering is sufficient: each field is an independent monotone counter
+/// used for monitoring, not for synchronization.
+struct AtomicExecStats {
+  std::atomic<int64_t> stream_read_us{0};
+  std::atomic<int64_t> random_access_us{0};
+  std::atomic<int64_t> join_us{0};
+  std::atomic<int64_t> optimize_us{0};
+  std::atomic<int64_t> tuples_streamed{0};
+  std::atomic<int64_t> probes_issued{0};
+  std::atomic<int64_t> probe_cache_hits{0};
+  std::atomic<int64_t> join_probes{0};
+  std::atomic<int64_t> join_outputs{0};
+  std::atomic<int64_t> split_routed{0};
+  std::atomic<int64_t> results_emitted{0};
+
+  /// Publishes `s` as the current totals.
+  void Store(const ExecStats& s) {
+    stream_read_us.store(s.stream_read_us, std::memory_order_relaxed);
+    random_access_us.store(s.random_access_us, std::memory_order_relaxed);
+    join_us.store(s.join_us, std::memory_order_relaxed);
+    optimize_us.store(s.optimize_us, std::memory_order_relaxed);
+    tuples_streamed.store(s.tuples_streamed, std::memory_order_relaxed);
+    probes_issued.store(s.probes_issued, std::memory_order_relaxed);
+    probe_cache_hits.store(s.probe_cache_hits, std::memory_order_relaxed);
+    join_probes.store(s.join_probes, std::memory_order_relaxed);
+    join_outputs.store(s.join_outputs, std::memory_order_relaxed);
+    split_routed.store(s.split_routed, std::memory_order_relaxed);
+    results_emitted.store(s.results_emitted, std::memory_order_relaxed);
+  }
+
+  /// Reads the current totals into a plain ExecStats.
+  ExecStats Load() const {
+    ExecStats s;
+    s.stream_read_us = stream_read_us.load(std::memory_order_relaxed);
+    s.random_access_us = random_access_us.load(std::memory_order_relaxed);
+    s.join_us = join_us.load(std::memory_order_relaxed);
+    s.optimize_us = optimize_us.load(std::memory_order_relaxed);
+    s.tuples_streamed = tuples_streamed.load(std::memory_order_relaxed);
+    s.probes_issued = probes_issued.load(std::memory_order_relaxed);
+    s.probe_cache_hits = probe_cache_hits.load(std::memory_order_relaxed);
+    s.join_probes = join_probes.load(std::memory_order_relaxed);
+    s.join_outputs = join_outputs.load(std::memory_order_relaxed);
+    s.split_routed = split_routed.load(std::memory_order_relaxed);
+    s.results_emitted = results_emitted.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+/// \brief Admission/serving counters for the wall-clock query service.
+///
+/// Written with relaxed atomic increments from client threads (submit,
+/// reject) and from the executor thread (complete, fail, epochs); read
+/// by anyone without locking.
+struct ServiceCounters {
+  /// Queries accepted into the submit queue.
+  std::atomic<int64_t> submitted{0};
+  /// Queries refused admission (queue full / session over its in-flight
+  /// cap / unknown session).
+  std::atomic<int64_t> rejected{0};
+  /// Queries whose top-k answer set was delivered.
+  std::atomic<int64_t> completed{0};
+  /// Queries that failed candidate generation.
+  std::atomic<int64_t> failed{0};
+  /// Queries cancelled by a non-draining shutdown.
+  std::atomic<int64_t> cancelled{0};
+  /// Shared-execution epochs the executor has driven.
+  std::atomic<int64_t> epochs{0};
+  /// Batches flushed to the optimizer across all epochs.
+  std::atomic<int64_t> batches_flushed{0};
 };
 
 /// \brief Per-user-query outcome: the latency and work numbers behind

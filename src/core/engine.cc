@@ -1,0 +1,325 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+
+namespace qsys {
+
+constexpr VirtualTime Engine::kNeverUs;
+
+Engine::Engine(QConfig config)
+    : config_(config),
+      batcher_(config.batch_size, config.batch_window_us) {
+  delays_ = std::make_unique<DelayModel>(config_.delays, config_.seed);
+  sources_ = std::make_unique<SourceManager>(&catalog_);
+  state_manager_ = std::make_unique<StateManager>(
+      sources_.get(), config_.memory_budget_bytes, config_.eviction);
+  grafter_ = std::make_unique<PlanGrafter>(&catalog_, sources_.get(),
+                                           state_manager_.get());
+}
+
+Engine::~Engine() = default;
+
+SchemaGraph& Engine::InitSchemaGraph() {
+  if (!schema_graph_) {
+    schema_graph_ = std::make_unique<SchemaGraph>(&catalog_);
+  }
+  return *schema_graph_;
+}
+
+Status Engine::FinalizeCatalog() {
+  if (finalized_) return Status::OK();
+  if (!schema_graph_) {
+    return Status::FailedPrecondition("InitSchemaGraph() not called");
+  }
+  catalog_.FinalizeAll();
+  inverted_index_ =
+      std::make_unique<InvertedIndex>(InvertedIndex::Build(catalog_));
+  matcher_ = std::make_unique<KeywordMatcher>(inverted_index_.get(),
+                                              &catalog_);
+  candidate_gen_ = std::make_unique<CandidateGenerator>(schema_graph_.get(),
+                                                        matcher_.get());
+  optimizer_ = std::make_unique<Optimizer>(
+      &catalog_, inverted_index_.get(), sources_.get(),
+      &state_manager_->observed_stats(), config_.delays);
+  finalized_ = true;
+  return Status::OK();
+}
+
+Status Engine::Ingest(int uq_id, const std::string& keywords, int user_id,
+                      VirtualTime at_us,
+                      const CandidateGenOptions& options) {
+  if (!finalized_) {
+    return Status::FailedPrecondition("FinalizeCatalog() not called");
+  }
+  auto uq = candidate_gen_->Generate(keywords, config_.k, options);
+  if (!uq.ok()) {
+    // A query that matches nothing (or cannot be connected) fails for
+    // its user; the system keeps serving everyone else.
+    if (retain_history_) generation_failures_.emplace_back(uq_id, uq.status());
+    return uq.status();
+  }
+  UserQuery q = std::move(uq).value();
+  q.id = uq_id;
+  q.user_id = user_id;
+  q.submit_time_us = at_us;
+  for (ConjunctiveQuery& cq : q.cqs) {
+    cq.id = next_cq_id_++;
+    cq.uq_id = q.id;
+  }
+  batcher_.Add(std::move(q));
+  return Status::OK();
+}
+
+Atc* Engine::GetOrCreateAtc(int index_hint, VirtualTime start_time) {
+  if (index_hint >= 0 && index_hint < static_cast<int>(atcs_.size())) {
+    return atcs_[index_hint].get();
+  }
+  auto atc = std::make_unique<Atc>(static_cast<int>(atcs_.size()),
+                                   &catalog_, delays_.get(),
+                                   config_.adaptive_probing);
+  atc->clock().AdvanceTo(start_time);
+  atcs_.push_back(std::move(atc));
+  return atcs_.back().get();
+}
+
+Status Engine::OptimizeAndGraft(const std::vector<const UserQuery*>& batch,
+                                Atc* atc, SharingMode mode, int base_tag,
+                                VirtualTime flush_at) {
+  atc->clock().AdvanceTo(flush_at);
+  if (!config_.temporal_reuse) {
+    // Isolate this batch's state from every other batch.
+    base_tag = 3'000'000 + 100 * (flush_counter_++) + base_tag;
+  }
+
+  OptimizerOptions opts;
+  opts.sharing = mode;
+  opts.pruning = config_.pruning;
+  opts.max_subexpr_atoms = config_.max_subexpr_atoms;
+  opts.k = config_.k;
+
+  OptimizeOutcome outcome =
+      optimizer_->OptimizeBatch(batch, opts, base_tag);
+
+  if (retain_history_) {
+    OptimizationRecord rec;
+    rec.candidates = outcome.candidates_considered;
+    rec.enumerated = outcome.enumerated;
+    rec.nodes_explored = outcome.nodes_explored;
+    rec.wall_seconds = outcome.wall_seconds;
+    rec.batch_queries = static_cast<int>(batch.size());
+    opt_records_.push_back(rec);
+  }
+
+  // Charge measured optimization time to the virtual clock.
+  VirtualTime opt_us = static_cast<VirtualTime>(
+      outcome.wall_seconds * 1e6 * config_.opt_time_multiplier);
+  atc->clock().Advance(opt_us);
+  atc->stats().optimize_us += opt_us;
+
+  for (const OptimizedGroup& group : outcome.groups) {
+    int tag = base_tag;
+    if (mode == SharingMode::kNone && !group.cq_ids.empty()) {
+      tag = 1000000 + group.cq_ids.front();  // per-CQ scope
+    } else if (mode == SharingMode::kWithinUq && !group.cq_ids.empty()) {
+      // Scope by the owning user query.
+      for (const UserQuery* uq : batch) {
+        for (const ConjunctiveQuery& cq : uq->cqs) {
+          if (cq.id == group.cq_ids.front()) tag = 2000000 + uq->id;
+        }
+      }
+    }
+    QSYS_RETURN_IF_ERROR(grafter_->Graft(group, batch, atc, tag));
+  }
+  return Status::OK();
+}
+
+Status Engine::FlushBatch(VirtualTime flush_at) {
+  std::vector<UserQuery> flushed = batcher_.Flush();
+  std::vector<const UserQuery*> batch;
+  for (UserQuery& q : flushed) {
+    auto owned = std::make_unique<UserQuery>(std::move(q));
+    batch.push_back(owned.get());
+    uqs_[owned->id] = std::move(owned);
+  }
+  if (batch.empty()) return Status::OK();
+
+  switch (config_.sharing) {
+    case SharingConfig::kAtcCq:
+      return OptimizeAndGraft(batch, GetOrCreateAtc(0, flush_at),
+                              SharingMode::kNone, 0, flush_at);
+    case SharingConfig::kAtcUq:
+      return OptimizeAndGraft(batch, GetOrCreateAtc(0, flush_at),
+                              SharingMode::kWithinUq, 0, flush_at);
+    case SharingConfig::kAtcFull:
+      return OptimizeAndGraft(batch, GetOrCreateAtc(0, flush_at),
+                              SharingMode::kFull, 0, flush_at);
+    case SharingConfig::kAtcCl: {
+      // Cluster the batch (§6.1), then route each cluster to a matching
+      // existing plan graph (Jaccard over source tables) or a new one.
+      std::vector<std::vector<int>> groups =
+          ClusterUserQueries(batch, config_.clustering);
+      for (const std::vector<int>& group : groups) {
+        std::set<TableId> tables;
+        std::vector<const UserQuery*> members;
+        for (int idx : group) {
+          members.push_back(batch[idx]);
+          for (TableId t : SourceTablesOf(*batch[idx])) tables.insert(t);
+        }
+        int best_cluster = -1;
+        double best_sim = -1.0;
+        for (size_t c = 0; c < clusters_.size(); ++c) {
+          std::set<int> a(tables.begin(), tables.end());
+          std::set<int> b(clusters_[c].tables.begin(),
+                          clusters_[c].tables.end());
+          double sim = JaccardSimilarity(a, b);
+          if (sim > best_sim) {
+            best_sim = sim;
+            best_cluster = static_cast<int>(c);
+          }
+        }
+        // Join an existing graph when similar enough — or when the
+        // per-core plan-graph budget is exhausted (paper testbed: one
+        // ATC per core).
+        bool reuse_cluster =
+            best_cluster >= 0 &&
+            (best_sim > config_.clustering.tc ||
+             static_cast<int>(clusters_.size()) >=
+                 config_.clustering.max_plan_graphs);
+        Atc* atc;
+        if (reuse_cluster) {
+          atc = atcs_[clusters_[best_cluster].atc_index].get();
+          clusters_[best_cluster].tables.insert(tables.begin(),
+                                                tables.end());
+        } else {
+          atc = GetOrCreateAtc(-1, flush_at);
+          clusters_.push_back(
+              {static_cast<int>(atcs_.size()) - 1, tables});
+        }
+        QSYS_RETURN_IF_ERROR(OptimizeAndGraft(members, atc,
+                                              SharingMode::kFull,
+                                              atc->id() + 1, flush_at));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown sharing config");
+}
+
+Result<Engine::StepOutcome> Engine::Step(const StepOptions& options) {
+  if (!finalized_) {
+    return Status::FailedPrecondition("FinalizeCatalog() not called");
+  }
+  VirtualTime t_flush = batcher_.NextDeadline();
+  if (options.drain_pending && batcher_.HasPending()) {
+    // No more arrivals will ever come: flush whatever is waiting, at the
+    // earliest legal instant (the last member's submit time).
+    t_flush = std::min<VirtualTime>(t_flush, batcher_.LatestSubmit());
+  }
+  if (!options.pace_to_horizon && t_flush >= options.arrival_horizon) {
+    // Serving mode: a batch whose deadline has not passed yet keeps
+    // waiting for more members, even though ATC clocks (which run ahead
+    // of wall time) may already have passed the deadline.
+    t_flush = kNeverUs;
+  }
+
+  Atc* runnable = nullptr;
+  for (const auto& atc : atcs_) {
+    if (atc->HasWork() &&
+        (runnable == nullptr ||
+         atc->clock().now() < runnable->clock().now())) {
+      runnable = atc.get();
+    }
+  }
+  VirtualTime t_atc = runnable != nullptr ? runnable->clock().now()
+                                          : kNeverUs;
+
+  // Does the driver's next arrival precede every engine event? Arrivals
+  // win ties so batches fill before they flush. In serving mode ATC
+  // work is never deferred for an arrival: results stream out as fast
+  // as the executor can drain them.
+  bool arrival_first =
+      options.pace_to_horizon
+          ? options.arrival_horizon <= t_flush &&
+                options.arrival_horizon <= t_atc
+          : t_flush == kNeverUs && runnable == nullptr;
+  if (arrival_first || (t_flush == kNeverUs && runnable == nullptr)) {
+    return StepOutcome{StepKind::kIdle};
+  }
+
+  if (t_flush <= t_atc) {
+    VirtualTime flush_at = std::max<VirtualTime>(t_flush, 0);
+    QSYS_RETURN_IF_ERROR(FlushBatch(flush_at));
+    state_manager_->SnapshotSourceStats();
+    state_manager_->EnforceBudget(flush_at);
+    DrainCompletions();
+    return StepOutcome{StepKind::kFlushed};
+  }
+
+  runnable->Step();
+  ++rounds_;
+  DrainCompletions();
+  if (config_.max_rounds > 0 && rounds_ > config_.max_rounds) {
+    return Status::ResourceExhausted("max scheduling rounds exceeded");
+  }
+  return StepOutcome{StepKind::kAtcRound};
+}
+
+bool Engine::HasWork() const {
+  if (batcher_.HasPending()) return true;
+  for (const auto& atc : atcs_) {
+    if (atc->HasWork()) return true;
+  }
+  return false;
+}
+
+void Engine::DrainCompletions() {
+  for (const auto& atc : atcs_) {
+    for (UserQueryMetrics& m : atc->TakeCompletedMetrics()) {
+      if (retain_history_) metrics_.push_back(m);
+      if (completion_listener_) completion_listener_(m);
+      if (!retain_history_) {
+        // Serving mode: the listener has copied everything the client
+        // gets; drop the UserQuery and retire the query's rank-merge
+        // from the plan graph so memory and per-round scheduling cost
+        // stay bounded. (Plan-graph pointers to the UserQuery do not
+        // outlive Graft(); upstream operator state survives for reuse
+        // under the eviction budget.)
+        uqs_.erase(m.uq_id);
+        atc->RetireCompleted(m.uq_id);
+      }
+    }
+  }
+}
+
+void Engine::FinishRun() {
+  state_manager_->SnapshotSourceStats();
+  // Final safety net: collect merges that completed without passing
+  // through a Step (e.g. empty graphs), then order by user-query id.
+  DrainCompletions();
+  std::stable_sort(metrics_.begin(), metrics_.end(),
+                   [](const UserQueryMetrics& a, const UserQueryMetrics& b) {
+                     return a.uq_id < b.uq_id;
+                   });
+}
+
+ExecStats Engine::aggregate_stats() const {
+  ExecStats total;
+  for (const auto& atc : atcs_) total.Merge(atc->stats());
+  return total;
+}
+
+const std::vector<ResultTuple>* Engine::ResultsFor(int uq_id) const {
+  for (const auto& atc : atcs_) {
+    for (const RankMergeOp* rm : atc->graph().rank_merges()) {
+      if (rm->uq_id() == uq_id) return &rm->results();
+    }
+  }
+  return nullptr;
+}
+
+const UserQuery* Engine::GetUserQuery(int uq_id) const {
+  auto it = uqs_.find(uq_id);
+  return it == uqs_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace qsys

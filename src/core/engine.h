@@ -1,0 +1,253 @@
+// Engine: the sharing pipeline of the Q System, decoupled from any
+// particular notion of time.
+//
+// The Engine owns the simulated remote databases (catalog + schema graph
+// + inverted index), the keyword front end, the query batcher, the
+// multiple-query optimizer, the query state manager, and one or more
+// ATCs. It exposes the timeline-replay loop as a single reusable
+// primitive, Step(): process the one earliest pending event — a batch
+// flush or one ATC scheduling round — and report what happened.
+//
+// Two drivers sit on top of this single code path:
+//
+//   * QSystem (src/core/qsystem.h): the virtual-clock discrete-event
+//     simulator. It interleaves pre-scripted arrivals with Step() calls,
+//     pacing every event by virtual time (StepOptions::pace_to_horizon).
+//   * QueryService (src/serve/query_service.h): the wall-clock serving
+//     layer. It ingests queries as real clients submit them and drains
+//     each due batch eagerly in a shared-execution epoch
+//     (pace_to_horizon = false), delivering results through the
+//     completion listener as rank-merges finish.
+//
+// The Engine itself is single-threaded: drivers that accept work from
+// many threads (QueryService) serialize all access behind one coarse
+// engine lock.
+
+#ifndef QSYS_CORE_ENGINE_H_
+#define QSYS_CORE_ENGINE_H_
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/keyword/candidate_gen.h"
+#include "src/qs/batcher.h"
+#include "src/qs/graft.h"
+#include "src/qs/state_manager.h"
+
+namespace qsys {
+
+/// \brief One record of a multiple-query-optimization run (Figure 11).
+struct OptimizationRecord {
+  /// Candidate inputs considered by the BestPlan search.
+  int64_t candidates = 0;
+  /// Subexpressions enumerated before pruning.
+  int64_t enumerated = 0;
+  /// Search nodes expanded.
+  int64_t nodes_explored = 0;
+  /// Measured wall time of the optimization, seconds.
+  double wall_seconds = 0.0;
+  /// Queries in the batch.
+  int batch_queries = 0;
+};
+
+/// \brief The sharing pipeline: batcher -> multi-query optimizer ->
+/// graft -> shared ATC execution, driven one event at a time.
+class Engine {
+ public:
+  /// What a Step() call did.
+  enum class StepKind {
+    /// Nothing was runnable before the arrival horizon; the driver
+    /// should ingest its next arrival (or stop if it has none).
+    kIdle,
+    /// A batch was flushed: optimized, grafted, budget enforced.
+    kFlushed,
+    /// One ATC scheduling round ran.
+    kAtcRound,
+  };
+
+  /// How Step() picks (or declines to pick) the next event.
+  struct StepOptions {
+    /// Virtual time of the driver's next known arrival. Step() reports
+    /// kIdle instead of processing any event at or beyond this time, so
+    /// the driver can ingest the arrival first (arrivals win ties).
+    VirtualTime arrival_horizon = kNeverUs;
+    /// No further arrivals will ever come: a waiting partial batch
+    /// flushes at the earliest legal instant (its latest submit time)
+    /// instead of at its window deadline.
+    bool drain_pending = true;
+    /// When true (simulator), ATC rounds are also gated by
+    /// arrival_horizon, keeping every event in global virtual-time
+    /// order. When false (serving), ATC work always runs: execution is
+    /// drained eagerly even though ATC clocks advance past the horizon,
+    /// and only *flushes* wait for their deadline to pass the horizon.
+    bool pace_to_horizon = true;
+  };
+
+  struct StepOutcome {
+    StepKind kind = StepKind::kIdle;
+  };
+
+  /// Sentinel "no event / no horizon" virtual time.
+  static constexpr VirtualTime kNeverUs =
+      std::numeric_limits<VirtualTime>::max();
+
+  explicit Engine(QConfig config);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const QConfig& config() const { return config_; }
+
+  // ---- setup ----
+
+  /// The simulated remote databases. Register all tables, then call
+  /// InitSchemaGraph() to add join edges, then FinalizeCatalog().
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Creates the schema graph (requires all tables registered).
+  SchemaGraph& InitSchemaGraph();
+  SchemaGraph& schema_graph() { return *schema_graph_; }
+
+  /// Finalizes tables, builds the inverted index and the keyword front
+  /// end. Must be called once before ingesting queries; idempotent.
+  Status FinalizeCatalog();
+  bool finalized() const { return finalized_; }
+
+  InvertedIndex& inverted_index() { return *inverted_index_; }
+
+  // ---- admission ----
+
+  /// Reserves the next user-query id.
+  int AllocateUqId() { return next_uq_id_++; }
+
+  /// Runs candidate generation for `keywords` and admits the resulting
+  /// user query (id `uq_id`, submitted at virtual time `at_us`) to the
+  /// batcher. Returns OK on admission. A query whose keywords match
+  /// nothing (or cannot be connected) is recorded in
+  /// generation_failures() and its generation status is returned, so
+  /// serving drivers can report the failure to the caller; such a
+  /// failure is not fatal to the engine.
+  Status Ingest(int uq_id, const std::string& keywords, int user_id,
+                VirtualTime at_us, const CandidateGenOptions& options);
+
+  // ---- the event loop primitive ----
+
+  /// Processes the single earliest pending event (batch flush or one
+  /// ATC scheduling round) subject to `options`, or reports kIdle.
+  Result<StepOutcome> Step(const StepOptions& options);
+
+  /// Whether any event could ever become runnable (waiting batch or
+  /// incomplete ATC work).
+  bool HasWork() const;
+
+  /// Restarts the QConfig::max_rounds budget. The simulator calls this
+  /// once per Run(); the serving layer once per epoch, so the runaway
+  /// guard bounds a single drain rather than the service's lifetime.
+  void ResetRoundBudget() { rounds_ = 0; }
+
+  /// When false (serving mode), the engine stops accumulating per-query
+  /// history — metrics(), optimization_records(),
+  /// generation_failures() stay empty and a completed query's
+  /// UserQuery object is released right after its completion listener
+  /// fires — so a long-lived service does not grow without bound. The
+  /// simulator keeps the default (true): its whole point is the
+  /// post-run records.
+  void set_retain_history(bool retain) { retain_history_ = retain; }
+
+  /// Called after every completed user query with its metrics; results
+  /// are available via ResultsFor() at callback time. Invoked from
+  /// whichever thread drives Step().
+  using CompletionListener = std::function<void(const UserQueryMetrics&)>;
+  void set_completion_listener(CompletionListener listener) {
+    completion_listener_ = std::move(listener);
+  }
+
+  // ---- results & metrics ----
+
+  /// Per-user-query outcomes in completion order; FinishRun() orders
+  /// them by user-query id and takes a final source-stats snapshot
+  /// (drivers call it once when their timeline/serving loop ends).
+  const std::vector<UserQueryMetrics>& metrics() const { return metrics_; }
+  void FinishRun();
+
+  /// Aggregate execution statistics over all ATCs.
+  ExecStats aggregate_stats() const;
+
+  /// Top-k results of a completed user query (nullptr if unknown).
+  const std::vector<ResultTuple>* ResultsFor(int uq_id) const;
+
+  /// The generated user query (nullptr if unknown).
+  const UserQuery* GetUserQuery(int uq_id) const;
+
+  /// One record per optimizer invocation (Figure 11).
+  const std::vector<OptimizationRecord>& optimization_records() const {
+    return opt_records_;
+  }
+
+  /// Keyword queries that failed candidate generation (unmatched or
+  /// unconnectable keywords), with their reasons.
+  const std::vector<std::pair<int, Status>>& generation_failures() const {
+    return generation_failures_;
+  }
+
+  /// Number of ATCs (plan graphs) created — 1 unless ATC-CL.
+  int num_atcs() const { return static_cast<int>(atcs_.size()); }
+  const Atc& atc(int i) const { return *atcs_[i]; }
+
+  /// Grafting/reuse observability.
+  const PlanGrafter& grafter() const { return *grafter_; }
+  StateManager& state_manager() { return *state_manager_; }
+  const QueryBatcher& batcher() const { return batcher_; }
+
+ private:
+  struct ClusterInfo {
+    int atc_index;
+    std::set<TableId> tables;
+  };
+
+  Atc* GetOrCreateAtc(int index_hint, VirtualTime start_time);
+  Status FlushBatch(VirtualTime flush_at);
+  Status OptimizeAndGraft(const std::vector<const UserQuery*>& batch,
+                          Atc* atc, SharingMode mode, int base_tag,
+                          VirtualTime flush_at);
+  /// Moves newly completed per-UQ metrics out of the ATCs and fires the
+  /// completion listener for each.
+  void DrainCompletions();
+
+  QConfig config_;
+  Catalog catalog_;
+  std::unique_ptr<SchemaGraph> schema_graph_;
+  std::unique_ptr<InvertedIndex> inverted_index_;
+  std::unique_ptr<KeywordMatcher> matcher_;
+  std::unique_ptr<CandidateGenerator> candidate_gen_;
+  std::unique_ptr<DelayModel> delays_;
+  std::unique_ptr<SourceManager> sources_;
+  std::unique_ptr<StateManager> state_manager_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<PlanGrafter> grafter_;
+  QueryBatcher batcher_;
+  std::vector<std::unique_ptr<Atc>> atcs_;
+  std::vector<ClusterInfo> clusters_;
+  std::map<int, std::unique_ptr<UserQuery>> uqs_;
+  std::vector<UserQueryMetrics> metrics_;
+  std::vector<OptimizationRecord> opt_records_;
+  std::vector<std::pair<int, Status>> generation_failures_;
+  CompletionListener completion_listener_;
+  int next_uq_id_ = 1;
+  int next_cq_id_ = 1;
+  int flush_counter_ = 0;
+  int64_t rounds_ = 0;
+  bool finalized_ = false;
+  bool retain_history_ = true;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_CORE_ENGINE_H_

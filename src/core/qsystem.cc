@@ -1,57 +1,18 @@
 #include "src/core/qsystem.h"
 
 #include <algorithm>
-#include <limits>
 
 namespace qsys {
 
-namespace {
-constexpr VirtualTime kNever = std::numeric_limits<VirtualTime>::max();
-}  // namespace
-
 QSystem::QSystem(QConfig config)
-    : config_(config),
-      batcher_(config.batch_size, config.batch_window_us) {
-  delays_ = std::make_unique<DelayModel>(config_.delays, config_.seed);
-  sources_ = std::make_unique<SourceManager>(&catalog_);
-  state_manager_ = std::make_unique<StateManager>(
-      sources_.get(), config_.memory_budget_bytes, config_.eviction);
-  grafter_ = std::make_unique<PlanGrafter>(&catalog_, sources_.get(),
-                                           state_manager_.get());
-}
+    : engine_(std::make_unique<Engine>(config)) {}
 
 QSystem::~QSystem() = default;
-
-SchemaGraph& QSystem::InitSchemaGraph() {
-  if (!schema_graph_) {
-    schema_graph_ = std::make_unique<SchemaGraph>(&catalog_);
-  }
-  return *schema_graph_;
-}
-
-Status QSystem::FinalizeCatalog() {
-  if (finalized_) return Status::OK();
-  if (!schema_graph_) {
-    return Status::FailedPrecondition("InitSchemaGraph() not called");
-  }
-  catalog_.FinalizeAll();
-  inverted_index_ =
-      std::make_unique<InvertedIndex>(InvertedIndex::Build(catalog_));
-  matcher_ = std::make_unique<KeywordMatcher>(inverted_index_.get(),
-                                              &catalog_);
-  candidate_gen_ = std::make_unique<CandidateGenerator>(schema_graph_.get(),
-                                                        matcher_.get());
-  optimizer_ = std::make_unique<Optimizer>(
-      &catalog_, inverted_index_.get(), sources_.get(),
-      &state_manager_->observed_stats(), config_.delays);
-  finalized_ = true;
-  return Status::OK();
-}
 
 Result<int> QSystem::Pose(const std::string& keywords, int user_id,
                           VirtualTime at_us,
                           const CandidateGenOptions* options) {
-  if (!finalized_) {
+  if (!engine_->finalized()) {
     return Status::FailedPrecondition("FinalizeCatalog() not called");
   }
   PendingArrival arrival;
@@ -59,253 +20,40 @@ Result<int> QSystem::Pose(const std::string& keywords, int user_id,
   arrival.keywords = keywords;
   arrival.user_id = user_id;
   if (options != nullptr) arrival.options = *options;
-  arrival.uq_id = next_uq_id_++;
+  arrival.uq_id = engine_->AllocateUqId();
   arrivals_.push_back(std::move(arrival));
   return arrivals_.back().uq_id;
 }
 
-Atc* QSystem::GetOrCreateAtc(int index_hint, VirtualTime start_time) {
-  if (index_hint >= 0 && index_hint < static_cast<int>(atcs_.size())) {
-    return atcs_[index_hint].get();
-  }
-  auto atc = std::make_unique<Atc>(static_cast<int>(atcs_.size()),
-                                   &catalog_, delays_.get(),
-                                   config_.adaptive_probing);
-  atc->clock().AdvanceTo(start_time);
-  atcs_.push_back(std::move(atc));
-  return atcs_.back().get();
-}
-
-Status QSystem::IngestArrival(PendingArrival arrival) {
-  auto uq = candidate_gen_->Generate(arrival.keywords, config_.k,
-                                     arrival.options);
-  if (!uq.ok()) {
-    // A query that matches nothing (or cannot be connected) fails for
-    // its user; the system keeps serving everyone else.
-    generation_failures_.emplace_back(arrival.uq_id, uq.status());
-    return Status::OK();
-  }
-  UserQuery q = std::move(uq).value();
-  q.id = arrival.uq_id;
-  q.user_id = arrival.user_id;
-  q.submit_time_us = arrival.at_us;
-  for (ConjunctiveQuery& cq : q.cqs) {
-    cq.id = next_cq_id_++;
-    cq.uq_id = q.id;
-  }
-  batcher_.Add(std::move(q));
-  return Status::OK();
-}
-
-Status QSystem::OptimizeAndGraft(const std::vector<const UserQuery*>& batch,
-                                 Atc* atc, SharingMode mode, int base_tag,
-                                 VirtualTime flush_at) {
-  atc->clock().AdvanceTo(flush_at);
-  if (!config_.temporal_reuse) {
-    // Isolate this batch's state from every other batch.
-    base_tag = 3'000'000 + 100 * (flush_counter_++) + base_tag;
-  }
-
-  OptimizerOptions opts;
-  opts.sharing = mode;
-  opts.pruning = config_.pruning;
-  opts.max_subexpr_atoms = config_.max_subexpr_atoms;
-  opts.k = config_.k;
-
-  OptimizeOutcome outcome =
-      optimizer_->OptimizeBatch(batch, opts, base_tag);
-
-  OptimizationRecord rec;
-  rec.candidates = outcome.candidates_considered;
-  rec.enumerated = outcome.enumerated;
-  rec.nodes_explored = outcome.nodes_explored;
-  rec.wall_seconds = outcome.wall_seconds;
-  rec.batch_queries = static_cast<int>(batch.size());
-  opt_records_.push_back(rec);
-
-  // Charge measured optimization time to the virtual clock.
-  VirtualTime opt_us = static_cast<VirtualTime>(
-      outcome.wall_seconds * 1e6 * config_.opt_time_multiplier);
-  atc->clock().Advance(opt_us);
-  atc->stats().optimize_us += opt_us;
-
-  for (const OptimizedGroup& group : outcome.groups) {
-    int tag = base_tag;
-    if (mode == SharingMode::kNone && !group.cq_ids.empty()) {
-      tag = 1000000 + group.cq_ids.front();  // per-CQ scope
-    } else if (mode == SharingMode::kWithinUq && !group.cq_ids.empty()) {
-      // Scope by the owning user query.
-      for (const UserQuery* uq : batch) {
-        for (const ConjunctiveQuery& cq : uq->cqs) {
-          if (cq.id == group.cq_ids.front()) tag = 2000000 + uq->id;
-        }
-      }
-    }
-    QSYS_RETURN_IF_ERROR(grafter_->Graft(group, batch, atc, tag));
-  }
-  return Status::OK();
-}
-
-Status QSystem::FlushBatch(VirtualTime flush_at) {
-  std::vector<UserQuery> flushed = batcher_.Flush();
-  std::vector<const UserQuery*> batch;
-  for (UserQuery& q : flushed) {
-    auto owned = std::make_unique<UserQuery>(std::move(q));
-    batch.push_back(owned.get());
-    uqs_[owned->id] = std::move(owned);
-  }
-  if (batch.empty()) return Status::OK();
-
-  switch (config_.sharing) {
-    case SharingConfig::kAtcCq:
-      return OptimizeAndGraft(batch, GetOrCreateAtc(0, flush_at),
-                              SharingMode::kNone, 0, flush_at);
-    case SharingConfig::kAtcUq:
-      return OptimizeAndGraft(batch, GetOrCreateAtc(0, flush_at),
-                              SharingMode::kWithinUq, 0, flush_at);
-    case SharingConfig::kAtcFull:
-      return OptimizeAndGraft(batch, GetOrCreateAtc(0, flush_at),
-                              SharingMode::kFull, 0, flush_at);
-    case SharingConfig::kAtcCl: {
-      // Cluster the batch (§6.1), then route each cluster to a matching
-      // existing plan graph (Jaccard over source tables) or a new one.
-      std::vector<std::vector<int>> groups =
-          ClusterUserQueries(batch, config_.clustering);
-      for (const std::vector<int>& group : groups) {
-        std::set<TableId> tables;
-        std::vector<const UserQuery*> members;
-        for (int idx : group) {
-          members.push_back(batch[idx]);
-          for (TableId t : SourceTablesOf(*batch[idx])) tables.insert(t);
-        }
-        int best_cluster = -1;
-        double best_sim = -1.0;
-        for (size_t c = 0; c < clusters_.size(); ++c) {
-          std::set<int> a(tables.begin(), tables.end());
-          std::set<int> b(clusters_[c].tables.begin(),
-                          clusters_[c].tables.end());
-          double sim = JaccardSimilarity(a, b);
-          if (sim > best_sim) {
-            best_sim = sim;
-            best_cluster = static_cast<int>(c);
-          }
-        }
-        // Join an existing graph when similar enough — or when the
-        // per-core plan-graph budget is exhausted (paper testbed: one
-        // ATC per core).
-        bool reuse_cluster =
-            best_cluster >= 0 &&
-            (best_sim > config_.clustering.tc ||
-             static_cast<int>(clusters_.size()) >=
-                 config_.clustering.max_plan_graphs);
-        Atc* atc;
-        if (reuse_cluster) {
-          atc = atcs_[clusters_[best_cluster].atc_index].get();
-          clusters_[best_cluster].tables.insert(tables.begin(),
-                                                tables.end());
-        } else {
-          atc = GetOrCreateAtc(-1, flush_at);
-          clusters_.push_back(
-              {static_cast<int>(atcs_.size()) - 1, tables});
-        }
-        QSYS_RETURN_IF_ERROR(OptimizeAndGraft(members, atc,
-                                              SharingMode::kFull,
-                                              atc->id() + 1, flush_at));
-      }
-      return Status::OK();
-    }
-  }
-  return Status::Internal("unknown sharing config");
-}
-
 Status QSystem::Run() {
-  if (!finalized_) {
+  if (!engine_->finalized()) {
     return Status::FailedPrecondition("FinalizeCatalog() not called");
   }
   std::stable_sort(arrivals_.begin(), arrivals_.end(),
                    [](const PendingArrival& a, const PendingArrival& b) {
                      return a.at_us < b.at_us;
                    });
+  engine_->ResetRoundBudget();  // max_rounds bounds one Run()
   size_t next_arrival = 0;
-  int64_t rounds = 0;
 
   for (;;) {
-    VirtualTime t_arr = next_arrival < arrivals_.size()
-                            ? arrivals_[next_arrival].at_us
-                            : kNever;
-    VirtualTime t_flush = batcher_.NextDeadline();
-    // No more arrivals will ever come: flush whatever is waiting, at the
-    // earliest legal instant (the last member's submit time).
-    if (t_arr == kNever && batcher_.HasPending()) {
-      t_flush = std::min<VirtualTime>(t_flush, batcher_.LatestSubmit());
-    }
-    Atc* runnable = nullptr;
-    for (const auto& atc : atcs_) {
-      if (atc->HasWork() &&
-          (runnable == nullptr ||
-           atc->clock().now() < runnable->clock().now())) {
-        runnable = atc.get();
-      }
-    }
-    VirtualTime t_atc = runnable != nullptr ? runnable->clock().now()
-                                            : kNever;
-
-    if (t_arr == kNever && t_flush == kNever && runnable == nullptr) {
-      break;
-    }
-    if (t_arr <= t_flush && t_arr <= t_atc) {
-      QSYS_RETURN_IF_ERROR(IngestArrival(arrivals_[next_arrival]));
-      ++next_arrival;
-      continue;
-    }
-    if (t_flush <= t_atc) {
-      VirtualTime flush_at = std::max<VirtualTime>(t_flush, 0);
-      QSYS_RETURN_IF_ERROR(FlushBatch(flush_at));
-      state_manager_->SnapshotSourceStats();
-      state_manager_->EnforceBudget(flush_at);
-      continue;
-    }
-    runnable->Step();
-    ++rounds;
-    if (config_.max_rounds > 0 && rounds > config_.max_rounds) {
-      return Status::ResourceExhausted("max scheduling rounds exceeded");
-    }
+    Engine::StepOptions step;
+    step.arrival_horizon = next_arrival < arrivals_.size()
+                               ? arrivals_[next_arrival].at_us
+                               : Engine::kNeverUs;
+    step.drain_pending = step.arrival_horizon == Engine::kNeverUs;
+    step.pace_to_horizon = true;
+    QSYS_ASSIGN_OR_RETURN(Engine::StepOutcome out, engine_->Step(step));
+    if (out.kind != Engine::StepKind::kIdle) continue;
+    if (next_arrival >= arrivals_.size()) break;  // timeline exhausted
+    const PendingArrival& a = arrivals_[next_arrival];
+    // Generation failures are per-user outcomes, recorded by the engine
+    // in generation_failures(); the timeline keeps playing.
+    engine_->Ingest(a.uq_id, a.keywords, a.user_id, a.at_us, a.options);
+    ++next_arrival;
   }
-  state_manager_->SnapshotSourceStats();
-  CollectMetrics();
+  engine_->FinishRun();
   return Status::OK();
-}
-
-void QSystem::CollectMetrics() {
-  for (const auto& atc : atcs_) {
-    for (const UserQueryMetrics& m : atc->TakeCompletedMetrics()) {
-      metrics_.push_back(m);
-    }
-  }
-  std::stable_sort(metrics_.begin(), metrics_.end(),
-                   [](const UserQueryMetrics& a, const UserQueryMetrics& b) {
-                     return a.uq_id < b.uq_id;
-                   });
-}
-
-ExecStats QSystem::aggregate_stats() const {
-  ExecStats total;
-  for (const auto& atc : atcs_) total.Merge(atc->stats());
-  return total;
-}
-
-const std::vector<ResultTuple>* QSystem::ResultsFor(int uq_id) const {
-  for (const auto& atc : atcs_) {
-    for (const RankMergeOp* rm : atc->graph().rank_merges()) {
-      if (rm->uq_id() == uq_id) return &rm->results();
-    }
-  }
-  return nullptr;
-}
-
-const UserQuery* QSystem::GetUserQuery(int uq_id) const {
-  auto it = uqs_.find(uq_id);
-  return it == uqs_.end() ? nullptr : it->second.get();
 }
 
 }  // namespace qsys

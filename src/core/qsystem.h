@@ -1,12 +1,13 @@
-// QSystem: the public facade of the reproduction (Figure 3 of the
-// paper).
+// QSystem: the virtual-clock simulator facade of the reproduction
+// (Figure 3 of the paper).
 //
-// A QSystem owns the simulated remote databases (catalog + schema graph
-// + inverted index), the keyword front end, the query batcher, the
-// multiple-query optimizer, the query state manager, and one or more
-// ATCs. Users pose keyword queries at virtual times; Run() plays the
-// whole timeline as a discrete-event simulation and records per-query
-// latencies and work counters.
+// A QSystem wraps an Engine (src/core/engine.h) — the batcher ->
+// multi-query optimizer -> graft -> shared ATC pipeline — and drives it
+// as a discrete-event simulation: users pose keyword queries at virtual
+// times, Run() plays the whole timeline through Engine::Step() and
+// records per-query latencies and work counters. The wall-clock serving
+// layer (src/serve/query_service.h) drives the very same Engine::Step()
+// code path from real client threads instead of a scripted timeline.
 //
 // Typical use:
 //
@@ -20,34 +21,16 @@
 #ifndef QSYS_CORE_QSYSTEM_H_
 #define QSYS_CORE_QSYSTEM_H_
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "src/core/config.h"
-#include "src/keyword/candidate_gen.h"
-#include "src/qs/batcher.h"
-#include "src/qs/graft.h"
-#include "src/qs/state_manager.h"
+#include "src/core/engine.h"
 
 namespace qsys {
 
-/// \brief One record of a multiple-query-optimization run (Figure 11).
-struct OptimizationRecord {
-  /// Candidate inputs considered by the BestPlan search.
-  int64_t candidates = 0;
-  /// Subexpressions enumerated before pruning.
-  int64_t enumerated = 0;
-  /// Search nodes expanded.
-  int64_t nodes_explored = 0;
-  /// Measured wall time of the optimization, seconds.
-  double wall_seconds = 0.0;
-  /// Queries in the batch.
-  int batch_queries = 0;
-};
-
-/// \brief The Q System middleware.
+/// \brief The Q System middleware, replaying a scripted timeline on a
+/// virtual clock.
 class QSystem {
  public:
   explicit QSystem(QConfig config);
@@ -55,24 +38,29 @@ class QSystem {
   QSystem(const QSystem&) = delete;
   QSystem& operator=(const QSystem&) = delete;
 
-  const QConfig& config() const { return config_; }
+  const QConfig& config() const { return engine_->config(); }
+
+  /// The underlying sharing pipeline. Dataset builders target the
+  /// Engine so the simulator and the serving layer share them.
+  Engine& engine() { return *engine_; }
+  const Engine& engine() const { return *engine_; }
 
   // ---- setup ----
 
   /// The simulated remote databases. Register all tables, then call
   /// InitSchemaGraph() to add join edges, then FinalizeCatalog().
-  Catalog& catalog() { return catalog_; }
-  const Catalog& catalog() const { return catalog_; }
+  Catalog& catalog() { return engine_->catalog(); }
+  const Catalog& catalog() const { return engine_->catalog(); }
 
   /// Creates the schema graph (requires all tables registered).
-  SchemaGraph& InitSchemaGraph();
-  SchemaGraph& schema_graph() { return *schema_graph_; }
+  SchemaGraph& InitSchemaGraph() { return engine_->InitSchemaGraph(); }
+  SchemaGraph& schema_graph() { return engine_->schema_graph(); }
 
   /// Finalizes tables, builds the inverted index and the keyword front
   /// end. Must be called once before posing queries.
-  Status FinalizeCatalog();
+  Status FinalizeCatalog() { return engine_->FinalizeCatalog(); }
 
-  InvertedIndex& inverted_index() { return *inverted_index_; }
+  InvertedIndex& inverted_index() { return engine_->inverted_index(); }
 
   // ---- posing queries ----
 
@@ -92,35 +80,41 @@ class QSystem {
   // ---- results & metrics ----
 
   /// Per-user-query outcomes, sorted by user-query id.
-  const std::vector<UserQueryMetrics>& metrics() const { return metrics_; }
+  const std::vector<UserQueryMetrics>& metrics() const {
+    return engine_->metrics();
+  }
 
   /// Aggregate execution statistics over all ATCs.
-  ExecStats aggregate_stats() const;
+  ExecStats aggregate_stats() const { return engine_->aggregate_stats(); }
 
   /// Top-k results of a completed user query (nullptr if unknown).
-  const std::vector<ResultTuple>* ResultsFor(int uq_id) const;
+  const std::vector<ResultTuple>* ResultsFor(int uq_id) const {
+    return engine_->ResultsFor(uq_id);
+  }
 
   /// The generated user query (nullptr if unknown).
-  const UserQuery* GetUserQuery(int uq_id) const;
+  const UserQuery* GetUserQuery(int uq_id) const {
+    return engine_->GetUserQuery(uq_id);
+  }
 
   /// One record per optimizer invocation (Figure 11).
   const std::vector<OptimizationRecord>& optimization_records() const {
-    return opt_records_;
+    return engine_->optimization_records();
   }
 
   /// Keyword queries that failed candidate generation (unmatched or
   /// unconnectable keywords), with their reasons.
   const std::vector<std::pair<int, Status>>& generation_failures() const {
-    return generation_failures_;
+    return engine_->generation_failures();
   }
 
   /// Number of ATCs (plan graphs) created — 1 unless ATC-CL.
-  int num_atcs() const { return static_cast<int>(atcs_.size()); }
-  const Atc& atc(int i) const { return *atcs_[i]; }
+  int num_atcs() const { return engine_->num_atcs(); }
+  const Atc& atc(int i) const { return engine_->atc(i); }
 
   /// Grafting/reuse observability.
-  const PlanGrafter& grafter() const { return *grafter_; }
-  StateManager& state_manager() { return *state_manager_; }
+  const PlanGrafter& grafter() const { return engine_->grafter(); }
+  StateManager& state_manager() { return engine_->state_manager(); }
 
  private:
   struct PendingArrival {
@@ -130,42 +124,9 @@ class QSystem {
     CandidateGenOptions options;
     int uq_id;
   };
-  struct ClusterInfo {
-    int atc_index;
-    std::set<TableId> tables;
-  };
 
-  Atc* GetOrCreateAtc(int index_hint, VirtualTime start_time);
-  Status IngestArrival(PendingArrival arrival);
-  Status FlushBatch(VirtualTime flush_at);
-  Status OptimizeAndGraft(const std::vector<const UserQuery*>& batch,
-                          Atc* atc, SharingMode mode, int base_tag,
-                          VirtualTime flush_at);
-  void CollectMetrics();
-
-  QConfig config_;
-  Catalog catalog_;
-  std::unique_ptr<SchemaGraph> schema_graph_;
-  std::unique_ptr<InvertedIndex> inverted_index_;
-  std::unique_ptr<KeywordMatcher> matcher_;
-  std::unique_ptr<CandidateGenerator> candidate_gen_;
-  std::unique_ptr<DelayModel> delays_;
-  std::unique_ptr<SourceManager> sources_;
-  std::unique_ptr<StateManager> state_manager_;
-  std::unique_ptr<Optimizer> optimizer_;
-  std::unique_ptr<PlanGrafter> grafter_;
-  QueryBatcher batcher_;
-  std::vector<std::unique_ptr<Atc>> atcs_;
-  std::vector<ClusterInfo> clusters_;
+  std::unique_ptr<Engine> engine_;
   std::vector<PendingArrival> arrivals_;  // sorted by time at Run()
-  std::map<int, std::unique_ptr<UserQuery>> uqs_;
-  std::vector<UserQueryMetrics> metrics_;
-  std::vector<OptimizationRecord> opt_records_;
-  std::vector<std::pair<int, Status>> generation_failures_;
-  int next_uq_id_ = 1;
-  int next_cq_id_ = 1;
-  int flush_counter_ = 0;
-  bool finalized_ = false;
 };
 
 }  // namespace qsys

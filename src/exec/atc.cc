@@ -84,4 +84,14 @@ std::vector<UserQueryMetrics> Atc::TakeCompletedMetrics() {
   return out;
 }
 
+void Atc::RetireCompleted(int uq_id) {
+  const std::vector<RankMergeOp*> merges = graph_->rank_merges();
+  for (RankMergeOp* rm : merges) {
+    if (rm->uq_id() == uq_id && rm->complete()) {
+      graph_->RetireRankMerge(rm);
+    }
+  }
+  recorded_uqs_.erase(uq_id);
+}
+
 }  // namespace qsys

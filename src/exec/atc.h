@@ -60,6 +60,12 @@ class Atc {
   /// transfers to the caller).
   std::vector<UserQueryMetrics> TakeCompletedMetrics();
 
+  /// Serving-mode GC: retires the completed user query's rank-merge
+  /// from the plan graph and forgets its recording slot, so a
+  /// long-lived service's graph and bookkeeping stay bounded. Call
+  /// only after the query's results have been copied out.
+  void RetireCompleted(int uq_id);
+
  private:
   void RecordIfComplete(RankMergeOp* rm);
 

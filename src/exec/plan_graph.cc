@@ -119,6 +119,15 @@ void PlanGraph::UnlinkCq(int cq_id) {
   cq_to_ops_.erase(it);
 }
 
+void PlanGraph::RetireRankMerge(RankMergeOp* rm) {
+  for (int cq_id : rm->all_cq_ids()) UnlinkCq(cq_id);
+  rm->set_active(false);
+  rm->ReleaseState();
+  rank_merges_.erase(
+      std::remove(rank_merges_.begin(), rank_merges_.end(), rm),
+      rank_merges_.end());
+}
+
 std::vector<MJoinOp*> PlanGraph::mjoins() const {
   std::vector<MJoinOp*> out;
   for (const auto& op : operators_) {

@@ -77,6 +77,13 @@ class PlanGraph {
   /// reuse until evicted).
   void UnlinkCq(int cq_id);
 
+  /// Serving-mode GC: detaches a completed rank-merge from scheduling
+  /// and introspection, unlinks its CQs (deactivating upstream
+  /// operators no live query flows through), and releases its buffered
+  /// results. The operator object stays owned — upstream wiring may
+  /// still name it — but inactive, so it drops any further input.
+  void RetireRankMerge(RankMergeOp* rm);
+
   // ---- introspection ----
 
   const std::vector<RankMergeOp*>& rank_merges() const {

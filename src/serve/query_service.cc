@@ -1,0 +1,303 @@
+#include "src/serve/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace qsys {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+QueryService::QueryService(ServiceOptions options)
+    : options_(options),
+      engine_(std::make_unique<Engine>(options.config)),
+      sessions_(options.max_in_flight_per_session),
+      queue_(options.queue_capacity) {}
+
+QueryService::~QueryService() {
+  if (started_ && !stopped_) {
+    // Fast teardown: cancel whatever has not executed yet.
+    Shutdown(ShutdownMode::kCancelPending);
+  }
+}
+
+VirtualTime QueryService::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now() - start_wall_)
+      .count();
+}
+
+Status QueryService::Start() {
+  if (started_) return Status::FailedPrecondition("already started");
+  QSYS_RETURN_IF_ERROR(engine_->FinalizeCatalog());
+  // Clients get their outcomes through tickets/sinks; a long-lived
+  // service must not accumulate per-query history inside the engine.
+  engine_->set_retain_history(false);
+  engine_->set_completion_listener([this](const UserQueryMetrics& m) {
+    Resolve(m.uq_id, Status::OK(), &m);
+  });
+  start_wall_ = Clock::now();
+  started_ = true;
+  if (!options_.manual_pump) {
+    executor_ = std::thread([this] { ExecutorLoop(); });
+  }
+  return Status::OK();
+}
+
+Result<SessionId> QueryService::OpenSession(
+    const std::string& client_name, const CandidateGenOptions& defaults) {
+  if (!started_) {
+    return Status::FailedPrecondition("service not started");
+  }
+  return sessions_.Open(client_name, defaults);
+}
+
+Status QueryService::CloseSession(SessionId session) {
+  return sessions_.Close(session);
+}
+
+Result<QueryTicket> QueryService::Submit(SessionId session,
+                                         const std::string& keywords) {
+  return Submit(session, keywords, sessions_.DefaultsFor(session));
+}
+
+Result<QueryTicket> QueryService::Submit(SessionId session,
+                                         const std::string& keywords,
+                                         const CandidateGenOptions& options) {
+  if (!started_ || stopped_) {
+    return Status::FailedPrecondition("service not serving");
+  }
+  Status admitted = sessions_.Admit(session);
+  if (!admitted.ok()) {
+    counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return admitted;
+  }
+
+  SubmitRequest request;
+  request.uq_id = next_uq_id_.fetch_add(1, std::memory_order_relaxed);
+  request.session = session;
+  request.keywords = keywords;
+  request.options = options;
+
+  std::shared_future<QueryOutcome> future;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    InFlight entry;
+    entry.session = session;
+    entry.keywords = keywords;
+    future = entry.promise.get_future().share();
+    inflight_.emplace(request.uq_id, std::move(entry));
+  }
+
+  int uq_id = request.uq_id;
+  bool pushed = options_.block_when_full ? queue_.Push(std::move(request))
+                                         : queue_.TryPush(std::move(request));
+  if (!pushed) {
+    bool still_inflight;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      still_inflight = inflight_.erase(uq_id) > 0;
+    }
+    if (!still_inflight) {
+      // A shutdown raced this submit and already resolved the ticket
+      // (as cancelled) via ResolveAllRemaining — the session/counter
+      // accounting happened there; hand the resolved ticket back.
+      counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+      return QueryTicket(uq_id, std::move(future));
+    }
+    sessions_.OnRejected(session);
+    counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "submit queue full or service shutting down");
+  }
+  counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  return QueryTicket(uq_id, std::move(future));
+}
+
+void QueryService::IngestRequests(std::vector<SubmitRequest> requests) {
+  if (requests.empty()) return;
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  VirtualTime now = NowUs();
+  for (SubmitRequest& r : requests) {
+    Status admitted = engine_->Ingest(r.uq_id, r.keywords, r.session, now,
+                                      r.options);
+    if (!admitted.ok()) {
+      // Candidate generation failed: the query resolves immediately;
+      // everyone else keeps being served.
+      Resolve(r.uq_id, admitted, nullptr);
+    }
+  }
+}
+
+bool QueryService::RunDueEpochs(bool drain_partial) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  engine_->ResetRoundBudget();  // max_rounds bounds one epoch
+  Engine::StepOptions step;
+  step.pace_to_horizon = false;
+  step.drain_pending = drain_partial;
+  step.arrival_horizon =
+      drain_partial ? Engine::kNeverUs : NowUs() + 1;
+  bool worked = false;
+  for (;;) {
+    Result<Engine::StepOutcome> out = engine_->Step(step);
+    if (!out.ok()) {
+      {
+        std::lock_guard<std::mutex> slock(executor_status_mu_);
+        executor_status_ = out.status();
+      }
+      atomic_stats_.Store(engine_->aggregate_stats());
+      return false;
+    }
+    if (out.value().kind == Engine::StepKind::kIdle) break;
+    if (out.value().kind == Engine::StepKind::kFlushed) {
+      counters_.batches_flushed.fetch_add(1, std::memory_order_relaxed);
+    }
+    worked = true;
+  }
+  if (worked) {
+    counters_.epochs.fetch_add(1, std::memory_order_relaxed);
+    atomic_stats_.Store(engine_->aggregate_stats());
+  }
+  return true;
+}
+
+void QueryService::Resolve(int uq_id, Status status,
+                           const UserQueryMetrics* metrics) {
+  InFlight entry;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(uq_id);
+    if (it == inflight_.end()) return;  // already resolved
+    entry = std::move(it->second);
+    inflight_.erase(it);
+  }
+
+  QueryOutcome outcome;
+  outcome.uq_id = uq_id;
+  outcome.session_id = entry.session;
+  outcome.keywords = std::move(entry.keywords);
+  outcome.status = std::move(status);
+  if (metrics != nullptr) outcome.metrics = *metrics;
+  if (outcome.status.ok()) {
+    // Completion path: the executor holds engine_mu_, so reading the
+    // rank-merge's results out of the plan graph is safe. Copy them so
+    // the outcome survives later grafting/eviction.
+    const std::vector<ResultTuple>* results = engine_->ResultsFor(uq_id);
+    if (results != nullptr) outcome.results = *results;
+    counters_.completed.fetch_add(1, std::memory_order_relaxed);
+  } else if (outcome.status.code() == StatusCode::kCancelled) {
+    counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  sessions_.OnResolved(entry.session, outcome.status.ok());
+
+  // The promise is resolved first so a misbehaving sink cannot strand
+  // the waiting client.
+  entry.promise.set_value(outcome);
+  if (sink_ != nullptr) sink_->Deliver(outcome);
+}
+
+void QueryService::ResolveAllRemaining(const Status& status) {
+  std::vector<int> ids;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ids.reserve(inflight_.size());
+    for (const auto& [uq_id, entry] : inflight_) ids.push_back(uq_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (int uq_id : ids) Resolve(uq_id, status, nullptr);
+}
+
+void QueryService::ExecutorLoop() {
+  for (;;) {
+    std::optional<Clock::time_point> deadline;
+    {
+      std::lock_guard<std::mutex> lock(engine_mu_);
+      if (engine_->batcher().HasPending()) {
+        deadline = start_wall_ + std::chrono::microseconds(
+                                     engine_->batcher().NextDeadline());
+      }
+    }
+    std::optional<SubmitRequest> first = queue_.PopUntil(deadline);
+    if (first.has_value()) {
+      std::vector<SubmitRequest> requests;
+      requests.push_back(std::move(*first));
+      for (SubmitRequest& r : queue_.DrainNow()) {
+        requests.push_back(std::move(r));
+      }
+      IngestRequests(std::move(requests));
+    } else if (queue_.closed() && queue_.size() == 0) {
+      break;  // shutdown requested and nothing left to pop
+    }
+    if (!RunDueEpochs(/*drain_partial=*/false)) break;
+  }
+  FinishServing();
+}
+
+void QueryService::FinishServing() {
+  // Anything still queued raced the close; treat it like the batcher's
+  // leftovers below.
+  std::vector<SubmitRequest> leftovers = queue_.DrainNow();
+  Status terminal;
+  {
+    std::lock_guard<std::mutex> lock(executor_status_mu_);
+    terminal = executor_status_;
+  }
+  if (terminal.ok() && !cancel_pending_) {
+    // Draining shutdown: run everything already accepted to completion,
+    // flushing even a batch whose window has not expired.
+    IngestRequests(std::move(leftovers));
+    RunDueEpochs(/*drain_partial=*/true);
+  }
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    engine_->FinishRun();
+    atomic_stats_.Store(engine_->aggregate_stats());
+  }
+  {
+    std::lock_guard<std::mutex> lock(executor_status_mu_);
+    terminal = executor_status_;
+  }
+  // Whatever is still unresolved — queued requests under a cancelling
+  // shutdown, batched-but-unflushed queries, or everything in flight
+  // after an engine failure — resolves now so no client blocks forever.
+  ResolveAllRemaining(terminal.ok()
+                          ? Status::Cancelled("service shut down")
+                          : terminal);
+}
+
+Status QueryService::Shutdown(ShutdownMode mode) {
+  if (!started_) return Status::FailedPrecondition("service not started");
+  // shutdown_mu_ serializes concurrent Shutdown calls (and the
+  // destructor): only one thread joins the executor, later callers
+  // block until it is done and then just report the terminal status.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  bool expected = false;
+  if (stopped_.compare_exchange_strong(expected, true)) {
+    if (mode == ShutdownMode::kCancelPending) cancel_pending_ = true;
+    queue_.Close();
+    if (options_.manual_pump) {
+      FinishServing();
+    } else if (executor_.joinable()) {
+      executor_.join();
+    }
+  }
+  std::lock_guard<std::mutex> lock(executor_status_mu_);
+  return executor_status_;
+}
+
+Status QueryService::PumpOnce() {
+  if (!options_.manual_pump) {
+    return Status::FailedPrecondition(
+        "PumpOnce requires ServiceOptions::manual_pump");
+  }
+  if (!started_) return Status::FailedPrecondition("service not started");
+  IngestRequests(queue_.DrainNow());
+  RunDueEpochs(/*drain_partial=*/false);
+  std::lock_guard<std::mutex> lock(executor_status_mu_);
+  return executor_status_;
+}
+
+}  // namespace qsys

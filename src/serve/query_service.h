@@ -1,0 +1,201 @@
+// QueryService: the wall-clock, concurrent front half of the Q System.
+//
+// The paper's middleware amortizes work across *concurrent* keyword
+// queries; this layer supplies the concurrency. Many client threads
+// submit keyword queries on real time; an admission/session layer
+// assigns query ids and enforces per-client in-flight caps; a bounded
+// MPSC submit queue applies backpressure; and one dedicated executor
+// thread drives the existing sharing pipeline — batcher -> multi-query
+// optimizer -> graft -> shared ATC execution — in shared-execution
+// epochs through the same Engine::Step() code path as the virtual-clock
+// simulator. Completed top-k answers stream back to the waiting callers
+// through futures (QueryTicket) and an optional push sink.
+//
+//   QueryService service(options);
+//   ... populate service.catalog(), service.InitSchemaGraph(), edges ...
+//   QSYS_RETURN_IF_ERROR(service.Start());
+//   SessionId session = service.OpenSession("alice").value();
+//   QueryTicket ticket =
+//       service.Submit(session, "protein membrane").value();
+//   const QueryOutcome& out = ticket.Wait();   // ranked ResultTuples
+//   QSYS_RETURN_IF_ERROR(service.Shutdown());
+//
+// Threading model: the Engine is single-threaded by design, so the
+// service serializes every touch of it behind one coarse engine lock
+// (engine_mu_). Client-visible counters cross the boundary through the
+// lock-free AtomicExecStats / ServiceCounters mirrors in
+// src/common/metrics.h. Time mapping: virtual time 0 is Start(); one
+// virtual microsecond per wall microsecond for arrivals and batch
+// windows, while execution inside an epoch runs as fast as the hardware
+// allows (injected wide-area delays advance ATC clocks without
+// sleeping, exactly as in the simulator).
+
+#ifndef QSYS_SERVE_QUERY_SERVICE_H_
+#define QSYS_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/serve/result_sink.h"
+#include "src/serve/session.h"
+#include "src/serve/submit_queue.h"
+
+namespace qsys {
+
+/// \brief Configuration of one QueryService instance.
+struct ServiceOptions {
+  /// Engine configuration (sharing mode, batch size/window, k, ...).
+  /// The batch window is interpreted in wall-clock microseconds.
+  QConfig config;
+  /// Submit-queue bound (admission backpressure).
+  size_t queue_capacity = 1024;
+  /// Full-queue policy: false = reject the submit (kResourceExhausted),
+  /// true = block the producer until the executor drains.
+  bool block_when_full = false;
+  /// Per-session in-flight query cap (0 = uncapped).
+  int max_in_flight_per_session = 64;
+  /// Test hook: do not spawn the executor thread; the test drives the
+  /// service deterministically with PumpOnce() / Shutdown().
+  bool manual_pump = false;
+};
+
+/// \brief Concurrent query-serving facade over one Engine.
+class QueryService {
+ public:
+  enum class ShutdownMode {
+    /// Refuse new submits, execute everything already accepted, then
+    /// stop: every outstanding ticket resolves with its results.
+    kDrain,
+    /// Refuse new submits and cancel accepted-but-unexecuted queries:
+    /// their tickets resolve with kCancelled.
+    kCancelPending,
+  };
+
+  explicit QueryService(ServiceOptions options);
+  ~QueryService();
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // ---- setup (single-threaded, before Start()) ----
+
+  /// The underlying pipeline, exposed for catalog/dataset building with
+  /// the same builders the simulator uses (BuildGusDataset(Engine&), ...).
+  Engine& engine() { return *engine_; }
+  Catalog& catalog() { return engine_->catalog(); }
+  SchemaGraph& InitSchemaGraph() { return engine_->InitSchemaGraph(); }
+
+  /// Optional push-style delivery, invoked on the executor thread in
+  /// addition to resolving the ticket future. Set before Start().
+  void set_result_sink(ResultSink* sink) { sink_ = sink; }
+
+  /// Finalizes the catalog (idempotent) and starts serving: wall clock
+  /// zero is now, and the executor thread begins draining submissions.
+  Status Start();
+
+  // ---- client API (thread-safe after Start()) ----
+
+  Result<SessionId> OpenSession(const std::string& client_name,
+                                const CandidateGenOptions& defaults = {});
+  Status CloseSession(SessionId session);
+
+  /// Submits one keyword query on the caller's session. On success the
+  /// returned ticket's future resolves when the shared execution
+  /// completes the query's top-k (or its candidate generation fails).
+  /// Fails with kResourceExhausted under backpressure (full queue or
+  /// session cap) and kFailedPrecondition when not serving.
+  Result<QueryTicket> Submit(SessionId session, const std::string& keywords);
+  Result<QueryTicket> Submit(SessionId session, const std::string& keywords,
+                             const CandidateGenOptions& options);
+
+  /// Stops serving. Idempotent; the first call's mode wins. Returns the
+  /// executor's terminal status (OK unless the engine failed).
+  Status Shutdown(ShutdownMode mode = ShutdownMode::kDrain);
+
+  bool serving() const { return started_ && !stopped_; }
+
+  // ---- observability ----
+
+  /// Lock-free admission/serving counters.
+  const ServiceCounters& counters() const { return counters_; }
+
+  /// Lock-free snapshot of the engine's aggregate ExecStats as of the
+  /// last completed epoch (shared-work counters: tuples streamed,
+  /// probes issued, cache hits, ...).
+  ExecStats stats_snapshot() const { return atomic_stats_.Load(); }
+
+  SessionManager& sessions() { return sessions_; }
+
+  /// Wall microseconds since Start() — the service's virtual timeline.
+  VirtualTime NowUs() const;
+
+  // ---- test hooks (manual_pump mode only) ----
+
+  /// Runs one executor iteration synchronously: ingest every queued
+  /// submit, then drain all due batches and ATC work as one epoch.
+  Status PumpOnce();
+
+ private:
+  struct SubmitRequest {
+    int uq_id = -1;
+    SessionId session = -1;
+    std::string keywords;
+    CandidateGenOptions options;
+  };
+  struct InFlight {
+    std::promise<QueryOutcome> promise;
+    SessionId session = -1;
+    std::string keywords;
+  };
+
+  void ExecutorLoop();
+  /// Ingests requests into the batcher at the current virtual time.
+  void IngestRequests(std::vector<SubmitRequest> requests);
+  /// Flushes every due batch and drains all ATC work (one epoch).
+  /// `drain_partial` also flushes a batch whose window has not expired
+  /// (shutdown). Returns false after an engine failure.
+  bool RunDueEpochs(bool drain_partial);
+  /// Executor-side completion: builds the outcome, resolves the ticket,
+  /// notifies the sink. Caller holds engine_mu_ when `ok`.
+  void Resolve(int uq_id, Status status, const UserQueryMetrics* metrics);
+  /// Resolves every remaining in-flight ticket with `status`.
+  void ResolveAllRemaining(const Status& status);
+  /// Shutdown tail shared by the executor thread and manual mode.
+  void FinishServing();
+
+  ServiceOptions options_;
+  std::unique_ptr<Engine> engine_;
+  SessionManager sessions_;
+  SubmitQueue<SubmitRequest> queue_;
+  ResultSink* sink_ = nullptr;
+
+  /// Coarse engine lock: every touch of engine_ after Start() happens
+  /// under it (executor epochs; nothing else in steady state).
+  std::mutex engine_mu_;
+  std::mutex inflight_mu_;
+  std::unordered_map<int, InFlight> inflight_;
+
+  std::thread executor_;
+  /// Serializes Shutdown() callers around the executor join.
+  std::mutex shutdown_mu_;
+  std::chrono::steady_clock::time_point start_wall_;
+  std::atomic<int> next_uq_id_{1};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> cancel_pending_{false};
+  Status executor_status_;
+  std::mutex executor_status_mu_;
+
+  ServiceCounters counters_;
+  AtomicExecStats atomic_stats_;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_SERVE_QUERY_SERVICE_H_

@@ -1,0 +1,108 @@
+#include "src/serve/session.h"
+
+namespace qsys {
+
+SessionId SessionManager::Open(const std::string& client_name,
+                               const CandidateGenOptions& defaults) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionId id = next_id_++;
+  SessionState state;
+  state.client_name = client_name;
+  state.defaults = defaults;
+  sessions_.emplace(id, std::move(state));
+  return id;
+}
+
+Status SessionManager::Close(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || !it->second.open) {
+    return Status::NotFound("unknown or closed session");
+  }
+  it->second.open = false;
+  // A long-lived service must not accumulate dead sessions: drop the
+  // state as soon as nothing references it. With queries still in
+  // flight, OnResolved() drops it when the last one resolves.
+  if (it->second.in_flight == 0) sessions_.erase(it);
+  return Status::OK();
+}
+
+Status SessionManager::Admit(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || !it->second.open) {
+    return Status::NotFound("unknown or closed session");
+  }
+  SessionState& s = it->second;
+  if (max_in_flight_ > 0 && s.in_flight >= max_in_flight_) {
+    s.rejected += 1;
+    return Status::ResourceExhausted(
+        "session at its in-flight query cap");
+  }
+  s.in_flight += 1;
+  s.submitted += 1;
+  return Status::OK();
+}
+
+void SessionManager::OnRejected(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  SessionState& s = it->second;
+  s.in_flight -= 1;
+  s.submitted -= 1;
+  s.rejected += 1;
+}
+
+void SessionManager::OnResolved(SessionId id, bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  SessionState& s = it->second;
+  s.in_flight -= 1;
+  if (ok) {
+    s.completed += 1;
+  } else {
+    s.failed += 1;
+  }
+  if (!s.open && s.in_flight == 0) sessions_.erase(it);
+}
+
+CandidateGenOptions SessionManager::DefaultsFor(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? CandidateGenOptions{}
+                               : it->second.defaults;
+}
+
+SessionStats SessionManager::Snapshot(SessionId id,
+                                      const SessionState& s) const {
+  SessionStats out;
+  out.session_id = id;
+  out.client_name = s.client_name;
+  out.submitted = s.submitted;
+  out.completed = s.completed;
+  out.failed = s.failed;
+  out.rejected = s.rejected;
+  out.in_flight = s.in_flight;
+  return out;
+}
+
+Result<SessionStats> SessionManager::StatsFor(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session");
+  }
+  return Snapshot(id, it->second);
+}
+
+std::vector<SessionStats> SessionManager::AllStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionStats> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) out.push_back(Snapshot(id, s));
+  return out;
+}
+
+}  // namespace qsys

@@ -1,0 +1,94 @@
+// Admission and session tracking for the query-serving layer.
+//
+// Every caller opens a session before submitting keyword queries. The
+// session carries the per-client candidate-generation defaults (scoring
+// model, learned edge-cost factor — the paper's per-user knobs) and an
+// in-flight cap, the second half of the service's admission control
+// (the first being the bounded submit queue).
+
+#ifndef QSYS_SERVE_SESSION_H_
+#define QSYS_SERVE_SESSION_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/keyword/candidate_gen.h"
+
+namespace qsys {
+
+using SessionId = int;
+
+/// \brief Point-in-time view of one session's lifetime counters.
+struct SessionStats {
+  SessionId session_id = -1;
+  std::string client_name;
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t rejected = 0;
+  int64_t in_flight = 0;
+};
+
+/// \brief Thread-safe registry of client sessions.
+class SessionManager {
+ public:
+  explicit SessionManager(int max_in_flight_per_session)
+      : max_in_flight_(max_in_flight_per_session) {}
+
+  /// Registers a client and returns its session id.
+  SessionId Open(const std::string& client_name,
+                 const CandidateGenOptions& defaults = {});
+
+  /// Closes a session: further submits are refused and its state is
+  /// dropped once the last in-flight query resolves (queries already
+  /// admitted keep running).
+  Status Close(SessionId id);
+
+  /// Admission check + in-flight accounting for one submit. Returns
+  /// kNotFound for an unknown/closed session and kResourceExhausted
+  /// when the session is at its in-flight cap.
+  Status Admit(SessionId id);
+
+  /// Rolls back an Admit whose query never entered the queue (queue
+  /// full / service shutting down).
+  void OnRejected(SessionId id);
+
+  /// Marks one admitted query resolved. `ok` distinguishes completed
+  /// from failed/cancelled in the session counters.
+  void OnResolved(SessionId id, bool ok);
+
+  /// The session's candidate-generation defaults (empty options for an
+  /// unknown session).
+  CandidateGenOptions DefaultsFor(SessionId id) const;
+
+  Result<SessionStats> StatsFor(SessionId id) const;
+  std::vector<SessionStats> AllStats() const;
+
+  int max_in_flight_per_session() const { return max_in_flight_; }
+
+ private:
+  struct SessionState {
+    std::string client_name;
+    CandidateGenOptions defaults;
+    bool open = true;
+    int64_t submitted = 0;
+    int64_t completed = 0;
+    int64_t failed = 0;
+    int64_t rejected = 0;
+    int64_t in_flight = 0;
+  };
+
+  SessionStats Snapshot(SessionId id, const SessionState& s) const;
+
+  const int max_in_flight_;
+  mutable std::mutex mu_;
+  std::unordered_map<SessionId, SessionState> sessions_;
+  SessionId next_id_ = 1;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_SERVE_SESSION_H_

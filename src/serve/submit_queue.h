@@ -1,0 +1,128 @@
+// Bounded multi-producer / single-consumer queue between client threads
+// and the query-serving executor.
+//
+// Producers are the many caller threads of QueryService::Submit();
+// the single consumer is the executor thread that drives the Engine in
+// shared-execution epochs. The bound is the service's admission
+// backpressure: when the queue is full, TryPush refuses (the service
+// then rejects the query with kResourceExhausted) and Push blocks the
+// producer until the executor drains — callers pick the policy via
+// ServiceOptions::block_when_full.
+
+#ifndef QSYS_SERVE_SUBMIT_QUEUE_H_
+#define QSYS_SERVE_SUBMIT_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace qsys {
+
+/// \brief Bounded MPSC blocking queue.
+template <typename T>
+class SubmitQueue {
+ public:
+  explicit SubmitQueue(size_t capacity) : capacity_(capacity) {}
+  SubmitQueue(const SubmitQueue&) = delete;
+  SubmitQueue& operator=(const SubmitQueue&) = delete;
+
+  /// Enqueues without blocking. Returns false when the queue is full or
+  /// closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    consumer_cv_.notify_one();
+    return true;
+  }
+
+  /// Enqueues, blocking while the queue is full. Returns false only if
+  /// the queue is (or becomes) closed.
+  bool Push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      producer_cv_.wait(lock, [this] {
+        return closed_ || items_.size() < capacity_;
+      });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    consumer_cv_.notify_one();
+    return true;
+  }
+
+  /// Dequeues one item, blocking until one arrives, `deadline` passes,
+  /// or the queue is closed *and* empty. Returns nullopt on timeout or
+  /// closed-and-drained.
+  std::optional<T> PopUntil(
+      std::optional<std::chrono::steady_clock::time_point> deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto ready = [this] { return closed_ || !items_.empty(); };
+    if (deadline.has_value()) {
+      consumer_cv_.wait_until(lock, *deadline, ready);
+    } else {
+      consumer_cv_.wait(lock, ready);
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    producer_cv_.notify_one();
+    return item;
+  }
+
+  /// Dequeues everything currently queued without blocking.
+  std::vector<T> DrainNow() {
+    std::vector<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      out.reserve(items_.size());
+      while (!items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    producer_cv_.notify_all();
+    return out;
+  }
+
+  /// Rejects all future pushes and wakes every waiter. Items already
+  /// queued remain poppable (the executor drains or cancels them).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    consumer_cv_.notify_all();
+    producer_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable consumer_cv_;
+  std::condition_variable producer_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_SERVE_SUBMIT_QUEUE_H_

@@ -7,6 +7,20 @@ namespace qsys {
 
 const std::vector<KeywordMatch> InvertedIndex::kEmpty;
 
+namespace {
+// The index's key space is lowercase; Build, Lookup and AddAlias must
+// all normalize identically or per-term match lists silently split.
+std::string LowercaseKey(const std::string& term) {
+  std::string key;
+  key.reserve(term.size());
+  for (char ch : term) {
+    key.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+  }
+  return key;
+}
+}  // namespace
+
 std::vector<std::string> TokenizeKeywords(const std::string& text) {
   std::vector<std::string> out;
   std::string cur;
@@ -68,18 +82,18 @@ InvertedIndex InvertedIndex::Build(const Catalog& catalog) {
 
 const std::vector<KeywordMatch>& InvertedIndex::Lookup(
     const std::string& term) const {
-  std::string key;
-  for (char ch : term) {
-    key.push_back(
-        static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
-  }
-  auto it = map_.find(key);
+  auto it = map_.find(LowercaseKey(term));
   return it == map_.end() ? kEmpty : it->second;
 }
 
 void InvertedIndex::AddAlias(const std::string& term, TableId table,
                              double score) {
-  auto& vec = map_[term];
+  // Normalize to the index's lowercase key space: an alias registered
+  // as "Kinase" and again as "kinase" must land in the *same* per-term
+  // match list (and be found by Lookup) rather than seeding a parallel
+  // list that dodges the dedup below and inflates the candidate
+  // generator's match statistics.
+  auto& vec = map_[LowercaseKey(term)];
   for (KeywordMatch& m : vec) {
     if (m.table == table && m.column == -1) {
       m.score = std::max(m.score, score);

@@ -20,6 +20,10 @@ double SampleScore(Rng& rng, const ZipfTable& ranks) {
 }  // namespace
 
 Status BuildGusDataset(QSystem& sys, const GusOptions& options) {
+  return BuildGusDataset(sys.engine(), options);
+}
+
+Status BuildGusDataset(Engine& sys, const GusOptions& options) {
   const std::vector<std::string>& vocab = BioVocabulary();
   Rng rng(options.seed);
   Rng data_rng = rng.Fork();

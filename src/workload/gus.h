@@ -40,7 +40,9 @@ struct GusOptions {
 };
 
 /// Builds the dataset inside `sys` (tables, rows, schema-graph edges,
-/// node costs) and finalizes the catalog.
+/// node costs) and finalizes the catalog. The Engine overload serves
+/// the wall-clock QueryService; the QSystem overload the simulator.
+Status BuildGusDataset(Engine& sys, const GusOptions& options);
 Status BuildGusDataset(QSystem& sys, const GusOptions& options);
 
 }  // namespace qsys

@@ -10,7 +10,7 @@ namespace qsys {
 namespace {
 
 struct Builder {
-  QSystem& sys;
+  Engine& sys;
   Rng rng;
   ZipfTable score_ranks{64, 1.0};
   const std::vector<std::string>& vocab = BioVocabulary();
@@ -108,7 +108,11 @@ int64_t Scaled(int64_t base, double scale) {
 
 }  // namespace
 
-Status BuildPfamDataset(QSystem& sys, const PfamOptions& o) {
+Status BuildPfamDataset(QSystem& sys, const PfamOptions& options) {
+  return BuildPfamDataset(sys.engine(), options);
+}
+
+Status BuildPfamDataset(Engine& sys, const PfamOptions& o) {
   Builder b{sys, Rng(o.seed)};
   const double th = o.zipf_theta;
 

@@ -30,7 +30,10 @@ struct PfamOptions {
   uint64_t seed = 3;
 };
 
-/// Builds the dataset inside `sys` and finalizes the catalog.
+/// Builds the dataset inside `sys` and finalizes the catalog. The
+/// Engine overload serves the wall-clock QueryService; the QSystem
+/// overload the simulator.
+Status BuildPfamDataset(Engine& sys, const PfamOptions& options);
 Status BuildPfamDataset(QSystem& sys, const PfamOptions& options);
 
 }  // namespace qsys

@@ -158,5 +158,27 @@ TEST(InvertedIndexTest, AliasRegistration) {
   EXPECT_DOUBLE_EQ(index.Lookup("synonym")[0].score, 1.0);
 }
 
+TEST(InvertedIndexTest, AliasRegistrationIsCaseInsensitive) {
+  Catalog c;
+  auto id = c.AddTable(ScoredSchema());
+  ASSERT_TRUE(id.ok());
+  c.FinalizeAll();
+  InvertedIndex index = InvertedIndex::Build(c);
+  // Case variants of one alias must collapse into a single per-term
+  // match list with a single deduplicated entry — not parallel lists
+  // that inflate candidate-generator statistics.
+  index.AddAlias("Synonym", id.value(), 0.7);
+  index.AddAlias("synonym", id.value(), 0.4);
+  index.AddAlias("SYNONYM", id.value(), 0.6);
+  const auto& hits = index.Lookup("synonym");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].table, id.value());
+  EXPECT_EQ(hits[0].column, -1);
+  EXPECT_DOUBLE_EQ(hits[0].score, 0.7);
+  // All case variants resolve to the same list.
+  EXPECT_EQ(index.Lookup("Synonym").size(), 1u);
+  EXPECT_EQ(index.Lookup("SYNONYM").size(), 1u);
+}
+
 }  // namespace
 }  // namespace qsys

@@ -30,6 +30,10 @@ Status FillEntity(Table& table, Rng& rng, const char* const* words,
 }  // namespace
 
 Status BuildTinyBioDataset(QSystem& sys, uint64_t seed) {
+  return BuildTinyBioDataset(sys.engine(), seed);
+}
+
+Status BuildTinyBioDataset(Engine& sys, uint64_t seed) {
   Rng rng(seed);
   Catalog& catalog = sys.catalog();
 

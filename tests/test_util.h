@@ -24,6 +24,8 @@ namespace qsys::testing {
 ///
 /// Edges: prot2term(a->protein, b->term), gene2term(a->gene, b->term),
 /// prot2gene(a->protein, b->gene). Deterministic contents (seeded).
+/// The Engine overload builds the same dataset for serving-layer tests.
+Status BuildTinyBioDataset(Engine& sys, uint64_t seed = 11);
 Status BuildTinyBioDataset(QSystem& sys, uint64_t seed = 11);
 
 /// Default config for fast tests: tiny delays, batch size 1.
