@@ -8,11 +8,12 @@
 using namespace qsys;
 using namespace qsys::bench;
 
-int main() {
+int main(int argc, char** argv) {
   printf("== Ablation: cache replacement policies (tight budget) ==\n");
   printf("%-16s %10s %12s %14s %12s\n", "policy", "evictions",
          "streamed", "backfilled", "mean lat (s)");
   ShapeChecker checker;
+  BenchJson json("ablation_eviction", argc, argv);
   int64_t unlimited_streamed = 0;
   {
     auto out = RunExperiment(GusDefaults(SharingConfig::kAtcFull));
@@ -26,6 +27,9 @@ int main() {
            static_cast<long long>(out.value().stats.tuples_streamed),
            static_cast<long long>(out.value().tuples_backfilled),
            MeanLatencySeconds(out.value()));
+    json.Add("unlimited.tuples_streamed",
+             out.value().stats.tuples_streamed);
+    json.Add("unlimited.mean_latency_s", MeanLatencySeconds(out.value()));
     checker.Check(out.value().evictions == 0,
                   "no evictions under an unlimited budget");
   }
@@ -48,6 +52,11 @@ int main() {
            static_cast<long long>(out.value().stats.tuples_streamed),
            static_cast<long long>(out.value().tuples_backfilled),
            MeanLatencySeconds(out.value()));
+    std::string p = EvictionPolicyName(policy);
+    json.Add(p + ".evictions", out.value().evictions);
+    json.Add(p + ".tuples_streamed", out.value().stats.tuples_streamed);
+    json.Add(p + ".tuples_backfilled", out.value().tuples_backfilled);
+    json.Add(p + ".mean_latency_s", MeanLatencySeconds(out.value()));
     if (out.value().evictions > 0) any_evicted = true;
     checker.Check(out.value().metrics.size() >= 14,
                   std::string(EvictionPolicyName(policy)) +
@@ -55,5 +64,6 @@ int main() {
   }
   checker.Check(any_evicted, "the tight budget actually forced evictions");
   (void)unlimited_streamed;
+  json.Write();
   return checker.Finish();
 }

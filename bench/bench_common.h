@@ -8,8 +8,11 @@
 #define QSYS_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstring>
+#include <ctime>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/workload/runner.h"
@@ -89,6 +92,96 @@ inline double Mean(const std::vector<double>& v) {
   for (double x : v) total += x;
   return total / static_cast<double>(v.size());
 }
+
+/// \brief Machine-readable bench output: collects flat metrics and
+/// writes them as `BENCH_<name>.json` so the perf trajectory can be
+/// tracked across PRs by tooling instead of by parsing stdout.
+///
+/// Flags (anywhere in argv):
+///   --json-out=PATH    output path (default BENCH_<name>.json in cwd)
+///   --timestamp=STR    recorded verbatim (default: current UTC,
+///                      ISO-8601), so CI can stamp runs consistently
+class BenchJson {
+ public:
+  BenchJson(std::string name, int argc, char** argv)
+      : name_(std::move(name)), out_path_("BENCH_" + name_ + ".json") {
+    char buf[32];
+    std::time_t now = std::time(nullptr);
+    std::tm tm_utc;
+    gmtime_r(&now, &tm_utc);
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    timestamp_ = buf;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--json-out=", 11) == 0) out_path_ = arg + 11;
+      if (std::strncmp(arg, "--timestamp=", 12) == 0) {
+        timestamp_ = arg + 12;
+      }
+    }
+  }
+
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.6g", value);
+    entries_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, int64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, int value) {
+    Add(key, static_cast<int64_t>(value));
+  }
+  void AddString(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + Escape(value) + "\"");
+  }
+
+  /// Writes the JSON file; prints where it went. Returns false (and
+  /// complains) when the file cannot be written.
+  bool Write() const {
+    FILE* f = fopen(out_path_.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "BenchJson: cannot write %s\n", out_path_.c_str());
+      return false;
+    }
+    fprintf(f, "{\n  \"bench\": \"%s\",\n  \"timestamp\": \"%s\",\n"
+               "  \"metrics\": {\n",
+            Escape(name_).c_str(), Escape(timestamp_).c_str());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      fprintf(f, "    \"%s\": %s%s\n", Escape(entries_[i].first).c_str(),
+              entries_[i].second.c_str(),
+              i + 1 < entries_.size() ? "," : "");
+    }
+    fprintf(f, "  }\n}\n");
+    fclose(f);
+    printf("wrote %s\n", out_path_.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        snprintf(buf, sizeof(buf), "\\u%04x",
+                 static_cast<unsigned>(static_cast<unsigned char>(c)));
+        out += buf;
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::string out_path_;
+  std::string timestamp_;
+  /// key -> already-rendered JSON value.
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace qsys::bench
 

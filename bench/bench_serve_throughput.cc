@@ -21,6 +21,7 @@
 #include "src/serve/query_service.h"
 
 using namespace qsys;
+using qsys::bench::BenchJson;
 using qsys::bench::ShapeChecker;
 
 namespace {
@@ -51,7 +52,7 @@ QConfig BaseConfig() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   printf("bench_serve_throughput: %d queries, %d client threads\n",
          kNumQueries, kNumClients);
   std::vector<WorkloadQuery> workload = MakeWorkload();
@@ -167,6 +168,26 @@ int main() {
   row("probe cache hits", isolated.probe_cache_hits,
       shared.probe_cache_hits);
   row("join probes", isolated.join_probes, shared.join_probes);
+
+  BenchJson json("serve_throughput", argc, argv);
+  json.Add("num_queries", kNumQueries);
+  json.Add("num_clients", kNumClients);
+  json.Add("submitted", submitted);
+  json.Add("completed", completed);
+  json.Add("failed", failed);
+  json.Add("epochs", service.counters().epochs.load());
+  json.Add("batches_flushed", service.counters().batches_flushed.load());
+  json.Add("wall_seconds", wall_seconds);
+  json.Add("queries_per_second",
+           static_cast<double>(completed) / wall_seconds);
+  json.Add("result_tuples", result_tuples);
+  json.Add("isolated.tuples_streamed", isolated.tuples_streamed);
+  json.Add("isolated.probes_issued", isolated.probes_issued);
+  json.Add("isolated.join_probes", isolated.join_probes);
+  json.Add("served.tuples_streamed", shared.tuples_streamed);
+  json.Add("served.probes_issued", shared.probes_issued);
+  json.Add("served.join_probes", shared.join_probes);
+  json.Write();
 
   ShapeChecker check;
   check.Check(completed + failed == submitted &&

@@ -1,0 +1,156 @@
+// Spill-tier pressure bench: the GUS workload under an artificially
+// tight memory budget, with the disk-spill tier off vs on.
+//
+// Without spill, eviction under pressure *destroys* retained state:
+// later batches lose the buffered prefixes their recovery queries and
+// backfills would have reused, so the system re-executes — reading
+// further into the remote streams and issuing more probes (§6.3).
+// With the spill tier (src/buffer/), the same evictions demote state to
+// disk pages and the next graft faults it back in, so total work stays
+// near the unlimited-budget baseline at local-disk cost.
+//
+//   unlimited      — 256 MiB budget, nothing evicted (reference)
+//   tight          — 64 KiB budget, spill disabled (state destroyed)
+//   tight+spill    — 64 KiB budget, spill enabled  (state demoted)
+
+#include "bench/bench_common.h"
+
+using namespace qsys;
+using namespace qsys::bench;
+
+namespace {
+
+struct RunRow {
+  const char* name;
+  ExperimentOutcome out;
+};
+
+void PrintRow(const RunRow& row) {
+  const ExperimentOutcome& o = row.out;
+  printf("%-12s %9lld %7lld %8lld %10lld %8lld %11lld %10lld %9.2f\n",
+         row.name, static_cast<long long>(o.evictions),
+         static_cast<long long>(o.spills),
+         static_cast<long long>(o.spill_restores),
+         static_cast<long long>(o.stats.tuples_streamed),
+         static_cast<long long>(o.stats.probes_issued),
+         static_cast<long long>(o.tuples_backfilled),
+         static_cast<long long>(o.recoveries),
+         MeanLatencySeconds(o));
+}
+
+void AddRunMetrics(BenchJson* json, const char* prefix,
+                   const ExperimentOutcome& o) {
+  std::string p(prefix);
+  json->Add(p + ".evictions", o.evictions);
+  json->Add(p + ".spills", o.spills);
+  json->Add(p + ".spill_restores", o.spill_restores);
+  json->Add(p + ".tuples_streamed", o.stats.tuples_streamed);
+  json->Add(p + ".probes_issued", o.stats.probes_issued);
+  json->Add(p + ".tuples_backfilled", o.tuples_backfilled);
+  json->Add(p + ".recoveries", o.recoveries);
+  json->Add(p + ".queries_completed",
+            static_cast<int64_t>(o.metrics.size()));
+  json->Add(p + ".mean_latency_s", MeanLatencySeconds(o));
+  json->Add(p + ".spill_pages_written", o.spill.pages_written);
+  json->Add(p + ".spill_pages_read", o.spill.pages_read);
+  json->Add(p + ".spill_bytes_on_disk", o.spill.bytes_on_disk);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr int64_t kTightBudget = 64 << 10;  // 64 KiB: very tight
+
+  printf("== Spill pressure: GUS workload, tight memory budget ==\n");
+  printf("%-12s %9s %7s %8s %10s %8s %11s %10s %9s\n", "run",
+         "evictions", "spills", "restores", "streamed", "probes",
+         "backfilled", "recoveries", "lat (s)");
+
+  ExperimentOptions base = GusDefaults(SharingConfig::kAtcFull);
+
+  RunRow unlimited{"unlimited", {}};
+  {
+    auto out = RunExperiment(base);
+    if (!out.ok()) {
+      printf("unlimited run failed: %s\n", out.status().ToString().c_str());
+      return 1;
+    }
+    unlimited.out = std::move(out).value();
+    PrintRow(unlimited);
+  }
+
+  RunRow tight{"tight", {}};
+  {
+    ExperimentOptions options = base;
+    options.config.memory_budget_bytes = kTightBudget;
+    auto out = RunExperiment(options);
+    if (!out.ok()) {
+      printf("tight run failed: %s\n", out.status().ToString().c_str());
+      return 1;
+    }
+    tight.out = std::move(out).value();
+    PrintRow(tight);
+  }
+
+  RunRow spill{"tight+spill", {}};
+  {
+    ExperimentOptions options = base;
+    options.config.memory_budget_bytes = kTightBudget;
+    options.config.spill_dir = "/tmp/qsys_spill_bench";
+    // Keep the staging pool proportionate to the tight budget (8 pages
+    // = 128 KiB) so spilled pages genuinely cycle through disk instead
+    // of lingering in pool frames.
+    options.config.spill_pool_frames = 8;
+    auto out = RunExperiment(options);
+    if (!out.ok()) {
+      printf("tight+spill run failed: %s\n",
+             out.status().ToString().c_str());
+      return 1;
+    }
+    spill.out = std::move(out).value();
+    PrintRow(spill);
+  }
+
+  printf("\nspill tier: %s\n", spill.out.spill.ToString().c_str());
+
+  const ExecStats& su = unlimited.out.stats;
+  const ExecStats& st = tight.out.stats;
+  const ExecStats& ss = spill.out.stats;
+  int64_t tight_work = st.tuples_streamed + st.probes_issued;
+  int64_t spill_work = ss.tuples_streamed + ss.probes_issued;
+
+  ShapeChecker check;
+  check.Check(unlimited.out.evictions == 0,
+              "unlimited budget evicts nothing");
+  check.Check(tight.out.evictions > 0 && spill.out.evictions > 0,
+              "the tight budget forces evictions in both runs");
+  check.Check(tight.out.spills == 0 && spill.out.spills > 0,
+              "only the spill-enabled run demotes state to disk");
+  check.Check(st.tuples_streamed > su.tuples_streamed,
+              "destroyed state forces re-execution (more stream reads "
+              "than unlimited)");
+  check.Check(spill_work < tight_work,
+              "spill-enabled run does less total work (streamed + "
+              "probes) than spill-disabled");
+  check.Check(spill.out.tuples_backfilled > tight.out.tuples_backfilled,
+              "restored state backfills more tuples than destroyed "
+              "state");
+  check.Check(spill.out.recoveries >= tight.out.recoveries,
+              "no recovery opportunities are lost with spill on");
+  check.Check(spill.out.spill_restores > 0 &&
+                  spill.out.spill.pages_written > 0 &&
+                  spill.out.spill.pages_read > 0,
+              "spill counters visible: restores and page traffic "
+              "happened");
+  check.Check(spill.out.metrics.size() >= unlimited.out.metrics.size(),
+              "spill run completes the full workload");
+
+  BenchJson json("spill_pressure", argc, argv);
+  json.Add("tight_budget_bytes", kTightBudget);
+  AddRunMetrics(&json, "unlimited", unlimited.out);
+  AddRunMetrics(&json, "tight", tight.out);
+  AddRunMetrics(&json, "tight_spill", spill.out);
+  json.Write();
+
+  return check.Finish();
+}

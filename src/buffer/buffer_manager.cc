@@ -1,0 +1,138 @@
+#include "src/buffer/buffer_manager.h"
+
+#include <cstring>
+
+namespace qsys {
+
+BufferManager::BufferManager(int frame_count) {
+  if (frame_count < 1) frame_count = 1;
+  frames_.resize(static_cast<size_t>(frame_count));
+  for (int i = frame_count - 1; i >= 0; --i) {
+    frames_[static_cast<size_t>(i)].data =
+        std::make_unique<uint8_t[]>(kPageSize);
+    free_frames_.push_back(i);
+  }
+}
+
+void BufferManager::AttachSegment(uint8_t segment, SegmentFile* file) {
+  if (segments_.size() <= segment) segments_.resize(segment + size_t{1});
+  segments_[segment] = file;
+}
+
+Result<int> BufferManager::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    int idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  // Clock sweep: skip pinned frames, give referenced frames a second
+  // chance, evict the first quiescent one (writing it back if dirty).
+  size_t inspected = 0;
+  const size_t limit = frames_.size() * 2;
+  while (inspected++ < limit) {
+    Frame& f = frames_[clock_hand_];
+    size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    if (f.pins > 0) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    if (f.dirty) {
+      SegmentFile* seg = segments_[PageSegment(f.id)];
+      QSYS_RETURN_IF_ERROR(seg->WritePage(PageNumber(f.id), f.data.get()));
+      ++pages_written_;
+      f.dirty = false;
+    }
+    frame_of_.erase(f.id);
+    f.id = kInvalidPageId;
+    return static_cast<int>(idx);
+  }
+  return Status::ResourceExhausted(
+      "buffer pool exhausted: every frame is pinned");
+}
+
+Result<BufferManager::AllocatedPage> BufferManager::NewPage(
+    uint8_t segment) {
+  if (!HasSegment(segment)) {
+    return Status::InvalidArgument("no segment attached for spill class");
+  }
+  auto frame = AcquireFrame();
+  QSYS_RETURN_IF_ERROR(frame.status());
+  PageId id = MakePageId(segment, segments_[segment]->AllocatePage());
+  Frame& f = frames_[static_cast<size_t>(frame.value())];
+  f.id = id;
+  f.pins = 1;
+  f.dirty = true;  // a fresh page always gets written
+  f.referenced = true;
+  std::memset(f.data.get(), 0, kPageSize);
+  frame_of_[id] = frame.value();
+  return AllocatedPage{id, f.data.get()};
+}
+
+Result<uint8_t*> BufferManager::Pin(PageId id) {
+  auto it = frame_of_.find(id);
+  if (it != frame_of_.end()) {
+    Frame& f = frames_[static_cast<size_t>(it->second)];
+    ++f.pins;
+    f.referenced = true;
+    return f.data.get();
+  }
+  uint8_t seg_idx = PageSegment(id);
+  if (!HasSegment(seg_idx)) {
+    return Status::InvalidArgument("pin of page in unattached segment");
+  }
+  auto frame = AcquireFrame();
+  QSYS_RETURN_IF_ERROR(frame.status());
+  Frame& f = frames_[static_cast<size_t>(frame.value())];
+  Status read = segments_[seg_idx]->ReadPage(PageNumber(id), f.data.get());
+  if (!read.ok()) {
+    free_frames_.push_back(frame.value());
+    return read;
+  }
+  ++pages_read_;
+  ++faults_;
+  f.id = id;
+  f.pins = 1;
+  f.dirty = false;
+  f.referenced = true;
+  frame_of_[id] = frame.value();
+  return f.data.get();
+}
+
+void BufferManager::Unpin(PageId id, bool dirty) {
+  auto it = frame_of_.find(id);
+  if (it == frame_of_.end()) return;
+  Frame& f = frames_[static_cast<size_t>(it->second)];
+  if (f.pins > 0) --f.pins;
+  f.dirty = f.dirty || dirty;
+}
+
+Status BufferManager::Free(PageId id) {
+  auto it = frame_of_.find(id);
+  if (it != frame_of_.end()) {
+    Frame& f = frames_[static_cast<size_t>(it->second)];
+    if (f.pins > 0) {
+      return Status::FailedPrecondition("freeing a pinned page");
+    }
+    f.id = kInvalidPageId;
+    f.dirty = false;
+    free_frames_.push_back(it->second);
+    frame_of_.erase(it);
+  }
+  segments_[PageSegment(id)]->FreePage(PageNumber(id));
+  return Status::OK();
+}
+
+Status BufferManager::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.id == kInvalidPageId || !f.dirty) continue;
+    SegmentFile* seg = segments_[PageSegment(f.id)];
+    QSYS_RETURN_IF_ERROR(seg->WritePage(PageNumber(f.id), f.data.get()));
+    ++pages_written_;
+    f.dirty = false;
+  }
+  return Status::OK();
+}
+
+}  // namespace qsys

@@ -1,0 +1,107 @@
+// BufferManager: a fixed pool of in-memory frames fronting the spill
+// segments (the leanstore shape, radically simplified for a
+// single-threaded engine).
+//
+// Pages are pinned while a caller reads or writes their frame, marked
+// dirty when modified, and written back to their segment file lazily:
+// only when the clock replacement sweep needs the frame for another
+// page (or on FlushAll). Faulting a non-resident page back in costs one
+// segment read. All counters feed the spill metrics surfaced by the
+// state manager and the serving layer.
+
+#ifndef QSYS_BUFFER_BUFFER_MANAGER_H_
+#define QSYS_BUFFER_BUFFER_MANAGER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/buffer/page.h"
+#include "src/buffer/segment_file.h"
+#include "src/common/status.h"
+
+namespace qsys {
+
+/// \brief Fixed-size frame pool with clock replacement over the pages
+/// of any number of attached segment files.
+class BufferManager {
+ public:
+  /// `frame_count` frames of kPageSize bytes each are allocated up
+  /// front; the pool never grows.
+  explicit BufferManager(int frame_count);
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Registers `file` as the backing store of segment `segment`.
+  /// The file must outlive the manager.
+  void AttachSegment(uint8_t segment, SegmentFile* file);
+  bool HasSegment(uint8_t segment) const {
+    return segment < segments_.size() && segments_[segment] != nullptr;
+  }
+
+  /// A freshly allocated page with its frame pinned exactly once.
+  struct AllocatedPage {
+    PageId id = kInvalidPageId;
+    /// The zeroed frame contents; valid until the single Unpin.
+    uint8_t* frame = nullptr;
+  };
+
+  /// Allocates a fresh page in `segment` and pins its (zeroed) frame.
+  /// The caller fills `frame`, then calls Unpin(id, /*dirty=*/true)
+  /// exactly once.
+  Result<AllocatedPage> NewPage(uint8_t segment);
+
+  /// Pins the page's frame, faulting it in from its segment if not
+  /// resident. Fails when every frame is pinned (pool exhausted).
+  Result<uint8_t*> Pin(PageId id);
+
+  /// Releases one pin; `dirty` records that the frame was modified and
+  /// must be written back before its frame is recycled.
+  void Unpin(PageId id, bool dirty);
+
+  /// Releases the page entirely: drops its frame (without write-back)
+  /// and returns the page number to the segment's free list. The page
+  /// must not be pinned.
+  Status Free(PageId id);
+
+  /// Writes every dirty resident page back to its segment.
+  Status FlushAll();
+
+  int frame_count() const { return static_cast<int>(frames_.size()); }
+  int resident_pages() const { return static_cast<int>(frame_of_.size()); }
+
+  // ---- counters (spill observability) ----
+
+  /// Pages written back to disk (evictions + flushes).
+  int64_t pages_written() const { return pages_written_; }
+  /// Pages read back from disk (faults).
+  int64_t pages_read() const { return pages_read_; }
+  /// Pin() calls that missed the pool and had to read the segment.
+  int64_t faults() const { return faults_; }
+
+ private:
+  struct Frame {
+    PageId id = kInvalidPageId;
+    int pins = 0;
+    bool dirty = false;
+    bool referenced = false;  // clock bit
+    std::unique_ptr<uint8_t[]> data;
+  };
+
+  /// A frame holding no page, evicting an unpinned victim if needed.
+  Result<int> AcquireFrame();
+
+  std::vector<Frame> frames_;
+  std::vector<int> free_frames_;
+  std::unordered_map<PageId, int> frame_of_;
+  std::vector<SegmentFile*> segments_;
+  size_t clock_hand_ = 0;
+  int64_t pages_written_ = 0;
+  int64_t pages_read_ = 0;
+  int64_t faults_ = 0;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_BUFFER_BUFFER_MANAGER_H_

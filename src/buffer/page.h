@@ -1,0 +1,43 @@
+// Pages: the unit of the disk-spill tier (src/buffer/).
+//
+// Evicted query state is serialized into fixed-size pages addressed by
+// PageId and staged through a small pool of in-memory frames
+// (BufferManager). A PageId encodes the spill class (which SegmentFile
+// holds the page) in its top byte and the page number within that
+// segment in the remaining 56 bits, so one buffer pool can front any
+// number of segment files.
+
+#ifndef QSYS_BUFFER_PAGE_H_
+#define QSYS_BUFFER_PAGE_H_
+
+#include <cstdint>
+
+namespace qsys {
+
+/// Fixed page size of the spill tier. Large enough that a typical
+/// evicted hash table spans a handful of pages, small enough that the
+/// buffer pool stays far below the query-state memory budget it backs.
+constexpr int64_t kPageSize = 16 * 1024;
+
+/// Globally unique page address: top 8 bits = segment (spill class),
+/// low 56 bits = page number within the segment.
+using PageId = uint64_t;
+
+constexpr PageId kInvalidPageId = ~PageId{0};
+
+constexpr PageId MakePageId(uint8_t segment, uint64_t page_no) {
+  return (static_cast<PageId>(segment) << 56) |
+         (page_no & ((PageId{1} << 56) - 1));
+}
+
+constexpr uint8_t PageSegment(PageId id) {
+  return static_cast<uint8_t>(id >> 56);
+}
+
+constexpr uint64_t PageNumber(PageId id) {
+  return id & ((PageId{1} << 56) - 1);
+}
+
+}  // namespace qsys
+
+#endif  // QSYS_BUFFER_PAGE_H_

@@ -1,0 +1,78 @@
+#include "src/buffer/segment_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qsys {
+
+Result<std::unique_ptr<SegmentFile>> SegmentFile::Create(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("spill segment open failed: " + path + ": " +
+                            std::strerror(errno));
+  }
+  return std::unique_ptr<SegmentFile>(new SegmentFile(path, fd));
+}
+
+SegmentFile::~SegmentFile() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());  // scratch storage: nothing survives the run
+}
+
+uint64_t SegmentFile::AllocatePage() {
+  if (!free_.empty()) {
+    uint64_t page = free_.back();
+    free_.pop_back();
+    return page;
+  }
+  return next_page_++;
+}
+
+void SegmentFile::FreePage(uint64_t page_no) { free_.push_back(page_no); }
+
+Status SegmentFile::WritePage(uint64_t page_no, const void* data) {
+  const char* p = static_cast<const char*>(data);
+  int64_t remaining = kPageSize;
+  off_t offset = static_cast<off_t>(page_no) * kPageSize;
+  while (remaining > 0) {
+    ssize_t n = ::pwrite(fd_, p, static_cast<size_t>(remaining), offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("spill segment write failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    p += n;
+    offset += n;
+    remaining -= n;
+  }
+  return Status::OK();
+}
+
+Status SegmentFile::ReadPage(uint64_t page_no, void* data) const {
+  char* p = static_cast<char*>(data);
+  int64_t remaining = kPageSize;
+  off_t offset = static_cast<off_t>(page_no) * kPageSize;
+  while (remaining > 0) {
+    ssize_t n = ::pread(fd_, p, static_cast<size_t>(remaining), offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("spill segment read failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      // Reading past EOF of a sparse tail: pages are written before
+      // they are ever read back, so this indicates a bad page number.
+      return Status::OutOfRange("spill segment read past end of file");
+    }
+    p += n;
+    offset += n;
+    remaining -= n;
+  }
+  return Status::OK();
+}
+
+}  // namespace qsys

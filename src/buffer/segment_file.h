@@ -1,0 +1,68 @@
+// SegmentFile: one file-backed store of fixed-size pages.
+//
+// The spill tier keeps one segment per spill class (hash tables, probe
+// caches, materialized streams, ranking queues) so on-disk locality
+// follows access locality. A segment hands out page numbers from a free
+// list (recycling pages released by restored or superseded spill
+// handles) and reads/writes whole pages by offset. Segments are scratch
+// storage: the file is unlinked when the segment is destroyed.
+
+#ifndef QSYS_BUFFER_SEGMENT_FILE_H_
+#define QSYS_BUFFER_SEGMENT_FILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/buffer/page.h"
+#include "src/common/status.h"
+
+namespace qsys {
+
+/// \brief Page-granular file storage for one spill class.
+class SegmentFile {
+ public:
+  /// Creates (truncating) the backing file at `path`.
+  static Result<std::unique_ptr<SegmentFile>> Create(const std::string& path);
+
+  ~SegmentFile();
+  SegmentFile(const SegmentFile&) = delete;
+  SegmentFile& operator=(const SegmentFile&) = delete;
+
+  /// Hands out a page number: recycled from the free list when
+  /// possible, otherwise extending the file.
+  uint64_t AllocatePage();
+
+  /// Returns `page_no` to the free list for reuse.
+  void FreePage(uint64_t page_no);
+
+  /// Writes exactly kPageSize bytes of `data` at page `page_no`.
+  Status WritePage(uint64_t page_no, const void* data);
+
+  /// Reads exactly kPageSize bytes into `data` from page `page_no`.
+  Status ReadPage(uint64_t page_no, void* data) const;
+
+  const std::string& path() const { return path_; }
+
+  /// Pages currently allocated (not on the free list).
+  int64_t live_pages() const {
+    return static_cast<int64_t>(next_page_) -
+           static_cast<int64_t>(free_.size());
+  }
+  /// Bytes of live spilled state addressed in this segment. Shrinks as
+  /// restores/drops recycle pages (the file itself keeps its
+  /// high-water size; it is scratch storage, unlinked on close).
+  int64_t bytes_on_disk() const { return live_pages() * kPageSize; }
+
+ private:
+  SegmentFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_;
+  uint64_t next_page_ = 0;
+  std::vector<uint64_t> free_;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_BUFFER_SEGMENT_FILE_H_

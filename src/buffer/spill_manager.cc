@@ -1,0 +1,360 @@
+#include "src/buffer/spill_manager.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace qsys {
+namespace {
+
+// ---- byte-level encoding -------------------------------------------
+//
+// Fixed-width little-endian-of-host encoding via memcpy: the spill tier
+// is scratch storage read back by the same process, so no cross-machine
+// portability is needed — only exactness. Doubles round-trip bit-for-
+// bit (memcpy of the IEEE representation).
+
+template <typename T>
+void Put(std::vector<uint8_t>* out, T v) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+void PutBytes(std::vector<uint8_t>* out, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  out->insert(out->end(), p, p + n);
+}
+
+/// Sequential reader over a reassembled payload with bounds checks.
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  template <typename T>
+  Status Get(T* v) {
+    if (pos_ + sizeof(T) > buf_.size()) {
+      return Status::OutOfRange("spill payload truncated");
+    }
+    std::memcpy(v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status GetBytes(void* data, size_t n) {
+    if (pos_ + n > buf_.size()) {
+      return Status::OutOfRange("spill payload truncated");
+    }
+    std::memcpy(data, buf_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+void PutValue(std::vector<uint8_t>* out, const Value& v) {
+  Put<uint8_t>(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      Put<int64_t>(out, v.AsInt());
+      break;
+    case ValueType::kDouble:
+      Put<double>(out, v.AsDouble());
+      break;
+    case ValueType::kString: {
+      const std::string& s = v.AsString();
+      Put<uint32_t>(out, static_cast<uint32_t>(s.size()));
+      PutBytes(out, s.data(), s.size());
+      break;
+    }
+  }
+}
+
+Status GetValue(Reader* in, Value* v) {
+  uint8_t tag = 0;
+  QSYS_RETURN_IF_ERROR(in->Get(&tag));
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *v = Value();
+      return Status::OK();
+    case ValueType::kInt: {
+      int64_t i = 0;
+      QSYS_RETURN_IF_ERROR(in->Get(&i));
+      *v = Value(i);
+      return Status::OK();
+    }
+    case ValueType::kDouble: {
+      double d = 0;
+      QSYS_RETURN_IF_ERROR(in->Get(&d));
+      *v = Value(d);
+      return Status::OK();
+    }
+    case ValueType::kString: {
+      uint32_t n = 0;
+      QSYS_RETURN_IF_ERROR(in->Get(&n));
+      std::string s(n, '\0');
+      QSYS_RETURN_IF_ERROR(in->GetBytes(s.data(), n));
+      *v = Value(std::move(s));
+      return Status::OK();
+    }
+  }
+  return Status::OutOfRange("spill payload: unknown Value type tag");
+}
+
+void PutRef(std::vector<uint8_t>* out, const BaseRef& r) {
+  Put<int32_t>(out, r.table);
+  Put<uint32_t>(out, r.row);
+  Put<double>(out, r.score);
+}
+
+Status GetRef(Reader* in, BaseRef* r) {
+  QSYS_RETURN_IF_ERROR(in->Get(&r->table));
+  QSYS_RETURN_IF_ERROR(in->Get(&r->row));
+  return in->Get(&r->score);
+}
+
+Status MakeDirs(const std::string& path) {
+  std::string prefix;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') continue;
+    prefix = path.substr(0, i);
+    if (prefix.empty() || prefix == ".") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal("spill dir create failed: " + prefix + ": " +
+                              std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+const char* ClassFileName(SpillManager::Class cls) {
+  switch (cls) {
+    case SpillManager::Class::kHashTable:
+      return "hash_tables.seg";
+    case SpillManager::Class::kProbeCache:
+      return "probe_caches.seg";
+    case SpillManager::Class::kStream:
+      return "streams.seg";
+    case SpillManager::Class::kRankingQueue:
+      return "ranking_queues.seg";
+  }
+  return "unknown.seg";
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SpillManager>> SpillManager::Open(
+    const std::string& dir, int frame_count) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("spill dir must be non-empty");
+  }
+  QSYS_RETURN_IF_ERROR(MakeDirs(dir));
+  // Each instance works in its own scratch subdirectory: two engines
+  // configured with the same spill_dir must never truncate or unlink
+  // each other's live segment files.
+  std::string scratch = dir + "/engine.XXXXXX";
+  if (::mkdtemp(scratch.data()) == nullptr) {
+    return Status::Internal("spill scratch dir create failed: " + scratch +
+                            ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<SpillManager>(
+      new SpillManager(std::move(scratch), frame_count));
+}
+
+SpillManager::~SpillManager() {
+  // Segments unlink their files on destruction; then the (now empty)
+  // scratch directory can go.
+  for (auto& seg : segments_) seg.reset();
+  ::rmdir(dir_.c_str());
+}
+
+Result<SegmentFile*> SpillManager::SegmentFor(Class cls) {
+  auto idx = static_cast<size_t>(cls);
+  if (segments_[idx] == nullptr) {
+    auto file =
+        SegmentFile::Create(dir_ + "/" + ClassFileName(cls));
+    QSYS_RETURN_IF_ERROR(file.status());
+    segments_[idx] = std::move(file).value();
+    pool_.AttachSegment(static_cast<uint8_t>(cls), segments_[idx].get());
+  }
+  return segments_[idx].get();
+}
+
+// Payloads are staged in one contiguous buffer before paging out (and
+// after paging in), which transiently costs ~the item's size in heap
+// during a demotion; victims are bounded by the memory budget, so this
+// is tolerated for now (see ROADMAP "Spill tier follow-ons").
+Status SpillManager::WritePayload(Class cls,
+                                  const std::vector<uint8_t>& payload,
+                                  int64_t items, const std::string& key) {
+  QSYS_RETURN_IF_ERROR(SegmentFor(cls).status());
+  Drop(key);  // supersede any earlier spill under this key
+  Handle handle;
+  handle.cls = cls;
+  handle.payload_bytes = static_cast<int64_t>(payload.size());
+  handle.items = items;
+  size_t offset = 0;
+  while (offset < payload.size() || handle.pages.empty()) {
+    auto page = pool_.NewPage(static_cast<uint8_t>(cls));
+    if (!page.ok()) {
+      for (PageId id : handle.pages) pool_.Free(id);
+      return page.status();
+    }
+    size_t n = std::min(static_cast<size_t>(kPageSize),
+                        payload.size() - offset);
+    std::memcpy(page.value().frame, payload.data() + offset, n);
+    pool_.Unpin(page.value().id, /*dirty=*/true);
+    handle.pages.push_back(page.value().id);
+    offset += n;
+  }
+  handles_[key] = std::move(handle);
+  ++items_spilled_;
+  return Status::OK();
+}
+
+Status SpillManager::ReadPayload(const Handle& handle,
+                                 std::vector<uint8_t>* payload) {
+  payload->clear();
+  payload->reserve(static_cast<size_t>(handle.payload_bytes));
+  int64_t remaining = handle.payload_bytes;
+  for (PageId id : handle.pages) {
+    auto frame = pool_.Pin(id);
+    QSYS_RETURN_IF_ERROR(frame.status());
+    int64_t n = std::min<int64_t>(kPageSize, remaining);
+    payload->insert(payload->end(), frame.value(), frame.value() + n);
+    pool_.Unpin(id, /*dirty=*/false);
+    remaining -= n;
+  }
+  if (remaining != 0) {
+    return Status::Internal("spill handle shorter than payload");
+  }
+  return Status::OK();
+}
+
+Status SpillManager::SpillTable(const std::string& key,
+                                const JoinHashTable& table) {
+  std::vector<uint8_t> payload;
+  Put<int64_t>(&payload, table.num_entries());
+  for (int64_t i = 0; i < table.num_entries(); ++i) {
+    const CompositeTuple& t = table.entry(i);
+    Put<int32_t>(&payload, table.entry_epoch(i));
+    Put<int32_t>(&payload, t.num_refs());
+    for (const BaseRef& r : t.refs()) PutRef(&payload, r);
+  }
+  return WritePayload(Class::kHashTable, payload, table.num_entries(),
+                      key);
+}
+
+Result<SpillManager::RestoreOutcome> SpillManager::RestoreTable(
+    const std::string& key, JoinHashTable* dest) {
+  auto it = handles_.find(key);
+  if (it == handles_.end()) {
+    return Status::NotFound("no spilled table under key " + key);
+  }
+  std::vector<uint8_t> payload;
+  QSYS_RETURN_IF_ERROR(ReadPayload(it->second, &payload));
+  Reader in(payload);
+  int64_t n = 0;
+  QSYS_RETURN_IF_ERROR(in.Get(&n));
+  for (int64_t i = 0; i < n; ++i) {
+    int32_t epoch = 0, nrefs = 0;
+    QSYS_RETURN_IF_ERROR(in.Get(&epoch));
+    QSYS_RETURN_IF_ERROR(in.Get(&nrefs));
+    CompositeTuple t = CompositeTuple::WithSlots(nrefs);
+    for (int32_t s = 0; s < nrefs; ++s) {
+      BaseRef r;
+      QSYS_RETURN_IF_ERROR(GetRef(&in, &r));
+      t.set_ref(s, r);
+    }
+    // Slot-order summation — the same way m-joins compute sum_scores —
+    // so the restored score is bit-identical to the original.
+    t.RecomputeSum();
+    dest->Insert(epoch, std::move(t));
+  }
+  RestoreOutcome out{n, it->second.payload_bytes};
+  Drop(key);
+  ++items_restored_;
+  return out;
+}
+
+Status SpillManager::SpillProbeCache(const std::string& key,
+                                     const ProbeSource& probe) {
+  std::vector<uint8_t> payload;
+  const ProbeSource::CacheMap& cache = probe.cache();
+  Put<int64_t>(&payload, static_cast<int64_t>(cache.size()));
+  for (const auto& [value, answers] : cache) {
+    PutValue(&payload, value);
+    Put<int32_t>(&payload, static_cast<int32_t>(answers.size()));
+    for (const BaseRef& r : answers) PutRef(&payload, r);
+  }
+  return WritePayload(Class::kProbeCache, payload,
+                      static_cast<int64_t>(cache.size()), key);
+}
+
+Result<SpillManager::RestoreOutcome> SpillManager::RestoreProbeCache(
+    const std::string& key, ProbeSource* probe) {
+  auto it = handles_.find(key);
+  if (it == handles_.end()) {
+    return Status::NotFound("no spilled probe cache under key " + key);
+  }
+  std::vector<uint8_t> payload;
+  QSYS_RETURN_IF_ERROR(ReadPayload(it->second, &payload));
+  Reader in(payload);
+  int64_t n = 0;
+  QSYS_RETURN_IF_ERROR(in.Get(&n));
+  ProbeSource::CacheMap cache;
+  cache.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    Value key_value;
+    QSYS_RETURN_IF_ERROR(GetValue(&in, &key_value));
+    int32_t answers = 0;
+    QSYS_RETURN_IF_ERROR(in.Get(&answers));
+    std::vector<BaseRef> refs(static_cast<size_t>(answers));
+    for (int32_t a = 0; a < answers; ++a) {
+      QSYS_RETURN_IF_ERROR(GetRef(&in, &refs[static_cast<size_t>(a)]));
+    }
+    cache.emplace(std::move(key_value), std::move(refs));
+  }
+  probe->ImportCache(std::move(cache));
+  RestoreOutcome out{n, it->second.payload_bytes};
+  Drop(key);
+  ++items_restored_;
+  return out;
+}
+
+int64_t SpillManager::SpilledBytes(const std::string& key) const {
+  auto it = handles_.find(key);
+  return it == handles_.end() ? 0 : it->second.payload_bytes;
+}
+
+void SpillManager::Drop(const std::string& key) {
+  auto it = handles_.find(key);
+  if (it == handles_.end()) return;
+  for (PageId id : it->second.pages) pool_.Free(id);
+  handles_.erase(it);
+}
+
+SpillStats SpillManager::stats() const {
+  SpillStats s;
+  s.pages_written = pool_.pages_written();
+  s.pages_read = pool_.pages_read();
+  s.page_faults = pool_.faults();
+  s.items_spilled = items_spilled_;
+  s.items_restored = items_restored_;
+  for (const auto& seg : segments_) {
+    if (seg != nullptr) s.bytes_on_disk += seg->bytes_on_disk();
+  }
+  return s;
+}
+
+}  // namespace qsys

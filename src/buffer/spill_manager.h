@@ -1,0 +1,140 @@
+// SpillManager: serialization of evictable query state into the page
+// tier (EMBANKS-style disk demotion for keyword-search middleware).
+//
+// Under memory pressure the state manager evicts hash tables, probe
+// caches, materialized streams, and ranking queues. With a SpillManager
+// attached, the payload is serialized into pages of a per-class
+// SegmentFile before the memory is freed; the next batch that wants the
+// state faults it back in (graft backfill, operator reuse, probe-cache
+// miss) instead of re-executing against the remote sources.
+//
+// Serialization preserves exactly what recovery and grafting rely on
+// (§6.2): composite tuples are written in arrival order with their
+// epoch tags, and scores are restored bit-identically (sum_scores is
+// recomputed in slot order, the same way m-joins compute it), so a
+// restored table joins, partitions by epoch, and replays exactly like
+// the original. Handles live in memory only — the spill tier is a
+// cache, not a durability layer.
+
+#ifndef QSYS_BUFFER_SPILL_MANAGER_H_
+#define QSYS_BUFFER_SPILL_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/buffer/buffer_manager.h"
+#include "src/common/metrics.h"
+#include "src/exec/join_hash_table.h"
+#include "src/source/probe_source.h"
+
+namespace qsys {
+
+/// \brief Demotes evicted CacheItem payloads to disk pages and
+/// restores them on demand. One instance per Engine.
+class SpillManager {
+ public:
+  /// One segment file per spill class (CacheItem::Kind analogue).
+  enum class Class : uint8_t {
+    kHashTable = 0,
+    kProbeCache = 1,
+    kStream = 2,
+    kRankingQueue = 3,
+  };
+
+  /// Creates `dir` (and parents) if needed, claims a unique scratch
+  /// subdirectory inside it — so engines sharing one configured spill
+  /// directory never clobber each other's segments — and opens the
+  /// spill tier with a buffer pool of `frame_count` frames.
+  static Result<std::unique_ptr<SpillManager>> Open(const std::string& dir,
+                                                    int frame_count);
+
+  ~SpillManager();
+  SpillManager(const SpillManager&) = delete;
+  SpillManager& operator=(const SpillManager&) = delete;
+
+  // ---- demotion ----
+
+  /// Serializes `table` (entries in arrival order, with epoch tags)
+  /// under `key`, superseding any earlier spill with the same key.
+  Status SpillTable(const std::string& key, const JoinHashTable& table);
+
+  /// Serializes `probe`'s answer cache under `key`.
+  Status SpillProbeCache(const std::string& key, const ProbeSource& probe);
+
+  // ---- promotion ----
+
+  struct RestoreOutcome {
+    /// Entries (table) or cached keys (probe cache) restored.
+    int64_t items = 0;
+    /// Serialized payload bytes read back (spill-read cost basis).
+    int64_t bytes = 0;
+  };
+
+  /// Appends the spilled entries to `dest` in original arrival order
+  /// with original epochs, then drops the disk copy (the restored
+  /// in-memory state is now the newest version).
+  Result<RestoreOutcome> RestoreTable(const std::string& key,
+                                      JoinHashTable* dest);
+
+  /// Replaces `probe`'s cache with the spilled copy, then drops the
+  /// disk copy.
+  Result<RestoreOutcome> RestoreProbeCache(const std::string& key,
+                                           ProbeSource* probe);
+
+  // ---- registry ----
+
+  bool HasSpill(const std::string& key) const {
+    return handles_.count(key) > 0;
+  }
+  /// Serialized size of the spilled payload (0 when `key` is absent);
+  /// the basis of the spill-read cost estimate.
+  int64_t SpilledBytes(const std::string& key) const;
+
+  /// Discards the spilled copy of `key` (stale after the in-memory
+  /// state was superseded), returning its pages for reuse.
+  void Drop(const std::string& key);
+
+  int64_t spilled_item_count() const {
+    return static_cast<int64_t>(handles_.size());
+  }
+
+  /// Aggregate spill counters (buffer pool + registry).
+  SpillStats stats() const;
+
+  /// This instance's private scratch subdirectory (removed on
+  /// destruction), not the configured parent.
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Handle {
+    Class cls = Class::kHashTable;
+    std::vector<PageId> pages;
+    int64_t payload_bytes = 0;
+    int64_t items = 0;
+  };
+
+  SpillManager(std::string dir, int frame_count)
+      : dir_(std::move(dir)), pool_(frame_count) {}
+
+  /// Segment file for `cls`, created lazily on first spill.
+  Result<SegmentFile*> SegmentFor(Class cls);
+
+  /// Chunks `payload` into freshly allocated pages of `cls`.
+  Status WritePayload(Class cls, const std::vector<uint8_t>& payload,
+                      int64_t items, const std::string& key);
+  /// Reassembles a handle's payload from its pages.
+  Status ReadPayload(const Handle& handle, std::vector<uint8_t>* payload);
+
+  std::string dir_;
+  BufferManager pool_;
+  std::unique_ptr<SegmentFile> segments_[4];
+  std::unordered_map<std::string, Handle> handles_;
+  int64_t items_spilled_ = 0;
+  int64_t items_restored_ = 0;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_BUFFER_SPILL_MANAGER_H_

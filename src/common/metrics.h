@@ -127,6 +127,28 @@ struct AtomicExecStats {
   }
 };
 
+/// \brief Counters of the disk-spill tier (src/buffer/): how much
+/// evicted query state was demoted to disk instead of destroyed, and
+/// what it cost to page it back in.
+struct SpillStats {
+  /// Pages written back to segment files (buffer-pool evictions +
+  /// flushes).
+  int64_t pages_written = 0;
+  /// Pages read back from segment files.
+  int64_t pages_read = 0;
+  /// Buffer-pool misses that had to touch disk.
+  int64_t page_faults = 0;
+  /// Cache items (hash tables, probe caches) demoted to disk.
+  int64_t items_spilled = 0;
+  /// Spilled items restored into memory on demand.
+  int64_t items_restored = 0;
+  /// Bytes currently occupied by spill segments on disk.
+  int64_t bytes_on_disk = 0;
+
+  /// One-line rendering for logs and bench output.
+  std::string ToString() const;
+};
+
 /// \brief Admission/serving counters for the wall-clock query service.
 ///
 /// Written with relaxed atomic increments from client threads (submit,
@@ -148,6 +170,39 @@ struct ServiceCounters {
   std::atomic<int64_t> epochs{0};
   /// Batches flushed to the optimizer across all epochs.
   std::atomic<int64_t> batches_flushed{0};
+
+  // -- spill-tier gauges, mirrored from the engine's SpillStats after
+  //    each epoch (all zero when spilling is disabled) --
+  std::atomic<int64_t> spill_pages_written{0};
+  std::atomic<int64_t> spill_pages_read{0};
+  std::atomic<int64_t> spill_page_faults{0};
+  std::atomic<int64_t> spill_items_spilled{0};
+  std::atomic<int64_t> spill_items_restored{0};
+  std::atomic<int64_t> spill_bytes_on_disk{0};
+
+  /// Publishes a fresh spill-tier snapshot (executor thread).
+  void StoreSpill(const SpillStats& s) {
+    spill_pages_written.store(s.pages_written, std::memory_order_relaxed);
+    spill_pages_read.store(s.pages_read, std::memory_order_relaxed);
+    spill_page_faults.store(s.page_faults, std::memory_order_relaxed);
+    spill_items_spilled.store(s.items_spilled, std::memory_order_relaxed);
+    spill_items_restored.store(s.items_restored,
+                               std::memory_order_relaxed);
+    spill_bytes_on_disk.store(s.bytes_on_disk, std::memory_order_relaxed);
+  }
+
+  /// Reads the spill gauges back into a plain SpillStats.
+  SpillStats LoadSpill() const {
+    SpillStats s;
+    s.pages_written = spill_pages_written.load(std::memory_order_relaxed);
+    s.pages_read = spill_pages_read.load(std::memory_order_relaxed);
+    s.page_faults = spill_page_faults.load(std::memory_order_relaxed);
+    s.items_spilled = spill_items_spilled.load(std::memory_order_relaxed);
+    s.items_restored =
+        spill_items_restored.load(std::memory_order_relaxed);
+    s.bytes_on_disk = spill_bytes_on_disk.load(std::memory_order_relaxed);
+    return s;
+  }
 };
 
 /// \brief Per-user-query outcome: the latency and work numbers behind

@@ -4,6 +4,7 @@
 #define QSYS_CORE_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/keyword/candidate_gen.h"
 #include "src/opt/optimizer.h"
@@ -66,6 +67,17 @@ struct QConfig {
   /// Cache budget and replacement policy (§6.3).
   int64_t memory_budget_bytes = int64_t{256} << 20;
   EvictionPolicy eviction = EvictionPolicy::kLruSize;
+
+  /// Disk-spill tier (src/buffer/): when non-empty, state evicted under
+  /// memory pressure is demoted to page files under this directory —
+  /// and faulted back on demand — instead of destroyed. Empty disables
+  /// spilling (evictions destroy state, the paper's §6.3 behavior).
+  /// Each engine claims a private scratch subdirectory inside it, so
+  /// engines may safely share one configured directory.
+  std::string spill_dir;
+  /// Buffer-pool frames (of kPageSize bytes) staging spill pages. The
+  /// pool is fixed-size and separate from memory_budget_bytes.
+  int spill_pool_frames = 64;
 
   /// Conversion factor from measured optimizer wall time to virtual
   /// time charged on the clock.

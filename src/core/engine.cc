@@ -13,6 +13,19 @@ Engine::Engine(QConfig config)
   sources_ = std::make_unique<SourceManager>(&catalog_);
   state_manager_ = std::make_unique<StateManager>(
       sources_.get(), config_.memory_budget_bytes, config_.eviction);
+  if (!config_.spill_dir.empty()) {
+    auto spill =
+        SpillManager::Open(config_.spill_dir, config_.spill_pool_frames);
+    if (spill.ok()) {
+      spill_manager_ = std::move(spill).value();
+      state_manager_->AttachSpill(spill_manager_.get(),
+                                  &delays_->params());
+    } else {
+      // A broken spill directory degrades to plain eviction rather
+      // than failing the engine; spill_status() records why.
+      spill_status_ = spill.status();
+    }
+  }
   grafter_ = std::make_unique<PlanGrafter>(&catalog_, sources_.get(),
                                            state_manager_.get());
 }

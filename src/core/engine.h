@@ -206,6 +206,17 @@ class Engine {
   StateManager& state_manager() { return *state_manager_; }
   const QueryBatcher& batcher() const { return batcher_; }
 
+  /// The disk-spill tier (nullptr when QConfig::spill_dir is empty or
+  /// the spill directory could not be opened — see spill_status()).
+  const SpillManager* spill_manager() const { return spill_manager_.get(); }
+  /// Why spilling is disabled (OK when enabled or never requested).
+  const Status& spill_status() const { return spill_status_; }
+  /// Aggregate spill counters (all-zero when spilling is disabled).
+  SpillStats spill_stats() const {
+    return spill_manager_ != nullptr ? spill_manager_->stats()
+                                     : SpillStats{};
+  }
+
  private:
   struct ClusterInfo {
     int atc_index;
@@ -229,6 +240,8 @@ class Engine {
   std::unique_ptr<CandidateGenerator> candidate_gen_;
   std::unique_ptr<DelayModel> delays_;
   std::unique_ptr<SourceManager> sources_;
+  std::unique_ptr<SpillManager> spill_manager_;
+  Status spill_status_;
   std::unique_ptr<StateManager> state_manager_;
   std::unique_ptr<Optimizer> optimizer_;
   std::unique_ptr<PlanGrafter> grafter_;

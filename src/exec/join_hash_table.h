@@ -62,6 +62,19 @@ class JoinHashTable {
   /// Drops all state (eviction). Indexes are rebuilt on demand.
   void Clear();
 
+  // ---- borrow pinning ----
+  //
+  // Recovery queries (§6.2, Algorithm 2) mount this table as a frozen
+  // module and replay its prefix, even when its owning operator is
+  // already inactive. While borrowed, the table must not be evicted:
+  // the state manager treats borrowers as references.
+
+  void AddBorrower() { ++borrowers_; }
+  void ReleaseBorrower() {
+    if (borrowers_ > 0) --borrowers_;
+  }
+  int borrowers() const { return borrowers_; }
+
  private:
   struct Entry {
     CompositeTuple tuple;
@@ -74,6 +87,7 @@ class JoinHashTable {
   const Catalog* catalog_;
   std::vector<Entry> entries_;
   mutable std::map<std::pair<int, int>, KeyIndex> indexes_;
+  int borrowers_ = 0;
 };
 
 }  // namespace qsys

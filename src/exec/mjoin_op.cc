@@ -37,7 +37,19 @@ Result<int> MJoinOp::AddFrozenModule(const Expr& input_expr,
   int port = AddModuleCommon(ModuleKind::kFrozen, input_expr);
   modules_[port].table = table;
   modules_[port].max_epoch_exclusive = max_epoch_exclusive;
+  // The borrowed table may belong to an inactive operator; pin it
+  // against eviction until this recovery operator retires.
+  table->AddBorrower();
   return port;
+}
+
+void MJoinOp::OnDeactivate() {
+  for (Module& m : modules_) {
+    if (m.kind == ModuleKind::kFrozen && m.table != nullptr) {
+      m.table->ReleaseBorrower();
+      m.table = nullptr;  // the replayed prefix is no longer needed
+    }
+  }
 }
 
 Result<int> MJoinOp::AddProbeModule(const Atom& atom, SourceManager* sources,

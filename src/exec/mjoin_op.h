@@ -125,6 +125,9 @@ class MJoinOp : public Operator {
     int64_t outputs = 0;
   };
 
+  /// Unpins hash tables borrowed by frozen modules (recovery retire).
+  void OnDeactivate() override;
+
   int AddModuleCommon(ModuleKind kind, Expr input_expr);
   void Cascade(CompositeTuple& partial, uint64_t covered_mask,
                uint64_t remaining_modules, ExecContext& ctx);

@@ -43,7 +43,17 @@ class Operator {
   /// Whether the operator still participates in execution; pruned
   /// operators are skipped by upstream routing (§6.3).
   bool active() const { return active_; }
-  void set_active(bool v) { active_ = v; }
+  void set_active(bool v) {
+    bool was = active_;
+    active_ = v;
+    if (was && !v) OnDeactivate();
+  }
+
+ protected:
+  /// Invoked on the active -> inactive transition (query retirement),
+  /// so operators can release resources borrowed from other operators
+  /// (e.g. frozen recovery modules unpin their source hash tables).
+  virtual void OnDeactivate() {}
 
  private:
   int node_id_ = -1;

@@ -4,6 +4,32 @@
 
 namespace qsys {
 
+void PlanGrafter::BackfillOrRestore(int tag, const std::string& sig,
+                                    JoinHashTable* dest,
+                                    ExecContext& ctx) {
+  JoinHashTable* old = state_->FindModuleTable(tag, sig);
+  if (old != nullptr && old != dest && old->num_entries() > 0) {
+    for (int64_t i = 0; i < old->num_entries(); ++i) {
+      dest->Insert(old->entry_epoch(i), old->entry(i));
+    }
+    tuples_backfilled_ += old->num_entries();
+    ctx.Charge(TimeBucket::kJoin,
+               static_cast<VirtualTime>(
+                   static_cast<double>(old->num_entries()) *
+                   ctx.delays->params().join_output_us));
+    return;
+  }
+  // No live copy: fault a demoted one back from the spill tier, so
+  // recovery (CQᵉ) and future joins see the full prefix without
+  // re-executing against the remote sources.
+  StateManager::RestoreOutcome r =
+      state_->RestoreSpilledTable(tag, sig, dest);
+  if (r.entries > 0) {
+    tuples_backfilled_ += r.entries;
+    ctx.Charge(TimeBucket::kJoin, state_->SpillReadCostUs(r.bytes));
+  }
+}
+
 RankMergeOp* PlanGrafter::GetOrCreateMerge(Atc* atc, const UserQuery& uq) {
   for (RankMergeOp* rm : atc->graph().rank_merges()) {
     if (rm->uq_id() == uq.id) return rm;
@@ -103,12 +129,19 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
       comp_ops[comp.id] = resolved;
       comp_reused[comp.id] = true;
       ops_reused_ += 1;
-      // Touch its state registrations.
+      // Touch its state registrations. A reused operator whose tables
+      // were emptied by eviction must not supersede fuller registered
+      // state with empty tables ("the newest table is fullest"):
+      // backfill from the live registered copy, or fault a demoted
+      // copy back in from the spill tier.
       for (int p = 0; p < resolved->num_modules(); ++p) {
         if (JoinHashTable* t = resolved->module_table(p)) {
-          state_->RegisterModuleTable(tag,
-                                      resolved->module_expr(p).Signature(),
-                                      t, resolved, ctx.clock->now());
+          const std::string& sig = resolved->module_expr(p).Signature();
+          if (resolved->module_is_stream(p) && t->num_entries() == 0) {
+            BackfillOrRestore(tag, sig, t, ctx);
+          }
+          state_->RegisterModuleTable(tag, sig, t, resolved,
+                                      ctx.clock->now());
         }
       }
       continue;
@@ -166,17 +199,7 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
       JoinHashTable* table = op->module_table(p);
       if (table == nullptr || !op->module_is_stream(p)) continue;
       const std::string& sig = op->module_expr(p).Signature();
-      JoinHashTable* old = state_->FindModuleTable(tag, sig);
-      if (old != nullptr && old != table && old->num_entries() > 0) {
-        for (int64_t i = 0; i < old->num_entries(); ++i) {
-          table->Insert(old->entry_epoch(i), old->entry(i));
-        }
-        tuples_backfilled_ += old->num_entries();
-        ctx.Charge(TimeBucket::kJoin,
-                   static_cast<VirtualTime>(
-                       static_cast<double>(old->num_entries()) *
-                       ctx.delays->params().join_output_us));
-      }
+      BackfillOrRestore(tag, sig, table, ctx);
       state_->RegisterModuleTable(tag, sig, table, op, ctx.clock->now());
     }
     comp_ops[comp.id] = op;

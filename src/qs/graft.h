@@ -45,6 +45,13 @@ class PlanGrafter {
  private:
   RankMergeOp* GetOrCreateMerge(Atc* atc, const UserQuery& uq);
 
+  /// Fills an empty module table for (tag, sig): copies the registered
+  /// live table's entries when one exists (arrival order + epochs), or
+  /// faults a demoted copy back in from the spill tier. Charges the
+  /// copy/disk-read cost to `ctx` and counts the backfilled tuples.
+  void BackfillOrRestore(int tag, const std::string& sig,
+                         JoinHashTable* dest, ExecContext& ctx);
+
   /// True if `candidate` can stand in for `comp`: built under the same
   /// sharing scope (`tag`), same expression, same module structure, no
   /// frozen modules, and every upstream feeder is the operator we

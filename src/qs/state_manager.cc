@@ -1,5 +1,7 @@
 #include "src/qs/state_manager.h"
 
+#include <algorithm>
+
 #include "src/source/table_stream.h"
 
 namespace qsys {
@@ -8,10 +10,15 @@ void StateManager::RegisterModuleTable(int tag,
                                        const std::string& expr_signature,
                                        JoinHashTable* table, MJoinOp* owner,
                                        VirtualTime now) {
-  TableEntry& e = tables_[Key(tag, expr_signature)];
+  const std::string key = Key(tag, expr_signature);
+  TableEntry& e = tables_[key];
   e.table = table;
   e.owner = owner;
   e.last_used_us = now;
+  last_now_us_ = std::max(last_now_us_, now);
+  // The newest registration supersedes any parked disk copy: a stale
+  // spill must never be restored over fresher in-memory state.
+  if (spill_ != nullptr) spill_->Drop(key);
 }
 
 JoinHashTable* StateManager::FindModuleTable(
@@ -53,7 +60,65 @@ int64_t StateManager::TotalCacheBytes() const {
   return total;
 }
 
+void StateManager::AttachSpill(SpillManager* spill,
+                               const DelayParams* delays) {
+  spill_ = spill;
+  spill_delays_ = delays;
+}
+
+VirtualTime StateManager::SpillReadCostUs(int64_t bytes) const {
+  const double bw = spill_delays_ != nullptr
+                        ? spill_delays_->spill_read_bytes_per_us
+                        : DelayParams().spill_read_bytes_per_us;
+  return static_cast<VirtualTime>(static_cast<double>(bytes) / bw);
+}
+
+bool StateManager::ShouldSpill(const CacheItem& item,
+                               int64_t entries) const {
+  if (spill_ == nullptr || item.size_bytes <= 0) return false;
+  const DelayParams defaults;
+  const DelayParams& d = spill_delays_ != nullptr ? *spill_delays_
+                                                  : defaults;
+  double spill_read_us =
+      static_cast<double>(SpillReadCostUs(item.size_bytes));
+  // Recompute estimates in virtual us: a destroyed hash table costs a
+  // re-stream of its entries over the network; a destroyed probe cache
+  // costs re-issuing one remote probe per cached key (`entries`).
+  double recompute_us =
+      static_cast<double>(entries) *
+      (item.kind == CacheItem::Kind::kHashTable ? d.stream_tuple_mean_us
+                                                : d.probe_mean_us);
+  return spill_read_us < recompute_us;
+}
+
+bool StateManager::HasSpilledTable(
+    int tag, const std::string& expr_signature) const {
+  return spill_ != nullptr && spill_->HasSpill(Key(tag, expr_signature));
+}
+
+StateManager::RestoreOutcome StateManager::RestoreSpilledTable(
+    int tag, const std::string& expr_signature, JoinHashTable* dest) {
+  if (spill_ == nullptr) return {};
+  const std::string key = Key(tag, expr_signature);
+  if (!spill_->HasSpill(key)) return {};
+  auto restored = spill_->RestoreTable(key, dest);
+  if (!restored.ok()) {
+    // An unreadable copy can never be restored: discard it instead of
+    // re-attempting (and failing) on every future graft.
+    spill_->Drop(key);
+    return {};
+  }
+  ++spill_restores_;
+  return {restored.value().items, restored.value().bytes};
+}
+
+void StateManager::set_memory_budget_bytes(int64_t b) {
+  memory_budget_bytes_ = b;
+  if (TotalCacheBytes() > b) EnforceBudget(last_now_us_);
+}
+
 int StateManager::EnforceBudget(VirtualTime now) {
+  last_now_us_ = std::max(last_now_us_, now);
   int64_t total = TotalCacheBytes();
   if (total <= memory_budget_bytes_) return 0;
   int64_t need = total - memory_budget_bytes_;
@@ -71,7 +136,11 @@ int StateManager::EnforceBudget(VirtualTime now) {
     item.last_used_us = e.last_used_us;
     item.recompute_cost = static_cast<double>(item.size_bytes);
     item.pinned = e.pinned;
-    item.referenced = e.owner != nullptr && e.owner->active();
+    // Referenced while the owning operator runs — or while a recovery
+    // query borrows the table as a frozen module / replay source
+    // (evicting mid-replay would corrupt the recovery's results).
+    item.referenced = (e.owner != nullptr && e.owner->active()) ||
+                      (e.table != nullptr && e.table->borrowers() > 0);
     table_keys.push_back(&key);
     probe_ptrs.push_back(nullptr);
     items.push_back(std::move(item));
@@ -95,11 +164,41 @@ int StateManager::EnforceBudget(VirtualTime now) {
   std::vector<std::string> keys_to_erase;
   for (size_t idx : victims) {
     if (probe_ptrs[idx] != nullptr) {
-      probe_ptrs[idx]->EvictCache();
+      ProbeSource* probe = probe_ptrs[idx];
+      if (ShouldSpill(items[idx],
+                      static_cast<int64_t>(probe->cache().size())) &&
+          spill_->SpillProbeCache(items[idx].key, *probe).ok()) {
+        ++spills_;
+        // Demoted, not destroyed: the first post-eviction cache miss
+        // pages the whole answer map back in at disk cost instead of
+        // re-probing the remote source.
+        const std::string key = items[idx].key;
+        probe->set_spill_fault([this, key](ProbeSource* p,
+                                           ExecContext& ctx) {
+          if (spill_ == nullptr || !spill_->HasSpill(key)) return false;
+          auto restored = spill_->RestoreProbeCache(key, p);
+          if (!restored.ok()) {
+            // The handler is one-shot: keep state consistent by
+            // discarding the unreadable copy (degrade to re-probing).
+            spill_->Drop(key);
+            return false;
+          }
+          ++spill_restores_;
+          ctx.Charge(TimeBucket::kRandomAccess,
+                     SpillReadCostUs(restored.value().bytes));
+          return restored.value().items > 0;
+        });
+      }
+      probe->EvictCache();
     } else {
       auto it = tables_.find(items[idx].key);
       if (it != tables_.end() && it->second.table != nullptr) {
-        it->second.table->Clear();
+        JoinHashTable* table = it->second.table;
+        if (ShouldSpill(items[idx], table->num_entries()) &&
+            spill_->SpillTable(items[idx].key, *table).ok()) {
+          ++spills_;
+        }
+        table->Clear();
         keys_to_erase.push_back(items[idx].key);
       }
     }
@@ -107,7 +206,6 @@ int StateManager::EnforceBudget(VirtualTime now) {
   }
   for (const std::string& k : keys_to_erase) tables_.erase(k);
   evictions_ += evicted;
-  (void)now;
   return evicted;
 }
 

@@ -15,9 +15,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/buffer/spill_manager.h"
 #include "src/exec/atc.h"
 #include "src/opt/stats_registry.h"
 #include "src/qs/eviction.h"
+#include "src/source/delay_model.h"
 #include "src/source/source_manager.h"
 
 namespace qsys {
@@ -62,16 +64,57 @@ class StateManager {
   // ---- memory accounting & eviction (§6.3) ----
 
   int64_t memory_budget_bytes() const { return memory_budget_bytes_; }
-  void set_memory_budget_bytes(int64_t b) { memory_budget_bytes_ = b; }
+
+  /// Sets the budget and enforces it immediately: lowering the budget
+  /// below current usage evicts (or spills) right away rather than
+  /// waiting for the next batch-flush EnforceBudget call site.
+  void set_memory_budget_bytes(int64_t b);
 
   /// Total bytes across registered tables, probe caches and streams.
   int64_t TotalCacheBytes() const;
 
   /// Enforces the budget: evicts unpinned, unreferenced items per the
   /// policy until under budget. Returns the number of items evicted.
+  /// With a spill tier attached, victims whose estimated spill-read
+  /// cost undercuts their recompute cost are serialized to disk before
+  /// their memory is freed (demotion instead of destruction).
   int EnforceBudget(VirtualTime now);
 
   int64_t evictions() const { return evictions_; }
+
+  // ---- disk-spill tier (src/buffer/) ----
+
+  /// Attaches the spill tier. `delays` supplies the cost constants for
+  /// the spill-vs-drop decision and restore charging. Both must
+  /// outlive this manager.
+  void AttachSpill(SpillManager* spill, const DelayParams* delays);
+  SpillManager* spill() { return spill_; }
+
+  /// Whether an evicted copy of the table for (tag, signature) is
+  /// parked on disk.
+  bool HasSpilledTable(int tag, const std::string& expr_signature) const;
+
+  struct RestoreOutcome {
+    int64_t entries = 0;
+    int64_t bytes = 0;
+  };
+
+  /// Faults the spilled table for (tag, signature) back from disk,
+  /// appending its entries — original arrival order, original epochs —
+  /// to `dest`. Returns zeros when nothing is spilled under the key.
+  /// The disk copy is dropped: the restored in-memory table is newest.
+  RestoreOutcome RestoreSpilledTable(int tag,
+                                     const std::string& expr_signature,
+                                     JoinHashTable* dest);
+
+  /// Items demoted to disk / restored from disk by this manager.
+  int64_t spills() const { return spills_; }
+  int64_t spill_restores() const { return spill_restores_; }
+
+  /// Virtual time to page `bytes` of spilled state back from local
+  /// disk — the single cost formula behind the spill-vs-drop decision
+  /// and every restore charge.
+  VirtualTime SpillReadCostUs(int64_t bytes) const;
 
  private:
   struct TableEntry {
@@ -85,12 +128,25 @@ class StateManager {
     return std::to_string(tag) + "/" + sig;
   }
 
+  /// True when demoting `item` to disk beats rebuilding it later:
+  /// estimated spill-read cost (payload bytes over local-disk
+  /// bandwidth) below estimated recompute cost (re-streaming /
+  /// re-probing over the wide-area network).
+  bool ShouldSpill(const CacheItem& item, int64_t entries) const;
+
   SourceManager* sources_;
   int64_t memory_budget_bytes_;
   EvictionPolicy policy_;
   std::unordered_map<std::string, TableEntry> tables_;
   StatsRegistry observed_;
   int64_t evictions_ = 0;
+  SpillManager* spill_ = nullptr;
+  const DelayParams* spill_delays_ = nullptr;
+  int64_t spills_ = 0;
+  int64_t spill_restores_ = 0;
+  /// Timestamp of the latest registration/enforcement, so the
+  /// immediate enforcement in set_memory_budget_bytes has a clock.
+  VirtualTime last_now_us_ = 0;
 };
 
 }  // namespace qsys

@@ -147,6 +147,7 @@ bool QueryService::RunDueEpochs(bool drain_partial) {
         executor_status_ = out.status();
       }
       atomic_stats_.Store(engine_->aggregate_stats());
+      counters_.StoreSpill(engine_->spill_stats());
       return false;
     }
     if (out.value().kind == Engine::StepKind::kIdle) break;
@@ -158,6 +159,7 @@ bool QueryService::RunDueEpochs(bool drain_partial) {
   if (worked) {
     counters_.epochs.fetch_add(1, std::memory_order_relaxed);
     atomic_stats_.Store(engine_->aggregate_stats());
+    counters_.StoreSpill(engine_->spill_stats());
   }
   return true;
 }
@@ -255,6 +257,7 @@ void QueryService::FinishServing() {
     std::lock_guard<std::mutex> lock(engine_mu_);
     engine_->FinishRun();
     atomic_stats_.Store(engine_->aggregate_stats());
+    counters_.StoreSpill(engine_->spill_stats());
   }
   {
     std::lock_guard<std::mutex> lock(executor_status_mu_);

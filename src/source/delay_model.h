@@ -29,6 +29,11 @@ struct DelayParams {
   double join_probe_us = 4.0;
   /// Middleware CPU per join output tuple constructed.
   double join_output_us = 2.0;
+  /// Local-disk read bandwidth of the spill tier (bytes per virtual
+  /// microsecond, ~200 MB/s): restoring spilled state costs
+  /// payload_bytes / this, orders of magnitude below re-executing
+  /// against the remote sources.
+  double spill_read_bytes_per_us = 200.0;
 };
 
 /// \brief Seeded sampler for the delays above.

@@ -12,6 +12,13 @@ ProbeSource::ProbeSource(Atom atom, int key_column, const Catalog& catalog)
 const std::vector<BaseRef>& ProbeSource::Probe(const Value& key,
                                                ExecContext& ctx) {
   auto it = cache_.find(key);
+  if (it == cache_.end() && spill_fault_) {
+    // The cache was demoted to disk: page the whole answer map back in
+    // before falling through to a (much more expensive) remote probe.
+    SpillFaultFn fault = std::move(spill_fault_);
+    spill_fault_ = nullptr;
+    if (fault(this, ctx)) it = cache_.find(key);
+  }
   if (it != cache_.end()) {
     ++cache_hits_;
     ctx.stats->probe_cache_hits += 1;

@@ -9,6 +9,7 @@
 #ifndef QSYS_SOURCE_PROBE_SOURCE_H_
 #define QSYS_SOURCE_PROBE_SOURCE_H_
 
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -45,6 +46,26 @@ class ProbeSource {
   /// Drops the cache (eviction under memory pressure).
   void EvictCache();
 
+  // ---- disk-spill tier hooks (src/buffer/) ----
+
+  using CacheMap = std::unordered_map<Value, std::vector<BaseRef>, ValueHash>;
+
+  /// The answer cache, exposed for spill serialization.
+  const CacheMap& cache() const { return cache_; }
+
+  /// Replaces the cache wholesale (spill restore). Does not charge
+  /// anything: the caller accounts for the disk read.
+  void ImportCache(CacheMap cache) { cache_ = std::move(cache); }
+
+  /// One-shot fault handler consulted on the first cache miss after the
+  /// cache was spilled to disk: it restores the cache (charging spill
+  /// read time to `ctx`) and returns true if anything came back. The
+  /// state manager installs it when demoting this cache; it is
+  /// consumed on first use so steady-state probing stays hook-free.
+  using SpillFaultFn = std::function<bool(ProbeSource*, ExecContext&)>;
+  void set_spill_fault(SpillFaultFn fn) { spill_fault_ = std::move(fn); }
+  bool has_spill_fault() const { return static_cast<bool>(spill_fault_); }
+
   int id() const { return id_; }
   void set_id(int id) { id_ = id; }
 
@@ -52,7 +73,8 @@ class ProbeSource {
   Atom atom_;
   int key_column_;
   double max_score_;
-  std::unordered_map<Value, std::vector<BaseRef>, ValueHash> cache_;
+  CacheMap cache_;
+  SpillFaultFn spill_fault_;
   int64_t probes_issued_ = 0;
   int64_t cache_hits_ = 0;
   int id_ = -1;

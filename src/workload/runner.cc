@@ -44,6 +44,9 @@ Result<ExperimentOutcome> RunExperiment(const ExperimentOptions& options) {
   out.recoveries = sys.grafter().recoveries_built();
   out.tuples_backfilled = sys.grafter().tuples_backfilled();
   out.evictions = sys.state_manager().evictions();
+  out.spills = sys.state_manager().spills();
+  out.spill_restores = sys.state_manager().spill_restores();
+  out.spill = sys.engine().spill_stats();
   return out;
 }
 

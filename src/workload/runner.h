@@ -41,6 +41,11 @@ struct ExperimentOutcome {
   int64_t recoveries = 0;
   int64_t tuples_backfilled = 0;
   int64_t evictions = 0;
+  /// Disk-spill tier: items demoted / restored by the state manager
+  /// and the page-level counters (all zero when spilling is off).
+  int64_t spills = 0;
+  int64_t spill_restores = 0;
+  SpillStats spill;
 };
 
 /// Builds, runs, and measures one experiment.
