@@ -10,10 +10,17 @@
 // batched shared execution consumes strictly fewer streamed tuples (and
 // no more probes) than the isolated runs — the paper's core claim,
 // observed through the serving front end instead of the simulator.
+//
+// A second phase sweeps QConfig::num_shards (--shards=1,2,4 by default)
+// over the same workload and emits BENCH_shard_scaling.json: served
+// queries/s per shard count, plus a per-UQ byte-equivalence check of
+// every sharded run against the single-engine run.
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -48,6 +55,167 @@ QConfig BaseConfig() {
   config.batch_size = 5;
   config.max_rounds = 200'000'000;
   return config;
+}
+
+/// Bit-exact serialization of a ranked answer list (scores + base-tuple
+/// provenance; engine-local cq ids excluded — they differ across shard
+/// layouts).
+std::string Fingerprint(const std::vector<ResultTuple>& results) {
+  std::string bytes;
+  auto put = [&bytes](const void* p, size_t n) {
+    bytes.append(reinterpret_cast<const char*>(p), n);
+  };
+  for (const ResultTuple& r : results) {
+    put(&r.score, sizeof(r.score));
+    for (const BaseRef& ref : r.tuple.refs()) {
+      put(&ref.table, sizeof(ref.table));
+      put(&ref.row, sizeof(ref.row));
+      put(&ref.score, sizeof(ref.score));
+    }
+    bytes.push_back('|');
+  }
+  return bytes;
+}
+
+struct SweepRun {
+  int num_shards = 1;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t epochs = 0;
+  /// Per workload-index result fingerprint ("" = failed), from the
+  /// deterministic pass.
+  std::vector<std::string> fingerprints;
+};
+
+/// Runs the workload through a `num_shards`-way service twice:
+///
+///   * a deterministic pass (manual pump, single submitter, drain
+///     shutdown) whose per-UQ fingerprints are comparable across shard
+///     counts — byte-equivalence is a property of the system under a
+///     fixed batch decomposition, so it is checked under one;
+///   * threaded passes (`kNumClients` concurrent clients, live
+///     executor threads) that measure served throughput — best of two,
+///     since a single wall-clock timing on a busy machine is noisy
+///     enough to flip the strictly-increasing shape check spuriously.
+bool RunShardedWorkload(int num_shards,
+                        const std::vector<WorkloadQuery>& workload,
+                        SweepRun* run) {
+  run->num_shards = num_shards;
+  ServiceOptions options;
+  options.config = BaseConfig();
+  options.config.sharing = SharingConfig::kAtcFull;
+  options.config.batch_window_us = 50'000;
+  options.config.num_shards = num_shards;
+  options.config.shard_affinity = ShardAffinity::kSignatureHash;
+  options.queue_capacity = kNumQueries;
+
+  // ---- deterministic pass: fingerprints ----
+  {
+    ServiceOptions det = options;
+    det.manual_pump = true;
+    QueryService service(det);
+    Status built = service.BuildEachEngine(
+        [](Engine& e) { return BuildGusDataset(e, SmallGus()); });
+    if (!built.ok() || !service.Start().ok()) {
+      printf("deterministic pass setup failed\n");
+      return false;
+    }
+    SessionId session = service.OpenSession("determinism").value();
+    std::vector<std::pair<size_t, QueryTicket>> tickets;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      auto ticket = service.Submit(session, workload[i].keywords,
+                                   workload[i].options);
+      if (ticket.ok()) tickets.emplace_back(i, ticket.value());
+    }
+    Status stop = service.Shutdown(QueryService::ShutdownMode::kDrain);
+    if (!stop.ok()) {
+      printf("deterministic pass shutdown failed: %s\n",
+             stop.ToString().c_str());
+      return false;
+    }
+    run->fingerprints.assign(workload.size(), "");
+    for (auto& [index, ticket] : tickets) {
+      const QueryOutcome& out = ticket.Wait();
+      if (out.status.ok()) {
+        run->fingerprints[index] = Fingerprint(out.results);
+      }
+    }
+  }
+
+  // ---- threaded passes: throughput (best of two) ----
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    QueryService service(options);
+    Status built = service.BuildEachEngine(
+        [](Engine& e) { return BuildGusDataset(e, SmallGus()); });
+    if (!built.ok()) {
+      printf("dataset build failed: %s\n", built.ToString().c_str());
+      return false;
+    }
+    Status start = service.Start();
+    if (!start.ok()) {
+      printf("service start failed: %s\n", start.ToString().c_str());
+      return false;
+    }
+
+    auto wall_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kNumClients; ++c) {
+      clients.emplace_back([&, c] {
+        SessionId session =
+            service.OpenSession("client-" + std::to_string(c)).value();
+        std::vector<QueryTicket> tickets;
+        for (size_t i = c; i < workload.size(); i += kNumClients) {
+          auto ticket = service.Submit(session, workload[i].keywords,
+                                       workload[i].options);
+          if (ticket.ok()) tickets.push_back(ticket.value());
+        }
+        for (QueryTicket& ticket : tickets) ticket.Wait();
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    Status stop = service.Shutdown();
+    if (!stop.ok()) {
+      printf("service shutdown failed: %s\n", stop.ToString().c_str());
+      return false;
+    }
+    int64_t completed = service.counters().completed.load();
+    double qps = wall_seconds > 0
+                     ? static_cast<double>(completed) / wall_seconds
+                     : 0.0;
+    if (attempt == 0 || qps > run->qps) {
+      run->wall_seconds = wall_seconds;
+      run->qps = qps;
+      run->completed = completed;
+      run->failed = service.counters().failed.load();
+      run->epochs = service.counters().epochs.load();
+    }
+  }
+  return true;
+}
+
+/// Parses --shards=1,2,4 (default) into a sweep list.
+std::vector<int> ParseShardSweep(int argc, char** argv) {
+  std::string spec = "1,2,4";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) spec = argv[i] + 9;
+  }
+  std::vector<int> shards;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    int n = std::atoi(spec.substr(pos, comma - pos).c_str());
+    if (n > 0) shards.push_back(n);
+    pos = comma + 1;
+  }
+  if (shards.empty()) shards.push_back(1);
+  return shards;
 }
 
 }  // namespace
@@ -201,5 +369,62 @@ int main(int argc, char** argv) {
               "shared execution streams fewer tuples than isolated runs");
   check.Check(shared.probes_issued <= isolated.probes_issued,
               "shared execution issues no more probes");
+
+  // ---- shard-scaling sweep: same workload, 1..N shards ----
+  std::vector<int> sweep = ParseShardSweep(argc, argv);
+  printf("\nshard sweep:");
+  for (int n : sweep) printf(" %d", n);
+  printf(" (same %d-query workload, %d clients)\n", kNumQueries,
+         kNumClients);
+  std::vector<SweepRun> runs;
+  for (int n : sweep) {
+    SweepRun run;
+    if (!RunShardedWorkload(n, workload, &run)) return 1;
+    printf("  shards=%d: %.3f s wall, %.2f queries/s, %lld completed, "
+           "%lld epochs\n",
+           n, run.wall_seconds, run.qps,
+           static_cast<long long>(run.completed),
+           static_cast<long long>(run.epochs));
+    runs.push_back(std::move(run));
+  }
+
+  bool equivalent = true;
+  for (const SweepRun& run : runs) {
+    for (size_t i = 0; i < workload.size(); ++i) {
+      if (run.fingerprints[i] != runs.front().fingerprints[i]) {
+        printf("  MISMATCH shards=%d query %zu (%s)\n", run.num_shards, i,
+               workload[i].keywords.c_str());
+        equivalent = false;
+      }
+    }
+  }
+
+  BenchJson scaling("shard_scaling", argc, argv);
+  scaling.Add("num_queries", kNumQueries);
+  scaling.Add("num_clients", kNumClients);
+  for (const SweepRun& run : runs) {
+    std::string prefix = "shards_" + std::to_string(run.num_shards);
+    scaling.Add(prefix + ".wall_seconds", run.wall_seconds);
+    scaling.Add(prefix + ".queries_per_second", run.qps);
+    scaling.Add(prefix + ".completed", run.completed);
+    scaling.Add(prefix + ".failed", run.failed);
+    scaling.Add(prefix + ".epochs", run.epochs);
+  }
+  scaling.Add("byte_equivalent", static_cast<int64_t>(equivalent ? 1 : 0));
+  scaling.Write();
+
+  check.Check(equivalent,
+              "per-UQ top-k byte-equivalent across all shard counts");
+  for (const SweepRun& run : runs) {
+    check.Check(run.completed + run.failed == kNumQueries,
+                "shards=" + std::to_string(run.num_shards) +
+                    " resolved the whole workload");
+  }
+  if (runs.size() >= 2 && runs[0].num_shards == 1) {
+    check.Check(runs[1].qps > runs[0].qps,
+                "served throughput strictly increases from " +
+                    std::to_string(runs[0].num_shards) + " to " +
+                    std::to_string(runs[1].num_shards) + " shards");
+  }
   return check.Finish();
 }

@@ -166,10 +166,13 @@ struct ServiceCounters {
   std::atomic<int64_t> failed{0};
   /// Queries cancelled by a non-draining shutdown.
   std::atomic<int64_t> cancelled{0};
-  /// Shared-execution epochs the executor has driven.
+  /// Shared-execution epochs driven (summed over all shard executors).
   std::atomic<int64_t> epochs{0};
-  /// Batches flushed to the optimizer across all epochs.
+  /// Batches flushed to the optimizer across all epochs and shards.
   std::atomic<int64_t> batches_flushed{0};
+  /// Scatter queries whose per-shard top-k streams were cross-shard
+  /// rank-merged (ShardAffinity::kScatterCqs only).
+  std::atomic<int64_t> cross_shard_merges{0};
 
   // -- spill-tier gauges, mirrored from the engine's SpillStats after
   //    each epoch (all zero when spilling is disabled) --

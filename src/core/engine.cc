@@ -58,13 +58,31 @@ Status Engine::FinalizeCatalog() {
   return Status::OK();
 }
 
-Status Engine::Ingest(int uq_id, const std::string& keywords, int user_id,
-                      VirtualTime at_us,
-                      const CandidateGenOptions& options) {
+Result<UserQuery> Engine::GenerateCandidates(
+    const std::string& keywords, const CandidateGenOptions& options) const {
   if (!finalized_) {
     return Status::FailedPrecondition("FinalizeCatalog() not called");
   }
-  auto uq = candidate_gen_->Generate(keywords, config_.k, options);
+  return candidate_gen_->Generate(keywords, config_.k, options);
+}
+
+Status Engine::IngestPrepared(UserQuery q, VirtualTime at_us) {
+  if (!finalized_) {
+    return Status::FailedPrecondition("FinalizeCatalog() not called");
+  }
+  q.submit_time_us = at_us;
+  for (ConjunctiveQuery& cq : q.cqs) {
+    cq.id = next_cq_id_++;
+    cq.uq_id = q.id;
+  }
+  batcher_.Add(std::move(q));
+  return Status::OK();
+}
+
+Status Engine::Ingest(int uq_id, const std::string& keywords, int user_id,
+                      VirtualTime at_us,
+                      const CandidateGenOptions& options) {
+  auto uq = GenerateCandidates(keywords, options);
   if (!uq.ok()) {
     // A query that matches nothing (or cannot be connected) fails for
     // its user; the system keeps serving everyone else.
@@ -74,13 +92,7 @@ Status Engine::Ingest(int uq_id, const std::string& keywords, int user_id,
   UserQuery q = std::move(uq).value();
   q.id = uq_id;
   q.user_id = user_id;
-  q.submit_time_us = at_us;
-  for (ConjunctiveQuery& cq : q.cqs) {
-    cq.id = next_cq_id_++;
-    cq.uq_id = q.id;
-  }
-  batcher_.Add(std::move(q));
-  return Status::OK();
+  return IngestPrepared(std::move(q), at_us);
 }
 
 Atc* Engine::GetOrCreateAtc(int index_hint, VirtualTime start_time) {

@@ -137,6 +137,21 @@ class Engine {
   Status Ingest(int uq_id, const std::string& keywords, int user_id,
                 VirtualTime at_us, const CandidateGenOptions& options);
 
+  /// Candidate generation only: expands `keywords` into a UserQuery
+  /// (id/user/submit time unset) without admitting anything. Reads only
+  /// structures that are immutable after FinalizeCatalog() (inverted
+  /// index, schema graph, catalog), so it is safe to call from any
+  /// thread concurrently with Step() — the sharded serving layer uses
+  /// this to split one query's CQs across engines before routing.
+  Result<UserQuery> GenerateCandidates(
+      const std::string& keywords, const CandidateGenOptions& options) const;
+
+  /// Admits an already-generated user query (id and user_id set by the
+  /// caller) to the batcher at virtual time `at_us`, assigning
+  /// engine-local CQ ids. The scatter path ingests per-shard sub-queries
+  /// through this; Ingest() is GenerateCandidates() + IngestPrepared().
+  Status IngestPrepared(UserQuery q, VirtualTime at_us);
+
   // ---- the event loop primitive ----
 
   /// Processes the single earliest pending event (batch flush or one

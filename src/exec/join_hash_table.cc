@@ -5,8 +5,9 @@
 
 namespace qsys {
 
-void JoinHashTable::Insert(int epoch, CompositeTuple tuple) {
+bool JoinHashTable::Insert(int epoch, CompositeTuple tuple) {
   assert(entries_.empty() || epoch >= entries_.back().epoch);
+  if (!identities_.insert(tuple.IdentityHash()).second) return false;
   int64_t id = static_cast<int64_t>(entries_.size());
   // Maintain any already-built indexes.
   for (auto& [key_pair, index] : indexes_) {
@@ -15,6 +16,7 @@ void JoinHashTable::Insert(int epoch, CompositeTuple tuple) {
     index[v].push_back(id);
   }
   entries_.push_back({std::move(tuple), epoch});
+  return true;
 }
 
 const JoinHashTable::KeyIndex& JoinHashTable::GetOrBuildIndex(
@@ -59,7 +61,8 @@ int64_t JoinHashTable::CountBefore(int epoch) const {
 
 int64_t JoinHashTable::SizeBytes() const {
   int64_t total = 0;
-  for (const Entry& e : entries_) total += e.tuple.SizeBytes() + 8;
+  // +8 epoch/overhead, +8 identity-set slot per entry.
+  for (const Entry& e : entries_) total += e.tuple.SizeBytes() + 16;
   // Index overhead, roughly.
   total += static_cast<int64_t>(indexes_.size()) * 64;
   for (const auto& [k, index] : indexes_) {
@@ -70,6 +73,7 @@ int64_t JoinHashTable::SizeBytes() const {
 
 void JoinHashTable::Clear() {
   entries_.clear();
+  identities_.clear();
   indexes_.clear();
 }
 

@@ -17,6 +17,7 @@
 #include <limits>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/value.h"
@@ -33,8 +34,15 @@ class JoinHashTable {
   explicit JoinHashTable(const Catalog* catalog) : catalog_(catalog) {}
 
   /// Appends a composite arriving at logical time `epoch`. Epochs must be
-  /// nondecreasing across calls (arrival order).
-  void Insert(int epoch, CompositeTuple tuple);
+  /// nondecreasing across calls (arrival order). A composite whose base
+  /// identity is already stored is dropped: a module table holds each
+  /// logical tuple at most once. (Re-arrivals happen when plans change
+  /// module structure across batches — an atom probed by one batch's
+  /// plan may be *streamed* by the next, re-delivering rows whose join
+  /// results were already derived and backfilled; without the identity
+  /// guard those combos would be produced twice.) Returns whether the
+  /// composite was stored (false = duplicate, dropped).
+  bool Insert(int epoch, CompositeTuple tuple);
 
   /// Invokes `fn` for each stored composite whose (slot, col) value
   /// equals `key` and whose epoch is < `max_epoch_exclusive` (pass
@@ -86,6 +94,8 @@ class JoinHashTable {
 
   const Catalog* catalog_;
   std::vector<Entry> entries_;
+  /// IdentityHash of every stored entry (insert dedup).
+  std::unordered_set<uint64_t> identities_;
   mutable std::map<std::pair<int, int>, KeyIndex> indexes_;
   int borrowers_ = 0;
 };

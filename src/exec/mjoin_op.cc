@@ -141,7 +141,14 @@ void MJoinOp::Consume(int port, const CompositeTuple& tuple,
   if (!active()) return;
   Module& m = modules_[port];
   // Symmetric hash join: store first (frozen modules replay their own
-  // content, so re-inserting would duplicate).
+  // content, so re-inserting would duplicate). A duplicate arrival —
+  // a logical tuple this module already stored, re-delivered because a
+  // later plan streams an atom an earlier plan probed — is dropped
+  // from the table but still cascades: combos pairing it with
+  // *backfilled* partners (which never cascade themselves) have no
+  // other producer. The double-derivations this allows (the partner
+  // arrived and already cascaded against the stored copy) are
+  // absorbed by the rank-merge's per-CQ result dedup.
   if (m.kind == ModuleKind::kStream) {
     m.table->Insert(ctx.epoch, tuple);
   }

@@ -28,6 +28,20 @@ void RankMergeOp::Consume(int port, const CompositeTuple& tuple,
   if (!active()) return;
   CqSlot& slot = regs_[port];
   if (slot.status == CqStatus::kDone) return;
+  // Per-CQ result dedup: a conjunctive query delivers each logical
+  // answer once. Duplicate derivations can reach the merge when
+  // retained state is re-derived under a changed module structure (an
+  // atom probed by one batch's plan, streamed by the next) — see
+  // MJoinOp::Consume. Keyed by logical cq id, so a recovery query CQᵉ
+  // (same id, own port) cannot double-deliver either. The score sum is
+  // folded into the key purely defensively: equal provenance implies
+  // equal scores in real execution.
+  uint64_t identity =
+      tuple.IdentityHash() ^
+      (std::hash<double>{}(tuple.sum_scores()) * 0x9e3779b97f4a7c15ull);
+  if (!seen_results_.emplace(slot.reg.cq_id, identity).second) {
+    return;
+  }
   Buffered b;
   b.score = slot.reg.score_fn.Score(tuple.sum_scores());
   b.port = port;
@@ -193,6 +207,8 @@ int64_t RankMergeOp::StateSizeBytes() const {
   int64_t total = static_cast<int64_t>(buffer_.size()) *
                   static_cast<int64_t>(sizeof(Buffered));
   for (const ResultTuple& r : results_) total += r.tuple.SizeBytes() + 32;
+  // Dedup set: ~one red-black node per delivered (cq, identity) pair.
+  total += static_cast<int64_t>(seen_results_.size()) * 64;
   return total;
 }
 

@@ -16,6 +16,7 @@
 #include <functional>
 #include <queue>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "src/common/metrics.h"
@@ -110,6 +111,7 @@ class RankMergeOp : public Operator {
     results_.clear();
     results_.shrink_to_fit();
     buffer_ = std::priority_queue<Buffered>();
+    seen_results_.clear();
   }
   int num_registrations() const {
     return static_cast<int>(regs_.size());
@@ -158,6 +160,9 @@ class RankMergeOp : public Operator {
   std::vector<ResultTuple> results_;
   std::set<int> executed_cq_ids_;
   std::set<int> all_cq_ids_;
+  /// (cq id, result identity) pairs already delivered — per-CQ dedup
+  /// of duplicate derivations (see Consume).
+  std::set<std::pair<int, uint64_t>> seen_results_;
   int64_t seq_counter_ = 0;
 };
 

@@ -4,21 +4,81 @@
 
 namespace qsys {
 
-void PlanGrafter::BackfillOrRestore(int tag, const std::string& sig,
+PlanGrafter::FullestBySig PlanGrafter::SnapshotFullestTables(
+    Atc* atc, int tag) const {
+  // The registry holds one table per (tag, signature) — the newest
+  // registration — but consumer tables of one shared stream drift apart
+  // during execution: an operator deactivates when its queries finish
+  // and stops inserting, while the stream keeps flowing to others.
+  // Every live same-scope module table is a prefix of the same arrival
+  // sequence, so the fullest one is the most complete prefix; backfill
+  // and recovery must use it, or reused plans silently lose the
+  // buffered results beyond the shorter prefix.
+  FullestBySig fullest;
+  for (MJoinOp* op : atc->graph().mjoins()) {
+    auto it = op_tag_.find(op);
+    if (it == op_tag_.end() || it->second != tag) continue;
+    for (int p = 0; p < op->num_modules(); ++p) {
+      if (!op->module_is_stream(p) || op->module_is_frozen(p)) continue;
+      JoinHashTable* t = op->module_table(p);
+      if (t == nullptr) continue;
+      JoinHashTable*& slot = fullest[op->module_expr(p).Signature()];
+      if (slot == nullptr || t->num_entries() > slot->num_entries()) {
+        slot = t;
+      }
+    }
+  }
+  return fullest;
+}
+
+JoinHashTable* PlanGrafter::FullestModuleTable(const FullestBySig& fullest,
+                                               int tag,
+                                               const std::string& sig) const {
+  JoinHashTable* best = state_->FindModuleTable(tag, sig);
+  auto it = fullest.find(sig);
+  if (it != fullest.end() &&
+      (best == nullptr ||
+       it->second->num_entries() > best->num_entries())) {
+    best = it->second;
+  }
+  return best;
+}
+
+void PlanGrafter::BackfillOrRestore(const FullestBySig& fullest, int tag,
+                                    const std::string& sig,
                                     JoinHashTable* dest,
                                     ExecContext& ctx) {
-  JoinHashTable* old = state_->FindModuleTable(tag, sig);
-  if (old != nullptr && old != dest && old->num_entries() > 0) {
+  JoinHashTable* old = FullestModuleTable(fullest, tag, sig);
+  if (old != nullptr && old != dest &&
+      old->num_entries() > dest->num_entries()) {
+    // Both tables are prefixes of the same shared arrival sequence, so
+    // topping `dest` up with the fuller table's suffix restores the
+    // complete prefix — also for a *reused* operator that deactivated
+    // early in a past epoch and is about to resume consuming new
+    // arrivals (without the top-up it would hold a gap and silently
+    // miss join results against the skipped tuples).
+    int64_t copied = 0;
+    // Offer every entry; the table's identity dedup keeps what is
+    // missing. Epochs must stay nondecreasing in arrival order, so
+    // when `dest` already holds newer entries the copies are clamped
+    // up to dest's tail epoch (still strictly before the epoch being
+    // grafted, so recovery sees them as buffered).
+    int tail_epoch =
+        dest->num_entries() > 0 ? dest->entry_epoch(dest->num_entries() - 1)
+                                : 0;
     for (int64_t i = 0; i < old->num_entries(); ++i) {
-      dest->Insert(old->entry_epoch(i), old->entry(i));
+      if (dest->Insert(std::max(old->entry_epoch(i), tail_epoch),
+                       old->entry(i))) {
+        ++copied;
+      }
     }
-    tuples_backfilled_ += old->num_entries();
+    tuples_backfilled_ += copied;
     ctx.Charge(TimeBucket::kJoin,
-               static_cast<VirtualTime>(
-                   static_cast<double>(old->num_entries()) *
-                   ctx.delays->params().join_output_us));
+               static_cast<VirtualTime>(static_cast<double>(copied) *
+                                        ctx.delays->params().join_output_us));
     return;
   }
+  if (dest->num_entries() > 0) return;  // already the fullest known prefix
   // No live copy: fault a demoted one back from the spill tier, so
   // recovery (CQᵉ) and future joins see the full prefix without
   // re-executing against the remote sources.
@@ -101,6 +161,8 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
   const int epoch = atc->epoch() + 1;
   atc->set_epoch(epoch);
   ExecContext ctx = atc->MakeContext();
+  // One graph pass for the whole graft (see SnapshotFullestTables).
+  const FullestBySig fullest = SnapshotFullestTables(atc, tag);
 
   // cq id -> (cq, uq) lookup.
   std::unordered_map<int, std::pair<const ConjunctiveQuery*,
@@ -129,16 +191,17 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
       comp_ops[comp.id] = resolved;
       comp_reused[comp.id] = true;
       ops_reused_ += 1;
-      // Touch its state registrations. A reused operator whose tables
-      // were emptied by eviction must not supersede fuller registered
-      // state with empty tables ("the newest table is fullest"):
-      // backfill from the live registered copy, or fault a demoted
-      // copy back in from the spill tier.
+      // Touch its state registrations. A reused operator's tables may
+      // be stale prefixes: emptied by eviction, or truncated where the
+      // operator deactivated while the shared stream kept flowing to
+      // other consumers. Top them up to the fullest live prefix (or
+      // fault a demoted copy back in from the spill tier) before the
+      // operator resumes consuming new arrivals.
       for (int p = 0; p < resolved->num_modules(); ++p) {
         if (JoinHashTable* t = resolved->module_table(p)) {
           const std::string& sig = resolved->module_expr(p).Signature();
-          if (resolved->module_is_stream(p) && t->num_entries() == 0) {
-            BackfillOrRestore(tag, sig, t, ctx);
+          if (resolved->module_is_stream(p)) {
+            BackfillOrRestore(fullest, tag, sig, t, ctx);
           }
           state_->RegisterModuleTable(tag, sig, t, resolved,
                                       ctx.clock->now());
@@ -199,7 +262,7 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
       JoinHashTable* table = op->module_table(p);
       if (table == nullptr || !op->module_is_stream(p)) continue;
       const std::string& sig = op->module_expr(p).Signature();
-      BackfillOrRestore(tag, sig, table, ctx);
+      BackfillOrRestore(fullest, tag, sig, table, ctx);
       state_->RegisterModuleTable(tag, sig, table, op, ctx.clock->now());
     }
     comp_ops[comp.id] = op;
@@ -256,7 +319,7 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
       for (int idx : stream_inputs) {
         FrozenInput f;
         f.expr = spec.assignment.inputs[idx].expr;
-        f.table = state_->FindModuleTable(tag, f.expr.Signature());
+        f.table = FullestModuleTable(fullest, tag, f.expr.Signature());
         if (f.table == nullptr || f.table->CountBefore(epoch) == 0) {
           recoverable = false;
           break;

@@ -45,12 +45,31 @@ class PlanGrafter {
  private:
   RankMergeOp* GetOrCreateMerge(Atc* atc, const UserQuery& uq);
 
-  /// Fills an empty module table for (tag, sig): copies the registered
-  /// live table's entries when one exists (arrival order + epochs), or
-  /// faults a demoted copy back in from the spill tier. Charges the
-  /// copy/disk-read cost to `ctx` and counts the backfilled tuples.
-  void BackfillOrRestore(int tag, const std::string& sig,
-                         JoinHashTable* dest, ExecContext& ctx);
+  /// sig -> fullest same-scope stream-module table in the live graph,
+  /// snapshotted once per Graft() (consumer tables of one shared stream
+  /// drift apart as operators deactivate at different times, so the
+  /// registry's newest registration is not necessarily the fullest;
+  /// scanning per lookup would be quadratic on the grafting hot path).
+  /// Backfills during a graft only equalize tables up to the snapshot's
+  /// maxima, so the snapshot stays valid for the whole graft.
+  using FullestBySig = std::unordered_map<std::string, JoinHashTable*>;
+  FullestBySig SnapshotFullestTables(Atc* atc, int tag) const;
+
+  /// The most complete live prefix for (tag, sig): the fuller of the
+  /// registered table and the graph snapshot's entry. May return the
+  /// table being backfilled itself — callers treat that as "already
+  /// fullest".
+  JoinHashTable* FullestModuleTable(const FullestBySig& fullest, int tag,
+                                    const std::string& sig) const;
+
+  /// Tops the module table for (tag, sig) up to the fullest live
+  /// prefix (arrival order + epochs; identity-deduplicated), or — when
+  /// no live copy has entries — faults a demoted copy back in from the
+  /// spill tier. Charges the copy/disk-read cost to `ctx` and counts
+  /// the backfilled tuples.
+  void BackfillOrRestore(const FullestBySig& fullest, int tag,
+                         const std::string& sig, JoinHashTable* dest,
+                         ExecContext& ctx);
 
   /// True if `candidate` can stand in for `comp`: built under the same
   /// sharing scope (`tag`), same expression, same module structure, no

@@ -37,7 +37,12 @@ class StateManager {
 
   /// Registers the hash table holding arrivals of expression
   /// `expr_signature` under sharing scope `tag`. Later registrations for
-  /// the same key supersede earlier ones (the newest table is fullest).
+  /// the same key supersede earlier ones. NOTE: the newest registration
+  /// is not necessarily the fullest copy — consumer tables of one
+  /// shared stream drift apart as operators deactivate — so reuse and
+  /// recovery go through PlanGrafter::FullestModuleTable(), which also
+  /// scans the live plan graph; this registry remains the authority for
+  /// eviction/spill accounting.
   void RegisterModuleTable(int tag, const std::string& expr_signature,
                            JoinHashTable* table, MJoinOp* owner,
                            VirtualTime now);

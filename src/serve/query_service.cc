@@ -10,10 +10,26 @@ using Clock = std::chrono::steady_clock;
 }  // namespace
 
 QueryService::QueryService(ServiceOptions options)
-    : options_(options),
-      engine_(std::make_unique<Engine>(options.config)),
-      sessions_(options.max_in_flight_per_session),
-      queue_(options.queue_capacity) {}
+    : options_(std::move(options)),
+      router_(options_.config.num_shards, options_.config.shard_affinity),
+      sessions_(options_.max_in_flight_per_session) {
+  int n = std::max(1, options_.config.num_shards);
+  shards_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    QConfig config = options_.config;
+    config.num_shards = n;  // normalized
+    shards_.push_back(std::make_unique<EngineShard>(
+        i, config, options_.queue_capacity, &counters_));
+  }
+  for (auto& shard : shards_) {
+    shard->set_completion_fn(
+        [this](const EngineShard::Completion& c) { OnShardCompletion(c); });
+    shard->set_finished_fn([this](int id, const Status& terminal) {
+      OnShardFinished(id, terminal);
+    });
+    shard->set_stats_listener([this] { AggregateSpillGauges(); });
+  }
+}
 
 QueryService::~QueryService() {
   if (started_ && !stopped_) {
@@ -28,19 +44,68 @@ VirtualTime QueryService::NowUs() const {
       .count();
 }
 
+Status QueryService::BuildEachEngine(
+    const std::function<Status(Engine&)>& builder) {
+  for (auto& shard : shards_) {
+    QSYS_RETURN_IF_ERROR(builder(shard->engine()));
+  }
+  return Status::OK();
+}
+
+ExecStats QueryService::stats_snapshot() const {
+  ExecStats total;
+  for (const auto& shard : shards_) total.Merge(shard->stats_snapshot());
+  return total;
+}
+
+void QueryService::AggregateSpillGauges() {
+  // Serialized: concurrent shard executors each publish a sum, and
+  // StoreSpill writes six independent atomics — interleaving two sums
+  // would leave a torn (internally inconsistent) snapshot.
+  std::lock_guard<std::mutex> lock(gauges_mu_);
+  SpillStats sum;
+  for (const auto& shard : shards_) {
+    SpillStats s = shard->spill_snapshot();
+    sum.pages_written += s.pages_written;
+    sum.pages_read += s.pages_read;
+    sum.page_faults += s.page_faults;
+    sum.items_spilled += s.items_spilled;
+    sum.items_restored += s.items_restored;
+    sum.bytes_on_disk += s.bytes_on_disk;
+  }
+  counters_.StoreSpill(sum);
+}
+
 Status QueryService::Start() {
   if (started_) return Status::FailedPrecondition("already started");
-  QSYS_RETURN_IF_ERROR(engine_->FinalizeCatalog());
-  // Clients get their outcomes through tickets/sinks; a long-lived
-  // service must not accumulate per-query history inside the engine.
-  engine_->set_retain_history(false);
-  engine_->set_completion_listener([this](const UserQueryMetrics& m) {
-    Resolve(m.uq_id, Status::OK(), &m);
+  for (auto& shard : shards_) {
+    QSYS_RETURN_IF_ERROR(shard->engine().FinalizeCatalog());
+  }
+  // Every shard must answer from the same catalog, or routing would
+  // change a query's answers. Catch the "built only shard 0" mistake.
+  for (auto& shard : shards_) {
+    if (shard->engine().catalog().num_tables() !=
+        shards_[0]->engine().catalog().num_tables()) {
+      return Status::FailedPrecondition(
+          "shard catalogs differ; populate every shard "
+          "(see QueryService::BuildEachEngine)");
+    }
+  }
+  // Table-affinity routing probes shard 0's inverted index, which is
+  // immutable once finalized and therefore safe to read from any
+  // submitting thread.
+  router_.set_footprint_fn([this](const std::string& term) {
+    std::vector<TableId> tables;
+    for (const KeywordMatch& m :
+         shards_[0]->engine().inverted_index().Lookup(term)) {
+      tables.push_back(m.table);
+    }
+    return tables;
   });
   start_wall_ = Clock::now();
   started_ = true;
-  if (!options_.manual_pump) {
-    executor_ = std::thread([this] { ExecutorLoop(); });
+  for (auto& shard : shards_) {
+    QSYS_RETURN_IF_ERROR(shard->Start(start_wall_, options_.manual_pump));
   }
   return Status::OK();
 }
@@ -62,6 +127,19 @@ Result<QueryTicket> QueryService::Submit(SessionId session,
   return Submit(session, keywords, sessions_.DefaultsFor(session));
 }
 
+std::shared_future<QueryOutcome> QueryService::RegisterInFlight(
+    int uq_id, SessionId session, const std::string& keywords, int shard) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  InFlight entry;
+  entry.session = session;
+  entry.keywords = keywords;
+  entry.shard = shard;
+  std::shared_future<QueryOutcome> future =
+      entry.promise.get_future().share();
+  inflight_.emplace(uq_id, std::move(entry));
+  return future;
+}
+
 Result<QueryTicket> QueryService::Submit(SessionId session,
                                          const std::string& keywords,
                                          const CandidateGenOptions& options) {
@@ -74,25 +152,25 @@ Result<QueryTicket> QueryService::Submit(SessionId session,
     return admitted;
   }
 
-  SubmitRequest request;
+  if (options_.config.shard_affinity == ShardAffinity::kScatterCqs &&
+      num_shards() > 1) {
+    return SubmitScatter(session, keywords, options);
+  }
+
+  ShardRequest request;
   request.uq_id = next_uq_id_.fetch_add(1, std::memory_order_relaxed);
-  request.session = session;
+  request.user_id = session;
   request.keywords = keywords;
   request.options = options;
 
-  std::shared_future<QueryOutcome> future;
-  {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
-    InFlight entry;
-    entry.session = session;
-    entry.keywords = keywords;
-    future = entry.promise.get_future().share();
-    inflight_.emplace(request.uq_id, std::move(entry));
-  }
-
+  int shard = router_.Route(keywords);
   int uq_id = request.uq_id;
-  bool pushed = options_.block_when_full ? queue_.Push(std::move(request))
-                                         : queue_.TryPush(std::move(request));
+  std::shared_future<QueryOutcome> future =
+      RegisterInFlight(uq_id, session, keywords, shard);
+
+  bool pushed = options_.block_when_full
+                    ? shards_[shard]->SubmitBlocking(std::move(request))
+                    : shards_[shard]->TrySubmit(std::move(request));
   if (!pushed) {
     bool still_inflight;
     {
@@ -115,57 +193,173 @@ Result<QueryTicket> QueryService::Submit(SessionId session,
   return QueryTicket(uq_id, std::move(future));
 }
 
-void QueryService::IngestRequests(std::vector<SubmitRequest> requests) {
-  if (requests.empty()) return;
-  std::lock_guard<std::mutex> lock(engine_mu_);
-  VirtualTime now = NowUs();
-  for (SubmitRequest& r : requests) {
-    Status admitted = engine_->Ingest(r.uq_id, r.keywords, r.session, now,
-                                      r.options);
-    if (!admitted.ok()) {
-      // Candidate generation failed: the query resolves immediately;
-      // everyone else keeps being served.
-      Resolve(r.uq_id, admitted, nullptr);
+Result<QueryTicket> QueryService::SubmitScatter(
+    SessionId session, const std::string& keywords,
+    const CandidateGenOptions& options) {
+  // The caller has already admitted the session. Generate once (on the
+  // submitting thread — generation reads only immutable post-finalize
+  // structures), then split the CQs round-robin across shards.
+  Result<UserQuery> gen =
+      shards_[0]->engine().GenerateCandidates(keywords, options);
+  int parent_id = next_uq_id_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_future<QueryOutcome> future =
+      RegisterInFlight(parent_id, session, keywords, /*shard=*/-1);
+  counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (!gen.ok()) {
+    // Same client experience as the routed path: the ticket resolves
+    // with the generation failure.
+    Resolve(parent_id, gen.status(), nullptr, nullptr);
+    return QueryTicket(parent_id, std::move(future));
+  }
+  UserQuery uq = std::move(gen).value();
+
+  const int n = num_shards();
+  std::vector<std::vector<ConjunctiveQuery>> parts(n);
+  for (size_t i = 0; i < uq.cqs.size(); ++i) {
+    parts[i % n].push_back(std::move(uq.cqs[i]));
+  }
+
+  ScatterState state;
+  std::vector<std::pair<int, ShardRequest>> to_push;
+  for (int s = 0; s < n; ++s) {
+    if (parts[s].empty()) continue;
+    int sub_id = next_uq_id_.fetch_add(1, std::memory_order_relaxed);
+    auto sub = std::make_unique<UserQuery>();
+    sub->id = sub_id;
+    sub->user_id = session;
+    sub->k = uq.k;
+    sub->keywords = uq.keywords;
+    sub->cqs = std::move(parts[s]);
+    ShardRequest request;
+    request.uq_id = sub_id;
+    request.user_id = session;
+    request.prepared = std::move(sub);
+    to_push.emplace_back(s, std::move(request));
+    state.pending += 1;
+    state.sub_shards.push_back(s);
+  }
+  std::vector<int> sub_ids;
+  {
+    std::lock_guard<std::mutex> lock(scatter_mu_);
+    for (const auto& [s, request] : to_push) {
+      scatter_sub_parent_[request.uq_id] = parent_id;
+      sub_ids.push_back(request.uq_id);
+    }
+    scatter_.emplace(parent_id, std::move(state));
+  }
+
+  bool all_pushed = true;
+  for (auto& [s, request] : to_push) {
+    bool pushed = options_.block_when_full
+                      ? shards_[s]->SubmitBlocking(std::move(request))
+                      : shards_[s]->TrySubmit(std::move(request));
+    if (!pushed) {
+      all_pushed = false;
+      break;
     }
   }
+  if (!all_pushed) {
+    // Undo the scatter (subs already pushed will complete into a void;
+    // their work is wasted but harmless) and reject the submit.
+    {
+      std::lock_guard<std::mutex> lock(scatter_mu_);
+      for (int sub : sub_ids) scatter_sub_parent_.erase(sub);
+      scatter_.erase(parent_id);
+    }
+    bool still_inflight;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      still_inflight = inflight_.erase(parent_id) > 0;
+    }
+    if (!still_inflight) {
+      // Shutdown raced and resolved the parent ticket already.
+      return QueryTicket(parent_id, std::move(future));
+    }
+    sessions_.OnRejected(session);
+    counters_.submitted.fetch_sub(1, std::memory_order_relaxed);
+    counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "submit queue full or service shutting down");
+  }
+  return QueryTicket(parent_id, std::move(future));
 }
 
-bool QueryService::RunDueEpochs(bool drain_partial) {
-  std::lock_guard<std::mutex> lock(engine_mu_);
-  engine_->ResetRoundBudget();  // max_rounds bounds one epoch
-  Engine::StepOptions step;
-  step.pace_to_horizon = false;
-  step.drain_pending = drain_partial;
-  step.arrival_horizon =
-      drain_partial ? Engine::kNeverUs : NowUs() + 1;
-  bool worked = false;
-  for (;;) {
-    Result<Engine::StepOutcome> out = engine_->Step(step);
-    if (!out.ok()) {
-      {
-        std::lock_guard<std::mutex> slock(executor_status_mu_);
-        executor_status_ = out.status();
+void QueryService::OnShardCompletion(const EngineShard::Completion& c) {
+  int parent = -1;
+  {
+    std::lock_guard<std::mutex> lock(scatter_mu_);
+    auto it = scatter_sub_parent_.find(c.uq_id);
+    if (it != scatter_sub_parent_.end()) parent = it->second;
+  }
+  if (parent >= 0) {
+    OnScatterSub(parent, c);
+    return;
+  }
+  Resolve(c.uq_id, c.status, c.metrics, c.results);
+}
+
+void QueryService::OnScatterSub(int parent_id,
+                                const EngineShard::Completion& c) {
+  bool done = false;
+  Status error;
+  UserQueryMetrics metrics;
+  std::vector<std::vector<ResultTuple>> streams;
+  {
+    std::lock_guard<std::mutex> lock(scatter_mu_);
+    scatter_sub_parent_.erase(c.uq_id);
+    auto it = scatter_.find(parent_id);
+    if (it == scatter_.end()) return;  // aborted or raced a shutdown
+    ScatterState& state = it->second;
+    // This shard's sub is no longer outstanding: a later failure of the
+    // shard must not fail the parent on its account.
+    state.sub_shards.erase(std::remove(state.sub_shards.begin(),
+                                       state.sub_shards.end(), c.shard),
+                           state.sub_shards.end());
+    if (c.status.ok()) {
+      if (c.results != nullptr) state.streams[c.shard] = *c.results;
+      if (c.metrics != nullptr) {
+        const UserQueryMetrics& m = *c.metrics;
+        if (!state.metrics_init) {
+          state.metrics = m;
+          state.metrics.uq_id = parent_id;
+          state.metrics_init = true;
+        } else {
+          UserQueryMetrics& agg = state.metrics;
+          agg.submit_time_us = std::min(agg.submit_time_us, m.submit_time_us);
+          agg.start_time_us = std::min(agg.start_time_us, m.start_time_us);
+          agg.complete_time_us =
+              std::max(agg.complete_time_us, m.complete_time_us);
+          agg.cqs_executed += m.cqs_executed;
+          agg.cqs_total += m.cqs_total;
+        }
       }
-      atomic_stats_.Store(engine_->aggregate_stats());
-      counters_.StoreSpill(engine_->spill_stats());
-      return false;
+    } else if (state.error.ok()) {
+      state.error = c.status;
     }
-    if (out.value().kind == Engine::StepKind::kIdle) break;
-    if (out.value().kind == Engine::StepKind::kFlushed) {
-      counters_.batches_flushed.fetch_add(1, std::memory_order_relaxed);
+    if (--state.pending > 0) return;
+    done = true;
+    error = state.error;
+    metrics = state.metrics;
+    for (auto& [shard, stream] : state.streams) {
+      streams.push_back(std::move(stream));
     }
-    worked = true;
+    scatter_.erase(it);
   }
-  if (worked) {
-    counters_.epochs.fetch_add(1, std::memory_order_relaxed);
-    atomic_stats_.Store(engine_->aggregate_stats());
-    counters_.StoreSpill(engine_->spill_stats());
+  if (!done) return;
+  if (!error.ok()) {
+    Resolve(parent_id, error, nullptr, nullptr);
+    return;
   }
-  return true;
+  std::vector<ResultTuple> merged =
+      RankMerger::Merge(streams, options_.config.k);
+  metrics.results = static_cast<int>(merged.size());
+  counters_.cross_shard_merges.fetch_add(1, std::memory_order_relaxed);
+  Resolve(parent_id, Status::OK(), &metrics, &merged);
 }
 
 void QueryService::Resolve(int uq_id, Status status,
-                           const UserQueryMetrics* metrics) {
+                           const UserQueryMetrics* metrics,
+                           const std::vector<ResultTuple>* results) {
   InFlight entry;
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -179,14 +373,14 @@ void QueryService::Resolve(int uq_id, Status status,
   outcome.uq_id = uq_id;
   outcome.session_id = entry.session;
   outcome.keywords = std::move(entry.keywords);
+  outcome.shard = entry.shard;
   outcome.status = std::move(status);
   if (metrics != nullptr) outcome.metrics = *metrics;
   if (outcome.status.ok()) {
-    // Completion path: the executor holds engine_mu_, so reading the
-    // rank-merge's results out of the plan graph is safe. Copy them so
-    // the outcome survives later grafting/eviction.
-    const std::vector<ResultTuple>* results = engine_->ResultsFor(uq_id);
     if (results != nullptr) outcome.results = *results;
+    // One canonical ranking no matter which shard (or how many shards)
+    // produced it — see RankMerger.
+    RankMerger::Canonicalize(outcome.results, options_.config.k);
     counters_.completed.fetch_add(1, std::memory_order_relaxed);
   } else if (outcome.status.code() == StatusCode::kCancelled) {
     counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
@@ -202,6 +396,11 @@ void QueryService::Resolve(int uq_id, Status status,
 }
 
 void QueryService::ResolveAllRemaining(const Status& status) {
+  {
+    std::lock_guard<std::mutex> lock(scatter_mu_);
+    scatter_.clear();
+    scatter_sub_parent_.clear();
+  }
   std::vector<int> ids;
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
@@ -209,86 +408,78 @@ void QueryService::ResolveAllRemaining(const Status& status) {
     for (const auto& [uq_id, entry] : inflight_) ids.push_back(uq_id);
   }
   std::sort(ids.begin(), ids.end());
-  for (int uq_id : ids) Resolve(uq_id, status, nullptr);
+  for (int uq_id : ids) Resolve(uq_id, status, nullptr, nullptr);
 }
 
-void QueryService::ExecutorLoop() {
-  for (;;) {
-    std::optional<Clock::time_point> deadline;
-    {
-      std::lock_guard<std::mutex> lock(engine_mu_);
-      if (engine_->batcher().HasPending()) {
-        deadline = start_wall_ + std::chrono::microseconds(
-                                     engine_->batcher().NextDeadline());
+void QueryService::OnShardFinished(int shard, const Status& terminal) {
+  if (terminal.ok()) return;
+  // The shard died mid-serve: fail every query pinned to it — routed
+  // queries on that shard and scatter parents with a sub there — so no
+  // client blocks forever while the other shards keep serving.
+  std::vector<int> parents;
+  {
+    std::lock_guard<std::mutex> lock(scatter_mu_);
+    for (const auto& [parent_id, state] : scatter_) {
+      if (std::find(state.sub_shards.begin(), state.sub_shards.end(),
+                    shard) != state.sub_shards.end()) {
+        parents.push_back(parent_id);
       }
     }
-    std::optional<SubmitRequest> first = queue_.PopUntil(deadline);
-    if (first.has_value()) {
-      std::vector<SubmitRequest> requests;
-      requests.push_back(std::move(*first));
-      for (SubmitRequest& r : queue_.DrainNow()) {
-        requests.push_back(std::move(r));
+    for (int parent_id : parents) scatter_.erase(parent_id);
+    for (auto it = scatter_sub_parent_.begin();
+         it != scatter_sub_parent_.end();) {
+      if (std::find(parents.begin(), parents.end(), it->second) !=
+          parents.end()) {
+        it = scatter_sub_parent_.erase(it);
+      } else {
+        ++it;
       }
-      IngestRequests(std::move(requests));
-    } else if (queue_.closed() && queue_.size() == 0) {
-      break;  // shutdown requested and nothing left to pop
     }
-    if (!RunDueEpochs(/*drain_partial=*/false)) break;
   }
-  FinishServing();
-}
-
-void QueryService::FinishServing() {
-  // Anything still queued raced the close; treat it like the batcher's
-  // leftovers below.
-  std::vector<SubmitRequest> leftovers = queue_.DrainNow();
-  Status terminal;
+  std::vector<int> ids = std::move(parents);
   {
-    std::lock_guard<std::mutex> lock(executor_status_mu_);
-    terminal = executor_status_;
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    for (const auto& [uq_id, entry] : inflight_) {
+      if (entry.shard == shard) ids.push_back(uq_id);
+    }
   }
-  if (terminal.ok() && !cancel_pending_) {
-    // Draining shutdown: run everything already accepted to completion,
-    // flushing even a batch whose window has not expired.
-    IngestRequests(std::move(leftovers));
-    RunDueEpochs(/*drain_partial=*/true);
-  }
-  {
-    std::lock_guard<std::mutex> lock(engine_mu_);
-    engine_->FinishRun();
-    atomic_stats_.Store(engine_->aggregate_stats());
-    counters_.StoreSpill(engine_->spill_stats());
-  }
-  {
-    std::lock_guard<std::mutex> lock(executor_status_mu_);
-    terminal = executor_status_;
-  }
-  // Whatever is still unresolved — queued requests under a cancelling
-  // shutdown, batched-but-unflushed queries, or everything in flight
-  // after an engine failure — resolves now so no client blocks forever.
-  ResolveAllRemaining(terminal.ok()
-                          ? Status::Cancelled("service shut down")
-                          : terminal);
+  std::sort(ids.begin(), ids.end());
+  for (int uq_id : ids) Resolve(uq_id, terminal, nullptr, nullptr);
 }
 
 Status QueryService::Shutdown(ShutdownMode mode) {
   if (!started_) return Status::FailedPrecondition("service not started");
   // shutdown_mu_ serializes concurrent Shutdown calls (and the
-  // destructor): only one thread joins the executor, later callers
+  // destructor): only one thread joins the executors, later callers
   // block until it is done and then just report the terminal status.
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
   bool expected = false;
   if (stopped_.compare_exchange_strong(expected, true)) {
-    if (mode == ShutdownMode::kCancelPending) cancel_pending_ = true;
-    queue_.Close();
+    bool cancel = mode == ShutdownMode::kCancelPending;
+    for (auto& shard : shards_) shard->RequestStop(cancel);
     if (options_.manual_pump) {
-      FinishServing();
-    } else if (executor_.joinable()) {
-      executor_.join();
+      for (auto& shard : shards_) shard->FinishServing();
+    } else {
+      for (auto& shard : shards_) shard->Join();
     }
+    AggregateSpillGauges();
+    Status terminal;
+    for (auto& shard : shards_) {
+      Status s = shard->terminal_status();
+      if (terminal.ok() && !s.ok()) terminal = s;
+    }
+    // Whatever is still unresolved — queued requests under a cancelling
+    // shutdown, batched-but-unflushed queries, or everything in flight
+    // after an engine failure — resolves now so no client blocks
+    // forever.
+    ResolveAllRemaining(terminal.ok() ? Status::Cancelled("service shut down")
+                                      : terminal);
   }
-  std::lock_guard<std::mutex> lock(executor_status_mu_);
-  return executor_status_;
+  for (auto& shard : shards_) {
+    Status s = shard->terminal_status();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
 }
 
 Status QueryService::PumpOnce() {
@@ -297,10 +488,12 @@ Status QueryService::PumpOnce() {
         "PumpOnce requires ServiceOptions::manual_pump");
   }
   if (!started_) return Status::FailedPrecondition("service not started");
-  IngestRequests(queue_.DrainNow());
-  RunDueEpochs(/*drain_partial=*/false);
-  std::lock_guard<std::mutex> lock(executor_status_mu_);
-  return executor_status_;
+  Status first;
+  for (auto& shard : shards_) {
+    Status s = shard->PumpOnce();
+    if (first.ok() && !s.ok()) first = s;
+  }
+  return first;
 }
 
 }  // namespace qsys

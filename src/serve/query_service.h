@@ -1,18 +1,23 @@
-// QueryService: the wall-clock, concurrent front half of the Q System.
+// QueryService: the wall-clock, concurrent, *sharded* front half of the
+// Q System.
 //
 // The paper's middleware amortizes work across *concurrent* keyword
-// queries; this layer supplies the concurrency. Many client threads
-// submit keyword queries on real time; an admission/session layer
-// assigns query ids and enforces per-client in-flight caps; a bounded
-// MPSC submit queue applies backpressure; and one dedicated executor
-// thread drives the existing sharing pipeline — batcher -> multi-query
-// optimizer -> graft -> shared ATC execution — in shared-execution
-// epochs through the same Engine::Step() code path as the virtual-clock
-// simulator. Completed top-k answers stream back to the waiting callers
-// through futures (QueryTicket) and an optional push sink.
+// queries; this layer supplies the concurrency and — since sharding —
+// the parallelism. Many client threads submit keyword queries on real
+// time; an admission/session layer assigns query ids and enforces
+// per-client in-flight caps; a ShardRouter hash-partitions admitted
+// queries across QConfig::num_shards independent EngineShards (each a
+// full Engine: batcher -> multi-query optimizer -> graft -> shared ATC
+// execution, with its own executor thread, bounded submit queue, state
+// manager, and optional spill tier); and completed top-k answers stream
+// back to the waiting callers through futures (QueryTicket) and an
+// optional push sink.
 //
+//   ServiceOptions options;
+//   options.config.num_shards = 4;
 //   QueryService service(options);
-//   ... populate service.catalog(), service.InitSchemaGraph(), edges ...
+//   QSYS_RETURN_IF_ERROR(service.BuildEachEngine(
+//       [](Engine& e) { return BuildGusDataset(e, GusOptions{}); }));
 //   QSYS_RETURN_IF_ERROR(service.Start());
 //   SessionId session = service.OpenSession("alice").value();
 //   QueryTicket ticket =
@@ -20,53 +25,65 @@
 //   const QueryOutcome& out = ticket.Wait();   // ranked ResultTuples
 //   QSYS_RETURN_IF_ERROR(service.Shutdown());
 //
-// Threading model: the Engine is single-threaded by design, so the
-// service serializes every touch of it behind one coarse engine lock
-// (engine_mu_). Client-visible counters cross the boundary through the
-// lock-free AtomicExecStats / ServiceCounters mirrors in
-// src/common/metrics.h. Time mapping: virtual time 0 is Start(); one
-// virtual microsecond per wall microsecond for arrivals and batch
-// windows, while execution inside an epoch runs as fast as the hardware
-// allows (injected wide-area delays advance ATC clocks without
-// sleeping, exactly as in the simulator).
+// Routing (src/shard/shard_router.h) is stable — the same logical
+// query always lands on the shard holding its reusable state — and the
+// ATC-CL-style table-affinity policy co-locates queries over shared hot
+// relations. ShardAffinity::kScatterCqs instead splits one query's CQs
+// across *all* shards and cross-shard rank-merges the per-shard top-k
+// streams (src/shard/rank_merger.h). Every outcome is canonicalized
+// through RankMerger's deterministic total order, so per-UQ results are
+// byte-equivalent across shard counts.
+//
+// Threading model: each Engine is single-threaded by design; its shard
+// serializes every touch behind one per-shard engine lock. No lock is
+// shared between two shards' executors. Client-visible counters cross
+// thread boundaries through the lock-free AtomicExecStats /
+// ServiceCounters mirrors in src/common/metrics.h. Time mapping: wall
+// microseconds since Start() form one virtual timeline shared by all
+// shards; execution inside an epoch runs as fast as the hardware allows
+// (injected wide-area delays advance ATC clocks without sleeping,
+// exactly as in the simulator).
 
 #ifndef QSYS_SERVE_QUERY_SERVICE_H_
 #define QSYS_SERVE_QUERY_SERVICE_H_
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
-#include "src/core/engine.h"
 #include "src/serve/result_sink.h"
 #include "src/serve/session.h"
-#include "src/serve/submit_queue.h"
+#include "src/shard/rank_merger.h"
+#include "src/shard/shard.h"
+#include "src/shard/shard_router.h"
 
 namespace qsys {
 
 /// \brief Configuration of one QueryService instance.
 struct ServiceOptions {
-  /// Engine configuration (sharing mode, batch size/window, k, ...).
-  /// The batch window is interpreted in wall-clock microseconds.
+  /// Engine configuration (sharing mode, batch size/window, k, ...),
+  /// replicated to every shard, plus the sharding knobs themselves
+  /// (num_shards, shard_affinity). The batch window is interpreted in
+  /// wall-clock microseconds.
   QConfig config;
-  /// Submit-queue bound (admission backpressure).
+  /// Per-shard submit-queue bound (admission backpressure).
   size_t queue_capacity = 1024;
   /// Full-queue policy: false = reject the submit (kResourceExhausted),
   /// true = block the producer until the executor drains.
   bool block_when_full = false;
   /// Per-session in-flight query cap (0 = uncapped).
   int max_in_flight_per_session = 64;
-  /// Test hook: do not spawn the executor thread; the test drives the
+  /// Test hook: do not spawn executor threads; the test drives the
   /// service deterministically with PumpOnce() / Shutdown().
   bool manual_pump = false;
 };
 
-/// \brief Concurrent query-serving facade over one Engine.
+/// \brief Concurrent query-serving facade over N sharded Engines.
 class QueryService {
  public:
   enum class ShutdownMode {
@@ -85,115 +102,169 @@ class QueryService {
 
   // ---- setup (single-threaded, before Start()) ----
 
-  /// The underlying pipeline, exposed for catalog/dataset building with
-  /// the same builders the simulator uses (BuildGusDataset(Engine&), ...).
-  Engine& engine() { return *engine_; }
-  Catalog& catalog() { return engine_->catalog(); }
-  SchemaGraph& InitSchemaGraph() { return engine_->InitSchemaGraph(); }
+  /// Number of independent engine shards behind this service.
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
-  /// Optional push-style delivery, invoked on the executor thread in
-  /// addition to resolving the ticket future. Set before Start().
+  /// Shard `i`'s pipeline, for catalog/dataset building with the same
+  /// builders the simulator uses (BuildGusDataset(Engine&), ...). Every
+  /// shard must be populated with the same catalog before Start();
+  /// BuildEachEngine() does that in one call.
+  Engine& shard_engine(int i) { return shards_[i]->engine(); }
+
+  /// Single-shard convenience (and the num_shards=1 legacy accessor):
+  /// shard 0's engine.
+  Engine& engine() { return shards_[0]->engine(); }
+  Catalog& catalog() { return engine().catalog(); }
+  SchemaGraph& InitSchemaGraph() { return engine().InitSchemaGraph(); }
+
+  /// Runs `builder` on every shard's engine — the way to replicate a
+  /// dataset across shards. Stops at the first error.
+  Status BuildEachEngine(const std::function<Status(Engine&)>& builder);
+
+  /// Optional push-style delivery, invoked on a shard executor thread
+  /// in addition to resolving the ticket future. Set before Start().
   void set_result_sink(ResultSink* sink) { sink_ = sink; }
 
-  /// Finalizes the catalog (idempotent) and starts serving: wall clock
-  /// zero is now, and the executor thread begins draining submissions.
+  /// Finalizes every shard's catalog (idempotent) and starts serving:
+  /// wall clock zero is now, and the shard executors begin draining
+  /// submissions.
   Status Start();
 
   // ---- client API (thread-safe after Start()) ----
 
+  /// Registers a client and returns its session id.
   Result<SessionId> OpenSession(const std::string& client_name,
                                 const CandidateGenOptions& defaults = {});
+  /// Closes a session; queries already admitted keep running.
   Status CloseSession(SessionId session);
 
-  /// Submits one keyword query on the caller's session. On success the
-  /// returned ticket's future resolves when the shared execution
-  /// completes the query's top-k (or its candidate generation fails).
-  /// Fails with kResourceExhausted under backpressure (full queue or
-  /// session cap) and kFailedPrecondition when not serving.
+  /// Submits one keyword query on the caller's session. The router
+  /// picks the executing shard (or, under kScatterCqs, splits the
+  /// query's CQs across all shards). On success the returned ticket's
+  /// future resolves when the shared execution completes the query's
+  /// top-k (or its candidate generation fails). Fails with
+  /// kResourceExhausted under backpressure (full shard queue or session
+  /// cap) and kFailedPrecondition when not serving.
   Result<QueryTicket> Submit(SessionId session, const std::string& keywords);
   Result<QueryTicket> Submit(SessionId session, const std::string& keywords,
                              const CandidateGenOptions& options);
 
-  /// Stops serving. Idempotent; the first call's mode wins. Returns the
-  /// executor's terminal status (OK unless the engine failed).
+  /// Stops serving: fans the shutdown out to every shard, joins their
+  /// executors, then resolves whatever is still unresolved. Idempotent;
+  /// the first call's mode wins. Returns the first shard's non-OK
+  /// terminal status, if any.
   Status Shutdown(ShutdownMode mode = ShutdownMode::kDrain);
 
+  /// True between a successful Start() and the first Shutdown().
   bool serving() const { return started_ && !stopped_; }
 
   // ---- observability ----
 
-  /// Lock-free admission/serving counters.
+  /// Lock-free admission/serving counters, aggregated over all shards.
   const ServiceCounters& counters() const { return counters_; }
 
-  /// Lock-free snapshot of the engine's aggregate ExecStats as of the
-  /// last completed epoch (shared-work counters: tuples streamed,
-  /// probes issued, cache hits, ...).
-  ExecStats stats_snapshot() const { return atomic_stats_.Load(); }
+  /// Lock-free snapshot of the aggregate ExecStats over every shard as
+  /// of its last completed epoch (shared-work counters: tuples
+  /// streamed, probes issued, cache hits, ...).
+  ExecStats stats_snapshot() const;
 
+  /// One shard's ExecStats snapshot.
+  ExecStats shard_stats(int i) const { return shards_[i]->stats_snapshot(); }
+
+  /// One shard's epoch count (service-wide total: counters().epochs).
+  int64_t shard_epochs(int i) const { return shards_[i]->epochs(); }
+
+  /// The routing policy in force.
+  const ShardRouter& router() const { return router_; }
+
+  /// The session registry (per-session stats, defaults).
   SessionManager& sessions() { return sessions_; }
 
-  /// Wall microseconds since Start() — the service's virtual timeline.
+  /// Wall microseconds since Start() — the service's virtual timeline,
+  /// shared by every shard.
   VirtualTime NowUs() const;
 
   // ---- test hooks (manual_pump mode only) ----
 
-  /// Runs one executor iteration synchronously: ingest every queued
-  /// submit, then drain all due batches and ATC work as one epoch.
+  /// Runs one executor iteration on every shard synchronously, in shard
+  /// order: ingest every queued submit, then drain all due batches and
+  /// ATC work as one epoch per shard. Returns the first failure.
   Status PumpOnce();
 
  private:
-  struct SubmitRequest {
-    int uq_id = -1;
-    SessionId session = -1;
-    std::string keywords;
-    CandidateGenOptions options;
-  };
   struct InFlight {
     std::promise<QueryOutcome> promise;
     SessionId session = -1;
     std::string keywords;
+    /// Executing shard; -1 for a scatter parent (merged across shards).
+    int shard = -1;
   };
 
-  void ExecutorLoop();
-  /// Ingests requests into the batcher at the current virtual time.
-  void IngestRequests(std::vector<SubmitRequest> requests);
-  /// Flushes every due batch and drains all ATC work (one epoch).
-  /// `drain_partial` also flushes a batch whose window has not expired
-  /// (shutdown). Returns false after an engine failure.
-  bool RunDueEpochs(bool drain_partial);
-  /// Executor-side completion: builds the outcome, resolves the ticket,
-  /// notifies the sink. Caller holds engine_mu_ when `ok`.
-  void Resolve(int uq_id, Status status, const UserQueryMetrics* metrics);
+  /// Book-keeping of one in-flight scatter query: which sub-queries are
+  /// outstanding on which shards, the per-shard result streams gathered
+  /// so far, and the merged metrics. (The owning session lives in the
+  /// parent's InFlight entry.)
+  struct ScatterState {
+    int pending = 0;
+    Status error;  // first sub-query failure, if any
+    /// shard -> that shard's ranked answers (ordered map: merge input
+    /// order is deterministic).
+    std::map<int, std::vector<ResultTuple>> streams;
+    UserQueryMetrics metrics;
+    bool metrics_init = false;
+    std::vector<int> sub_shards;
+  };
+
+  Result<QueryTicket> SubmitScatter(SessionId session,
+                                    const std::string& keywords,
+                                    const CandidateGenOptions& options);
+  /// Registers an in-flight entry and returns its shared future.
+  std::shared_future<QueryOutcome> RegisterInFlight(int uq_id,
+                                                    SessionId session,
+                                                    const std::string& keywords,
+                                                    int shard);
+  /// Shard completion callback (runs on shard executor threads).
+  void OnShardCompletion(const EngineShard::Completion& c);
+  /// Folds one scatter sub-completion into its parent; resolves the
+  /// parent when the last sub arrives.
+  void OnScatterSub(int parent_id, const EngineShard::Completion& c);
+  /// Shard terminal callback: a shard that failed mid-serve fails every
+  /// query pinned to it so no client blocks forever.
+  void OnShardFinished(int shard, const Status& terminal);
+  /// Resolves one ticket: builds the outcome (canonicalizing `results`
+  /// through RankMerger), updates counters/sessions, notifies the sink.
+  void Resolve(int uq_id, Status status, const UserQueryMetrics* metrics,
+               const std::vector<ResultTuple>* results);
   /// Resolves every remaining in-flight ticket with `status`.
   void ResolveAllRemaining(const Status& status);
-  /// Shutdown tail shared by the executor thread and manual mode.
-  void FinishServing();
+  /// Re-aggregates spill gauges over all shards into counters_.
+  void AggregateSpillGauges();
 
   ServiceOptions options_;
-  std::unique_ptr<Engine> engine_;
+  std::vector<std::unique_ptr<EngineShard>> shards_;
+  ShardRouter router_;
   SessionManager sessions_;
-  SubmitQueue<SubmitRequest> queue_;
   ResultSink* sink_ = nullptr;
 
-  /// Coarse engine lock: every touch of engine_ after Start() happens
-  /// under it (executor epochs; nothing else in steady state).
-  std::mutex engine_mu_;
   std::mutex inflight_mu_;
   std::unordered_map<int, InFlight> inflight_;
 
-  std::thread executor_;
-  /// Serializes Shutdown() callers around the executor join.
+  /// Scatter book-keeping: parent uq_id -> state, sub uq_id -> parent.
+  std::mutex scatter_mu_;
+  std::unordered_map<int, ScatterState> scatter_;
+  std::unordered_map<int, int> scatter_sub_parent_;
+
+  /// Serializes AggregateSpillGauges() across shard executors.
+  std::mutex gauges_mu_;
+
+  /// Serializes Shutdown() callers around the executor joins.
   std::mutex shutdown_mu_;
   std::chrono::steady_clock::time_point start_wall_;
   std::atomic<int> next_uq_id_{1};
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
-  std::atomic<bool> cancel_pending_{false};
-  Status executor_status_;
-  std::mutex executor_status_mu_;
 
   ServiceCounters counters_;
-  AtomicExecStats atomic_stats_;
 };
 
 }  // namespace qsys

@@ -1,12 +1,13 @@
 // Bounded multi-producer / single-consumer queue between client threads
-// and the query-serving executor.
+// and a query-serving executor.
 //
 // Producers are the many caller threads of QueryService::Submit();
-// the single consumer is the executor thread that drives the Engine in
-// shared-execution epochs. The bound is the service's admission
-// backpressure: when the queue is full, TryPush refuses (the service
-// then rejects the query with kResourceExhausted) and Push blocks the
-// producer until the executor drains — callers pick the policy via
+// the single consumer is one shard's executor thread, which drives its
+// Engine in shared-execution epochs (each EngineShard owns one of
+// these queues). The bound is the service's admission backpressure:
+// when the queue is full, TryPush refuses (the service then rejects
+// the query with kResourceExhausted) and Push blocks the producer
+// until the executor drains — callers pick the policy via
 // ServiceOptions::block_when_full.
 
 #ifndef QSYS_SERVE_SUBMIT_QUEUE_H_

@@ -1,0 +1,56 @@
+#include "src/shard/rank_merger.h"
+
+#include <algorithm>
+
+namespace qsys {
+
+bool ResultTupleOrder::operator()(const ResultTuple& a,
+                                  const ResultTuple& b) const {
+  if (a.score != b.score) return a.score > b.score;
+  const std::vector<BaseRef>& ra = a.tuple.refs();
+  const std::vector<BaseRef>& rb = b.tuple.refs();
+  size_t n = std::min(ra.size(), rb.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (ra[i].table != rb[i].table) return ra[i].table < rb[i].table;
+    if (ra[i].row != rb[i].row) return ra[i].row < rb[i].row;
+  }
+  if (ra.size() != rb.size()) return ra.size() < rb.size();
+  // Same provenance: distinguish by the per-slot score contributions
+  // (different CQs can cover the same base tuples with different
+  // selections). Engine-local cq ids are NOT consulted — they are not
+  // stable across shard layouts.
+  for (size_t i = 0; i < n; ++i) {
+    if (ra[i].score != rb[i].score) return ra[i].score < rb[i].score;
+  }
+  return false;  // equivalent
+}
+
+std::vector<ResultTuple> RankMerger::Merge(
+    const std::vector<std::vector<ResultTuple>>& streams, int k) {
+  std::vector<ResultTuple> merged;
+  size_t total = 0;
+  for (const auto& s : streams) total += s.size();
+  merged.reserve(total);
+  for (const auto& s : streams) {
+    merged.insert(merged.end(), s.begin(), s.end());
+  }
+  // Per-shard streams are ranked by score but break ties by arrival
+  // order, which is timing-dependent — so a heap merge of the streams
+  // as-is would not be canonical. A full stable sort under the total
+  // order is (streams are at most a few k long, so this is cheap) and
+  // yields the same bytes no matter how the work was partitioned.
+  std::stable_sort(merged.begin(), merged.end(), ResultTupleOrder());
+  if (k > 0 && merged.size() > static_cast<size_t>(k)) {
+    merged.resize(static_cast<size_t>(k));
+  }
+  return merged;
+}
+
+void RankMerger::Canonicalize(std::vector<ResultTuple>& results, int k) {
+  std::stable_sort(results.begin(), results.end(), ResultTupleOrder());
+  if (k > 0 && results.size() > static_cast<size_t>(k)) {
+    results.resize(static_cast<size_t>(k));
+  }
+}
+
+}  // namespace qsys

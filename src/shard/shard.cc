@@ -1,0 +1,208 @@
+#include "src/shard/shard.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace qsys {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+EngineShard::EngineShard(int shard_id, const QConfig& config,
+                         size_t queue_capacity,
+                         ServiceCounters* service_counters)
+    : shard_id_(shard_id),
+      engine_(std::make_unique<Engine>(config)),
+      queue_(queue_capacity),
+      service_counters_(service_counters) {}
+
+EngineShard::~EngineShard() {
+  if (executor_.joinable()) {
+    queue_.Close();
+    executor_.join();
+  }
+}
+
+VirtualTime EngineShard::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now() - start_wall_)
+      .count();
+}
+
+Status EngineShard::Start(Clock::time_point start_wall, bool manual) {
+  // The owning service finalizes every shard's catalog (and checks the
+  // shards agree) before starting any of them — see
+  // QueryService::Start(); one finalize site keeps that responsibility
+  // unambiguous.
+  if (!engine_->finalized()) {
+    return Status::FailedPrecondition("catalog not finalized");
+  }
+  // Clients get their outcomes through the completion callback; a
+  // long-lived shard must not accumulate per-query history.
+  engine_->set_retain_history(false);
+  engine_->set_completion_listener([this](const UserQueryMetrics& m) {
+    if (!completion_fn_) return;
+    Completion c;
+    c.shard = shard_id_;
+    c.uq_id = m.uq_id;
+    c.metrics = &m;
+    // The executor holds engine_mu_ here, so reading the rank-merge's
+    // results out of the plan graph is safe; the callee must copy.
+    c.results = engine_->ResultsFor(m.uq_id);
+    completion_fn_(c);
+  });
+  start_wall_ = start_wall;
+  if (!manual) {
+    executor_ = std::thread([this] { ExecutorLoop(); });
+  }
+  return Status::OK();
+}
+
+bool EngineShard::TrySubmit(ShardRequest request) {
+  return queue_.TryPush(std::move(request));
+}
+
+bool EngineShard::SubmitBlocking(ShardRequest request) {
+  return queue_.Push(std::move(request));
+}
+
+void EngineShard::RequestStop(bool cancel_pending) {
+  if (cancel_pending) cancel_pending_ = true;
+  queue_.Close();
+}
+
+void EngineShard::Join() {
+  if (executor_.joinable()) executor_.join();
+}
+
+Status EngineShard::terminal_status() const {
+  std::lock_guard<std::mutex> lock(terminal_mu_);
+  return terminal_;
+}
+
+void EngineShard::SetTerminal(const Status& status) {
+  std::lock_guard<std::mutex> lock(terminal_mu_);
+  terminal_ = status;
+}
+
+void EngineShard::IngestRequests(std::vector<ShardRequest> requests) {
+  if (requests.empty()) return;
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  VirtualTime now = NowUs();
+  for (ShardRequest& r : requests) {
+    Status admitted =
+        r.prepared != nullptr
+            ? engine_->IngestPrepared(std::move(*r.prepared), now)
+            : engine_->Ingest(r.uq_id, r.keywords, r.user_id, now,
+                              r.options);
+    if (!admitted.ok() && completion_fn_) {
+      // Candidate generation failed: the query resolves immediately;
+      // everyone else keeps being served.
+      Completion c;
+      c.shard = shard_id_;
+      c.uq_id = r.uq_id;
+      c.status = admitted;
+      completion_fn_(c);
+    }
+  }
+}
+
+void EngineShard::PublishStatsLocked() {
+  atomic_stats_.Store(engine_->aggregate_stats());
+  gauges_.StoreSpill(engine_->spill_stats());
+  if (stats_listener_) stats_listener_();
+}
+
+bool EngineShard::RunDueEpochs(bool drain_partial) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  engine_->ResetRoundBudget();  // max_rounds bounds one epoch
+  Engine::StepOptions step;
+  step.pace_to_horizon = false;
+  step.drain_pending = drain_partial;
+  step.arrival_horizon = drain_partial ? Engine::kNeverUs : NowUs() + 1;
+  bool worked = false;
+  for (;;) {
+    Result<Engine::StepOutcome> out = engine_->Step(step);
+    if (!out.ok()) {
+      SetTerminal(out.status());
+      PublishStatsLocked();
+      return false;
+    }
+    if (out.value().kind == Engine::StepKind::kIdle) break;
+    if (out.value().kind == Engine::StepKind::kFlushed) {
+      gauges_.batches_flushed.fetch_add(1, std::memory_order_relaxed);
+      if (service_counters_ != nullptr) {
+        service_counters_->batches_flushed.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
+    worked = true;
+  }
+  if (worked) {
+    gauges_.epochs.fetch_add(1, std::memory_order_relaxed);
+    if (service_counters_ != nullptr) {
+      service_counters_->epochs.fetch_add(1, std::memory_order_relaxed);
+    }
+    PublishStatsLocked();
+  }
+  return true;
+}
+
+void EngineShard::ExecutorLoop() {
+  for (;;) {
+    std::optional<Clock::time_point> deadline;
+    {
+      std::lock_guard<std::mutex> lock(engine_mu_);
+      if (engine_->batcher().HasPending()) {
+        deadline = start_wall_ + std::chrono::microseconds(
+                                     engine_->batcher().NextDeadline());
+      }
+    }
+    std::optional<ShardRequest> first = queue_.PopUntil(deadline);
+    if (first.has_value()) {
+      std::vector<ShardRequest> requests;
+      requests.push_back(std::move(*first));
+      for (ShardRequest& r : queue_.DrainNow()) {
+        requests.push_back(std::move(r));
+      }
+      IngestRequests(std::move(requests));
+    } else if (queue_.closed() && queue_.size() == 0) {
+      break;  // shutdown requested and nothing left to pop
+    }
+    if (!RunDueEpochs(/*drain_partial=*/false)) break;
+  }
+  FinishServing();
+}
+
+void EngineShard::FinishServing() {
+  // This shard serves nothing further: refuse new submits (idempotent
+  // after a RequestStop; load-bearing when the engine failed mid-serve
+  // — the service keeps routing, and an open queue with no consumer
+  // would accept queries whose tickets then hang forever).
+  queue_.Close();
+  // Anything still queued raced the close; treat it like the batcher's
+  // leftovers below.
+  std::vector<ShardRequest> leftovers = queue_.DrainNow();
+  if (terminal_status().ok() && !cancel_pending_) {
+    // Draining shutdown: run everything already accepted to completion,
+    // flushing even a batch whose window has not expired.
+    IngestRequests(std::move(leftovers));
+    RunDueEpochs(/*drain_partial=*/true);
+  }
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    engine_->FinishRun();
+    PublishStatsLocked();
+  }
+  if (finished_fn_) finished_fn_(shard_id_, terminal_status());
+}
+
+Status EngineShard::PumpOnce() {
+  IngestRequests(queue_.DrainNow());
+  RunDueEpochs(/*drain_partial=*/false);
+  return terminal_status();
+}
+
+}  // namespace qsys

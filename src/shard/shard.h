@@ -1,0 +1,185 @@
+// One serving shard: an independent Engine plus everything needed to
+// drive it concurrently — a bounded MPSC submit queue, a dedicated
+// executor thread running shared-execution epochs, per-shard lock-free
+// stats mirrors, and the per-engine coarse lock.
+//
+// The sharded QueryService (src/serve/query_service.h) owns N of these.
+// Each shard is the PR-1 single-engine serving loop, factored out so it
+// can be replicated: hash-partitioned queries co-locate with the
+// retained state they can share (per-shard ATCs, state manager, and
+// optional spill tier), and the shards execute truly independently —
+// no lock is shared between two shards' executors.
+//
+// Threading model: client threads call TrySubmit()/SubmitBlocking();
+// the executor thread (or the service's PumpOnce() in manual mode) is
+// the only toucher of the Engine, always under engine_mu_. Completion
+// and shard-finished callbacks fire on the executor thread.
+
+#ifndef QSYS_SHARD_SHARD_H_
+#define QSYS_SHARD_SHARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/serve/submit_queue.h"
+
+namespace qsys {
+
+/// \brief One routed unit of work for a shard: either a raw keyword
+/// query (the shard generates candidates at ingest) or an
+/// already-generated sub-query (the scatter path splits one UserQuery's
+/// CQs across shards and pre-assigns ids).
+struct ShardRequest {
+  /// Service-global user-query id (also the sub-query id for scatter).
+  int uq_id = -1;
+  /// Submitting session (becomes UserQuery::user_id).
+  int user_id = -1;
+  /// Keyword text; ignored when `prepared` is set.
+  std::string keywords;
+  /// Per-session candidate-generation defaults.
+  CandidateGenOptions options;
+  /// Non-null: an already-generated user query (id/user_id set by the
+  /// service) to admit via Engine::IngestPrepared().
+  std::unique_ptr<UserQuery> prepared;
+};
+
+/// \brief An Engine with its own executor thread and submit queue.
+class EngineShard {
+ public:
+  /// \brief What a shard reports when one user query resolves.
+  struct Completion {
+    /// Reporting shard.
+    int shard = 0;
+    /// The resolved user-query id (a scatter sub-id for sub-queries).
+    int uq_id = -1;
+    /// OK on normal completion; the generation error otherwise.
+    Status status;
+    /// Per-query latency/work record; nullptr on failure. Valid only
+    /// for the duration of the callback.
+    const UserQueryMetrics* metrics = nullptr;
+    /// Ranked top-k answers; nullptr on failure. Valid only for the
+    /// duration of the callback (the engine retires the merge after).
+    const std::vector<ResultTuple>* results = nullptr;
+  };
+
+  /// Invoked on the executor thread for every resolved query.
+  using CompletionFn = std::function<void(const Completion&)>;
+  /// Invoked on the executor thread when the shard stops serving, with
+  /// its terminal status (non-OK = the engine failed mid-serve).
+  using FinishedFn = std::function<void(int shard, const Status& terminal)>;
+  /// Invoked after every stats publication (end of epoch / shutdown),
+  /// so the owner can aggregate cross-shard gauges.
+  using StatsListener = std::function<void()>;
+
+  /// A shard executing under `config` with a submit queue of
+  /// `queue_capacity`. `service_counters` (may be null) receives the
+  /// service-wide epoch/batch increments.
+  EngineShard(int shard_id, const QConfig& config, size_t queue_capacity,
+              ServiceCounters* service_counters);
+  ~EngineShard();
+  EngineShard(const EngineShard&) = delete;
+  EngineShard& operator=(const EngineShard&) = delete;
+
+  /// This shard's index in the service's shard vector.
+  int id() const { return shard_id_; }
+
+  /// The underlying pipeline — for dataset building before Start() and
+  /// for read-only observability after.
+  Engine& engine() { return *engine_; }
+  const Engine& engine() const { return *engine_; }
+
+  /// Callbacks; set before Start().
+  void set_completion_fn(CompletionFn fn) { completion_fn_ = std::move(fn); }
+  void set_finished_fn(FinishedFn fn) { finished_fn_ = std::move(fn); }
+  void set_stats_listener(StatsListener fn) { stats_listener_ = std::move(fn); }
+
+  /// Begins serving; the owner must have finalized the catalog first
+  /// (QueryService::Start() does, for every shard at once). `start_wall`
+  /// is the service-wide wall-clock zero (all shards share one virtual
+  /// timeline). `manual` suppresses the executor thread (the owner
+  /// drives the shard with PumpOnce()).
+  Status Start(std::chrono::steady_clock::time_point start_wall, bool manual);
+
+  /// Enqueues without blocking; false when the queue is full or closed.
+  bool TrySubmit(ShardRequest request);
+  /// Enqueues, blocking while full; false only when closed.
+  bool SubmitBlocking(ShardRequest request);
+
+  /// Begins shutdown: refuses new submits; `cancel_pending` additionally
+  /// skips executing whatever has not been grafted yet.
+  void RequestStop(bool cancel_pending);
+  /// Joins the executor thread (threaded mode; no-op otherwise).
+  void Join();
+  /// Shutdown tail for manual mode: drain-or-discard leftovers, final
+  /// epoch, stats publication, finished callback.
+  void FinishServing();
+
+  /// Manual mode: ingest every queued submit, then drain all due
+  /// batches and ATC work as one epoch. Returns the terminal status.
+  Status PumpOnce();
+
+  /// Terminal executor status (OK unless the engine failed).
+  Status terminal_status() const;
+
+  // ---- lock-free observability (any thread) ----
+
+  /// Engine ExecStats as of the last completed epoch.
+  ExecStats stats_snapshot() const { return atomic_stats_.Load(); }
+  /// Spill-tier gauges as of the last completed epoch.
+  SpillStats spill_snapshot() const { return gauges_.LoadSpill(); }
+  /// Shared-execution epochs this shard has driven.
+  int64_t epochs() const {
+    return gauges_.epochs.load(std::memory_order_relaxed);
+  }
+  /// Batches flushed to this shard's optimizer.
+  int64_t batches_flushed() const {
+    return gauges_.batches_flushed.load(std::memory_order_relaxed);
+  }
+
+  /// Wall microseconds since the service's Start().
+  VirtualTime NowUs() const;
+
+ private:
+  void ExecutorLoop();
+  /// Ingests requests into the batcher at the current virtual time.
+  void IngestRequests(std::vector<ShardRequest> requests);
+  /// Flushes every due batch and drains all ATC work (one epoch).
+  /// Returns false after an engine failure.
+  bool RunDueEpochs(bool drain_partial);
+  /// Publishes stats/gauges (caller holds engine_mu_).
+  void PublishStatsLocked();
+  void SetTerminal(const Status& status);
+
+  const int shard_id_;
+  std::unique_ptr<Engine> engine_;
+  SubmitQueue<ShardRequest> queue_;
+  ServiceCounters* service_counters_;
+
+  CompletionFn completion_fn_;
+  FinishedFn finished_fn_;
+  StatsListener stats_listener_;
+
+  /// Coarse engine lock: every touch of engine_ after Start().
+  std::mutex engine_mu_;
+  std::thread executor_;
+  std::chrono::steady_clock::time_point start_wall_;
+  std::atomic<bool> cancel_pending_{false};
+  Status terminal_;
+  mutable std::mutex terminal_mu_;
+
+  /// Per-shard mirrors (epochs/batches/spill); the service-wide totals
+  /// accumulate into service_counters_.
+  ServiceCounters gauges_;
+  AtomicExecStats atomic_stats_;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_SHARD_SHARD_H_

@@ -1,0 +1,84 @@
+#include "src/shard/shard_router.h"
+
+#include <algorithm>
+
+#include "src/storage/inverted_index.h"
+
+namespace qsys {
+
+namespace {
+
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Splitmix-style finalizer so consecutive table ids spread across
+// shards instead of striping.
+uint64_t MixBits(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(int num_shards, ShardAffinity affinity)
+    : num_shards_(std::max(1, num_shards)), affinity_(affinity) {}
+
+std::string ShardRouter::CanonicalKey(const std::string& keywords) {
+  std::vector<std::string> terms = TokenizeKeywords(keywords);
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  std::string key;
+  for (const std::string& t : terms) {
+    if (!key.empty()) key.push_back('\x1f');
+    key += t;
+  }
+  return key;
+}
+
+uint64_t ShardRouter::CanonicalSignature(const std::string& keywords) {
+  return Fnv1a64(CanonicalKey(keywords));
+}
+
+int ShardRouter::SignatureShard(const std::string& keywords) const {
+  return static_cast<int>(CanonicalSignature(keywords) %
+                          static_cast<uint64_t>(num_shards_));
+}
+
+int ShardRouter::TableAffinityShard(const std::string& keywords) const {
+  if (!footprint_) return SignatureShard(keywords);
+  // Route by the smallest relation any term matches: queries touching
+  // the same hot relation land together (the ATC-CL seed heuristic,
+  // lifted to the shard level). The minimum is order-insensitive, so
+  // the choice is stable across term permutations.
+  TableId best = kInvalidTable;
+  for (const std::string& term : TokenizeKeywords(keywords)) {
+    for (TableId t : footprint_(term)) {
+      if (best == kInvalidTable || t < best) best = t;
+    }
+  }
+  if (best == kInvalidTable) return SignatureShard(keywords);
+  return static_cast<int>(MixBits(static_cast<uint64_t>(best)) %
+                          static_cast<uint64_t>(num_shards_));
+}
+
+int ShardRouter::Route(const std::string& keywords) const {
+  if (num_shards_ == 1) return 0;
+  switch (affinity_) {
+    case ShardAffinity::kTableAffinity:
+      return TableAffinityShard(keywords);
+    case ShardAffinity::kSignatureHash:
+    case ShardAffinity::kScatterCqs:
+      return SignatureShard(keywords);
+  }
+  return 0;
+}
+
+}  // namespace qsys

@@ -291,8 +291,9 @@ TEST_F(SpillRoundtripTest, SetBudgetEnforcesImmediately) {
                        EvictionPolicy::kLruSize);
   JoinHashTable table(&catalog_);
   for (RowId i = 0; i < 64; ++i) {
-    table.Insert(0, CompositeTuple::ForBase(tid_, i % 32, 0.5));
+    table.Insert(0, CompositeTuple::ForBase(tid_, i, 0.5));
   }
+  ASSERT_EQ(table.num_entries(), 64);
   manager.RegisterModuleTable(0, "sig", &table, nullptr, 5);
   EXPECT_EQ(manager.evictions(), 0);
 

@@ -1,0 +1,440 @@
+// Tests for the sharded serving layer (src/shard/ + the sharded
+// QueryService): router determinism and affinity, cross-shard rank-merge
+// canonicalization, sharded-vs-single-engine differential equivalence
+// (per-UQ top-k byte-equivalent across shard counts), scatter execution,
+// and multi-shard drain/cancel shutdown.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/query_service.h"
+#include "src/shard/rank_merger.h"
+#include "src/shard/shard_router.h"
+#include "src/workload/bio_terms.h"
+#include "src/workload/gus.h"
+#include "tests/test_util.h"
+
+namespace qsys {
+namespace {
+
+using ::qsys::testing::BuildTinyBioDataset;
+using ::qsys::testing::FastTestConfig;
+
+// ---- ShardRouter ----
+
+TEST(ShardRouterTest, CanonicalKeyNormalizesOrderCaseAndDuplicates) {
+  EXPECT_EQ(ShardRouter::CanonicalKey("membrane gene"),
+            ShardRouter::CanonicalKey("Gene MEMBRANE"));
+  EXPECT_EQ(ShardRouter::CanonicalKey("gene gene membrane"),
+            ShardRouter::CanonicalKey("membrane gene"));
+  EXPECT_NE(ShardRouter::CanonicalKey("membrane gene"),
+            ShardRouter::CanonicalKey("membrane kinase"));
+  EXPECT_EQ(ShardRouter::CanonicalSignature("a  b"),
+            ShardRouter::CanonicalSignature("b A"));
+}
+
+TEST(ShardRouterTest, RouteIsStableAndInRange) {
+  ShardRouter router(4, ShardAffinity::kSignatureHash);
+  const char* queries[] = {"membrane gene", "kinase pathway",
+                           "receptor transport", "mutation metabolism",
+                           "protein family domain"};
+  std::set<int> used;
+  for (const char* q : queries) {
+    int shard = router.Route(q);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 4);
+    EXPECT_EQ(shard, router.Route(q)) << "routing must be stable";
+    used.insert(shard);
+  }
+  // The workload above must not all collapse onto one shard.
+  EXPECT_GT(used.size(), 1u);
+  // Term order / case variants co-locate.
+  EXPECT_EQ(router.Route("membrane gene"), router.Route("GENE membrane"));
+
+  ShardRouter single(1, ShardAffinity::kSignatureHash);
+  EXPECT_EQ(single.Route("anything at all"), 0);
+}
+
+TEST(ShardRouterTest, TableAffinityColocatesByHottestRelation) {
+  ShardRouter router(4, ShardAffinity::kTableAffinity);
+  router.set_footprint_fn(
+      [](const std::string& term) -> std::vector<TableId> {
+        if (term == "alpha") return {5};
+        if (term == "beta") return {2, 7};
+        if (term == "gamma") return {2};
+        return {};
+      });
+  // All three queries bottom out at relation 2 -> same shard.
+  int shard = router.Route("beta");
+  EXPECT_EQ(router.Route("gamma"), shard);
+  EXPECT_EQ(router.Route("alpha beta"), shard);
+  EXPECT_EQ(router.Route("beta alpha"), shard) << "order-insensitive";
+  // No footprint at all: falls back to the signature hash.
+  ShardRouter hash(4, ShardAffinity::kSignatureHash);
+  EXPECT_EQ(router.Route("unmatched words"),
+            hash.Route("unmatched words"));
+}
+
+// ---- RankMerger ----
+
+ResultTuple MakeResult(double score, TableId table, RowId row,
+                       int cq_id = 1) {
+  ResultTuple r;
+  r.score = score;
+  r.cq_id = cq_id;
+  r.tuple = CompositeTuple::ForBase(table, row, score);
+  return r;
+}
+
+TEST(RankMergerTest, MergesByScoreAndTruncatesToK) {
+  std::vector<std::vector<ResultTuple>> streams(2);
+  streams[0] = {MakeResult(0.9, 1, 10), MakeResult(0.5, 1, 11)};
+  streams[1] = {MakeResult(0.7, 2, 20), MakeResult(0.3, 2, 21)};
+  std::vector<ResultTuple> merged = RankMerger::Merge(streams, 3);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_DOUBLE_EQ(merged[0].score, 0.9);
+  EXPECT_DOUBLE_EQ(merged[1].score, 0.7);
+  EXPECT_DOUBLE_EQ(merged[2].score, 0.5);
+}
+
+TEST(RankMergerTest, TieBreakIsDeterministicAcrossStreamOrder) {
+  // Three results with one tied score, delivered in opposite stream
+  // orders: the merge must produce identical bytes either way.
+  std::vector<ResultTuple> a = {MakeResult(0.8, 3, 30, /*cq=*/7),
+                                MakeResult(0.8, 1, 99, /*cq=*/8)};
+  std::vector<ResultTuple> b = {MakeResult(0.8, 2, 5, /*cq=*/9)};
+  std::vector<ResultTuple> m1 = RankMerger::Merge({a, b}, 0);
+  std::vector<ResultTuple> m2 = RankMerger::Merge({b, a}, 0);
+  ASSERT_EQ(m1.size(), 3u);
+  ASSERT_EQ(m2.size(), 3u);
+  for (size_t i = 0; i < m1.size(); ++i) {
+    EXPECT_EQ(m1[i].tuple.ref(0).table, m2[i].tuple.ref(0).table) << i;
+    EXPECT_EQ(m1[i].tuple.ref(0).row, m2[i].tuple.ref(0).row) << i;
+  }
+  // Ties order by provenance: tables 1, 2, 3.
+  EXPECT_EQ(m1[0].tuple.ref(0).table, 1);
+  EXPECT_EQ(m1[1].tuple.ref(0).table, 2);
+  EXPECT_EQ(m1[2].tuple.ref(0).table, 3);
+}
+
+TEST(RankMergerTest, CanonicalizeIsIdempotentAndHandlesEmpty) {
+  std::vector<ResultTuple> results;
+  RankMerger::Canonicalize(results, 5);
+  EXPECT_TRUE(results.empty());
+  results = {MakeResult(0.2, 1, 1), MakeResult(0.9, 1, 2)};
+  RankMerger::Canonicalize(results, 5);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_DOUBLE_EQ(results[0].score, 0.9);
+  std::vector<ResultTuple> again = results;
+  RankMerger::Canonicalize(again, 5);
+  EXPECT_DOUBLE_EQ(again[0].score, results[0].score);
+  EXPECT_DOUBLE_EQ(again[1].score, results[1].score);
+  EXPECT_TRUE(RankMerger::Merge({}, 5).empty());
+}
+
+// ---- sharded service: differential equivalence ----
+
+/// Bit-exact serialization of a ranked answer list: score bits plus the
+/// full (table, row, slot-score) provenance of every result. Engine-local
+/// CQ ids and emission times are excluded — they are not stable across
+/// shard layouts (and are not part of what a client ranks on).
+std::string Fingerprint(const std::vector<ResultTuple>& results) {
+  std::string bytes;
+  auto put = [&bytes](const void* p, size_t n) {
+    bytes.append(reinterpret_cast<const char*>(p), n);
+  };
+  for (const ResultTuple& r : results) {
+    put(&r.score, sizeof(r.score));
+    for (const BaseRef& ref : r.tuple.refs()) {
+      put(&ref.table, sizeof(ref.table));
+      put(&ref.row, sizeof(ref.row));
+      put(&ref.score, sizeof(ref.score));
+    }
+    bytes.push_back('|');
+  }
+  return bytes;
+}
+
+/// Runs `queries` through a sharded service (deterministically: manual
+/// pump, drain shutdown) and returns each query's outcome fingerprint
+/// ("" = failed).
+std::vector<std::string> RunSharded(
+    int num_shards, ShardAffinity affinity,
+    const std::vector<std::string>& queries,
+    const std::function<Status(Engine&)>& builder, QConfig base,
+    int64_t* cross_shard_merges = nullptr) {
+  ServiceOptions options;
+  options.config = base;
+  options.config.num_shards = num_shards;
+  options.config.shard_affinity = affinity;
+  options.manual_pump = true;
+  options.queue_capacity = queries.size() * 8 + 16;
+  QueryService service(options);
+  EXPECT_TRUE(service.BuildEachEngine(builder).ok());
+  EXPECT_TRUE(service.Start().ok());
+  EXPECT_EQ(service.num_shards(), num_shards);
+  auto session = service.OpenSession("differential");
+  EXPECT_TRUE(session.ok());
+  std::vector<QueryTicket> tickets;
+  for (const std::string& q : queries) {
+    auto ticket = service.Submit(session.value(), q);
+    EXPECT_TRUE(ticket.ok()) << q;
+    tickets.push_back(ticket.value());
+  }
+  EXPECT_TRUE(service.Shutdown(QueryService::ShutdownMode::kDrain).ok());
+  std::vector<std::string> fingerprints;
+  for (QueryTicket& t : tickets) {
+    const QueryOutcome& out = t.Wait();
+    fingerprints.push_back(out.status.ok() ? Fingerprint(out.results) : "");
+  }
+  if (cross_shard_merges != nullptr) {
+    *cross_shard_merges = service.counters().cross_shard_merges.load();
+  }
+  return fingerprints;
+}
+
+TEST(ShardedServiceTest, TinyBioShardedMatchesSingleEngine) {
+  const std::vector<std::string> queries = {
+      "membrane gene",    "kinase pathway",      "receptor transport",
+      "membrane pathway", "mutation metabolism", "kinase gene",
+      "membrane gene",  // repeat: temporal-reuse path under sharding
+  };
+  auto builder = [](Engine& e) { return BuildTinyBioDataset(e); };
+  QConfig config = FastTestConfig();
+  std::vector<std::string> single =
+      RunSharded(1, ShardAffinity::kSignatureHash, queries, builder, config);
+  for (ShardAffinity affinity :
+       {ShardAffinity::kSignatureHash, ShardAffinity::kTableAffinity}) {
+    std::vector<std::string> sharded =
+        RunSharded(3, affinity, queries, builder, config);
+    ASSERT_EQ(single.size(), sharded.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_FALSE(single[i].empty()) << queries[i];
+      EXPECT_EQ(single[i], sharded[i])
+          << ShardAffinityName(affinity) << ": per-UQ top-k must be "
+          << "byte-equivalent for " << queries[i];
+    }
+  }
+}
+
+TEST(ShardedServiceTest, GusShardedMatchesSingleEngine) {
+  // A scaled-down GUS dataset + the paper-style keyword workload,
+  // num_shards=4 vs 1: the acceptance bar for sharded serving.
+  GusOptions gus;
+  gus.num_relations = 80;
+  gus.min_rows = 60;
+  gus.max_rows = 180;
+  gus.seed = 3;
+  auto builder = [&gus](Engine& e) { return BuildGusDataset(e, gus); };
+  WorkloadOptions wopts;
+  wopts.num_queries = 8;
+  wopts.seed = 11;
+  std::vector<std::string> queries;
+  for (const WorkloadQuery& q :
+       GenerateBioWorkload(BioVocabulary(), wopts)) {
+    queries.push_back(q.keywords);
+  }
+  QConfig config;
+  config.k = 50;
+  config.batch_size = 4;
+  config.max_rounds = 200'000'000;
+  std::vector<std::string> single =
+      RunSharded(1, ShardAffinity::kSignatureHash, queries, builder, config);
+  std::vector<std::string> sharded =
+      RunSharded(4, ShardAffinity::kSignatureHash, queries, builder, config);
+  ASSERT_EQ(single.size(), sharded.size());
+  int completed = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(single[i], sharded[i]) << queries[i];
+    if (!single[i].empty()) completed += 1;
+  }
+  EXPECT_GT(completed, 0);
+}
+
+TEST(ShardedServiceTest, ScatterCrossShardMergeMatchesSingleEngine) {
+  const std::vector<std::string> queries = {
+      "membrane gene", "kinase pathway", "receptor transport",
+      "membrane transport"};
+  auto builder = [](Engine& e) { return BuildTinyBioDataset(e); };
+  QConfig config = FastTestConfig();
+  std::vector<std::string> single =
+      RunSharded(1, ShardAffinity::kSignatureHash, queries, builder, config);
+  int64_t merges = 0;
+  std::vector<std::string> scattered = RunSharded(
+      3, ShardAffinity::kScatterCqs, queries, builder, config, &merges);
+  ASSERT_EQ(single.size(), scattered.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_FALSE(single[i].empty()) << queries[i];
+    EXPECT_EQ(single[i], scattered[i])
+        << "cross-shard merged top-k must match single-engine: "
+        << queries[i];
+  }
+  // The answers really were assembled across shards.
+  EXPECT_GT(merges, 0);
+}
+
+// ---- sharded service: lifecycle ----
+
+TEST(ShardedServiceTest, QueriesSpreadAcrossShardsAndReportShard) {
+  ServiceOptions options;
+  options.config = FastTestConfig();
+  options.config.num_shards = 4;
+  options.manual_pump = true;
+  QueryService service(options);
+  ASSERT_TRUE(service
+                  .BuildEachEngine(
+                      [](Engine& e) { return BuildTinyBioDataset(e); })
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+  auto session = service.OpenSession("spread");
+  ASSERT_TRUE(session.ok());
+  const std::vector<std::string> queries = {
+      "membrane gene", "kinase pathway", "receptor transport",
+      "mutation metabolism", "membrane transport", "kinase gene"};
+  std::vector<QueryTicket> tickets;
+  for (const std::string& q : queries) {
+    auto ticket = service.Submit(session.value(), q);
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(ticket.value());
+  }
+  ASSERT_TRUE(service.Shutdown(QueryService::ShutdownMode::kDrain).ok());
+  std::set<int> shards_used;
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const QueryOutcome& out = tickets[i].Wait();
+    ASSERT_TRUE(out.status.ok()) << queries[i];
+    EXPECT_EQ(out.shard, service.router().Route(queries[i]));
+    shards_used.insert(out.shard);
+  }
+  EXPECT_GT(shards_used.size(), 1u)
+      << "workload should not collapse onto one shard";
+}
+
+TEST(ShardedServiceTest, MultiShardDrainShutdownCompletesInFlight) {
+  ServiceOptions options;
+  options.config = FastTestConfig();
+  options.config.num_shards = 3;
+  options.config.batch_size = 50;               // never fills
+  options.config.batch_window_us = 60'000'000;  // never expires
+  QueryService service(options);
+  ASSERT_TRUE(service
+                  .BuildEachEngine(
+                      [](Engine& e) { return BuildTinyBioDataset(e); })
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+  auto session = service.OpenSession("drain");
+  ASSERT_TRUE(session.ok());
+  std::vector<QueryTicket> tickets;
+  for (const char* q : {"membrane gene", "kinase pathway",
+                        "receptor transport", "mutation metabolism"}) {
+    auto ticket = service.Submit(session.value(), q);
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(ticket.value());
+  }
+  // Neither window nor size would flush these on any shard; a draining
+  // shutdown must still execute and deliver them everywhere.
+  ASSERT_TRUE(service.Shutdown(QueryService::ShutdownMode::kDrain).ok());
+  for (QueryTicket& t : tickets) {
+    const QueryOutcome& out = t.Wait();
+    EXPECT_TRUE(out.status.ok()) << out.status.ToString();
+    EXPECT_FALSE(out.results.empty());
+  }
+  EXPECT_EQ(service.counters().completed.load(), 4);
+  EXPECT_EQ(service.Submit(session.value(), "late").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardedServiceTest, MultiShardCancelShutdownResolvesAllTickets) {
+  ServiceOptions options;
+  options.config = FastTestConfig();
+  options.config.num_shards = 3;
+  options.config.batch_size = 50;
+  options.config.batch_window_us = 60'000'000;
+  options.manual_pump = true;  // keep the queries un-executed
+  QueryService service(options);
+  ASSERT_TRUE(service
+                  .BuildEachEngine(
+                      [](Engine& e) { return BuildTinyBioDataset(e); })
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+  auto session = service.OpenSession("cancel");
+  ASSERT_TRUE(session.ok());
+  std::vector<QueryTicket> tickets;
+  for (const char* q : {"membrane gene", "kinase pathway",
+                        "receptor transport"}) {
+    auto ticket = service.Submit(session.value(), q);
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(ticket.value());
+  }
+  ASSERT_TRUE(service.PumpOnce().ok());  // ingested, batched, unflushed
+  ASSERT_TRUE(
+      service.Shutdown(QueryService::ShutdownMode::kCancelPending).ok());
+  for (QueryTicket& t : tickets) {
+    EXPECT_EQ(t.Wait().status.code(), StatusCode::kCancelled);
+  }
+  EXPECT_EQ(service.counters().cancelled.load(), 3);
+  auto stats = service.sessions().StatsFor(session.value());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().in_flight, 0);
+}
+
+TEST(ShardedServiceTest, ConcurrentClientsAcrossShards) {
+  // Threaded end to end: 4 client threads against 3 shard executors.
+  ServiceOptions options;
+  options.config = FastTestConfig();
+  options.config.num_shards = 3;
+  options.config.batch_window_us = 50'000;
+  QueryService service(options);
+  ASSERT_TRUE(service
+                  .BuildEachEngine(
+                      [](Engine& e) { return BuildTinyBioDataset(e); })
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+  const std::vector<std::string> queries = {
+      "membrane gene", "kinase pathway", "receptor transport",
+      "mutation metabolism", "membrane transport", "kinase gene",
+      "membrane pathway", "receptor gene"};
+  std::vector<std::thread> clients;
+  std::atomic<int> delivered{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      auto session = service.OpenSession("client-" + std::to_string(c));
+      ASSERT_TRUE(session.ok());
+      std::vector<QueryTicket> tickets;
+      for (size_t i = c; i < queries.size(); i += 4) {
+        auto ticket = service.Submit(session.value(), queries[i]);
+        ASSERT_TRUE(ticket.ok());
+        tickets.push_back(ticket.value());
+      }
+      for (QueryTicket& t : tickets) {
+        const QueryOutcome& out = t.Wait();
+        EXPECT_TRUE(out.status.ok()) << out.status.ToString();
+        EXPECT_FALSE(out.results.empty());
+        delivered.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  ASSERT_TRUE(service.Shutdown().ok());
+  EXPECT_EQ(delivered.load(), static_cast<int>(queries.size()));
+  EXPECT_EQ(service.counters().completed.load(),
+            static_cast<int64_t>(queries.size()));
+}
+
+TEST(ShardedServiceTest, StartRejectsUnpopulatedShards) {
+  ServiceOptions options;
+  options.config = FastTestConfig();
+  options.config.num_shards = 2;
+  QueryService service(options);
+  // Only shard 0 gets the dataset — the legacy single-shard habit.
+  ASSERT_TRUE(BuildTinyBioDataset(service.engine()).ok());
+  EXPECT_EQ(service.Start().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace qsys

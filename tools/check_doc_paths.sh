@@ -1,0 +1,49 @@
+#!/bin/sh
+# Checks that every repo-relative file path mentioned in docs/*.md and
+# README.md points at a file (or directory) that actually exists, so
+# the documentation cannot silently rot as the tree moves.
+#
+# What counts as a path reference: a backtick-quoted token that starts
+# with one of the source-tree roots (src/, docs/, examples/, bench/,
+# tests/, tools/) or is a top-level *.md file. Trailing wildcards and
+# line anchors (`bench/fig*`, `src/foo.cc:12`) are normalized first.
+# Usage: tools/check_doc_paths.sh [repo-root]
+
+set -u
+root="${1:-.}"
+cd "$root" || exit 2
+
+# The scan runs in a command substitution (the while loop is a
+# subshell, so it cannot set variables here); one line per broken
+# reference, nothing written to disk.
+failures=$(
+  for doc in docs/*.md README.md; do
+    [ -f "$doc" ] || continue
+    grep -o '`[^`]*`' "$doc" | tr -d '`' | while IFS= read -r token; do
+      case "$token" in
+        src/*|docs/*|examples/*|bench/*|tests/*|tools/*|*.md) ;;
+        *) continue ;;
+      esac
+      # Strip line anchors and option suffixes: `src/a.cc:12`, `tool --flag`.
+      path=$(printf '%s' "$token" | sed -e 's/:[0-9].*$//' -e 's/ .*$//')
+      case "$path" in
+        # Wildcards: require at least one match.
+        *\**)
+          set -- $path
+          [ -e "$1" ] || echo "$doc: broken wildcard reference \`$token\`"
+          ;;
+        *)
+          [ -e "$path" ] || echo "$doc: broken path reference \`$token\`"
+          ;;
+      esac
+    done
+  done
+)
+
+if [ -n "$failures" ]; then
+  printf '%s\n' "$failures"
+  echo "check_doc_paths: $(printf '%s\n' "$failures" | wc -l) broken reference(s)"
+  exit 1
+fi
+echo "check_doc_paths: OK"
+exit 0
