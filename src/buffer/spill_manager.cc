@@ -11,7 +11,6 @@
 #include <cstring>
 
 namespace qsys {
-namespace {
 
 // ---- byte-level encoding -------------------------------------------
 //
@@ -19,17 +18,100 @@ namespace {
 // is scratch storage read back by the same process, so no cross-machine
 // portability is needed — only exactness. Doubles round-trip bit-for-
 // bit (memcpy of the IEEE representation).
+//
+// Demotion serializes *directly into pinned pool frames*, one page at a
+// time: a victim is streamed out entry by entry, so spilling never
+// stages the whole payload in a contiguous heap buffer (which would
+// transiently add ~the victim's size to RSS at exactly the moment the
+// engine is trying to shed memory).
 
-template <typename T>
-void Put(std::vector<uint8_t>* out, T v) {
-  const auto* p = reinterpret_cast<const uint8_t*>(&v);
-  out->insert(out->end(), p, p + sizeof(T));
-}
+/// Serializes a payload into freshly allocated pages of one spill
+/// class, holding at most one frame pinned at a time. (Named, not
+/// anonymous: SpillManager::FinishSpill takes one by reference.)
+class SpillPageWriter {
+ public:
+  SpillPageWriter(BufferManager* pool, uint8_t cls)
+      : pool_(pool), cls_(cls) {}
 
-void PutBytes(std::vector<uint8_t>* out, const void* data, size_t n) {
-  const auto* p = static_cast<const uint8_t*>(data);
-  out->insert(out->end(), p, p + n);
-}
+  ~SpillPageWriter() {
+    // A writer abandoned mid-payload (serialization error) releases
+    // everything it allocated.
+    if (!finished_) Abort();
+  }
+
+  template <typename T>
+  Status Put(T v) {
+    return PutBytes(&v, sizeof(T));
+  }
+
+  Status PutBytes(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    while (n > 0) {
+      if (frame_ == nullptr) {
+        QSYS_RETURN_IF_ERROR(OpenPage());
+      }
+      size_t take = std::min(static_cast<size_t>(kPageSize) - in_page_, n);
+      std::memcpy(frame_ + in_page_, p, take);
+      in_page_ += take;
+      bytes_ += static_cast<int64_t>(take);
+      p += take;
+      n -= take;
+      if (in_page_ == static_cast<size_t>(kPageSize)) ClosePage();
+    }
+    return Status::OK();
+  }
+
+  /// Seals the payload (an empty payload still claims one page, so
+  /// every handle owns at least one) and returns the page list.
+  Result<std::vector<PageId>> Finish() {
+    if (pages_.empty() && frame_ == nullptr) {
+      QSYS_RETURN_IF_ERROR(OpenPage());
+    }
+    if (frame_ != nullptr) ClosePage();
+    finished_ = true;
+    return std::move(pages_);
+  }
+
+  /// Total payload bytes written so far.
+  int64_t bytes() const { return bytes_; }
+
+  /// Releases the pinned frame and frees every allocated page.
+  void Abort() {
+    if (frame_ != nullptr) ClosePage();
+    for (PageId id : pages_) pool_->Free(id);
+    pages_.clear();
+    finished_ = true;
+  }
+
+ private:
+  Status OpenPage() {
+    auto page = pool_->NewPage(cls_);
+    QSYS_RETURN_IF_ERROR(page.status());
+    current_ = page.value().id;
+    frame_ = page.value().frame;
+    in_page_ = 0;
+    return Status::OK();
+  }
+
+  void ClosePage() {
+    pool_->Unpin(current_, /*dirty=*/true);
+    pages_.push_back(current_);
+    current_ = kInvalidPageId;
+    frame_ = nullptr;
+    in_page_ = 0;
+  }
+
+  BufferManager* pool_;
+  uint8_t cls_;
+  std::vector<PageId> pages_;
+  PageId current_ = kInvalidPageId;
+  uint8_t* frame_ = nullptr;
+  size_t in_page_ = 0;
+  int64_t bytes_ = 0;
+  bool finished_ = false;
+};
+
+namespace {
 
 /// Sequential reader over a reassembled payload with bounds checks.
 class Reader {
@@ -60,24 +142,26 @@ class Reader {
   size_t pos_ = 0;
 };
 
-void PutValue(std::vector<uint8_t>* out, const Value& v) {
-  Put<uint8_t>(out, static_cast<uint8_t>(v.type()));
+Status PutValue(SpillPageWriter* out, const Value& v) {
+  QSYS_RETURN_IF_ERROR(out->Put<uint8_t>(static_cast<uint8_t>(v.type())));
   switch (v.type()) {
     case ValueType::kNull:
       break;
     case ValueType::kInt:
-      Put<int64_t>(out, v.AsInt());
+      QSYS_RETURN_IF_ERROR(out->Put<int64_t>(v.AsInt()));
       break;
     case ValueType::kDouble:
-      Put<double>(out, v.AsDouble());
+      QSYS_RETURN_IF_ERROR(out->Put<double>(v.AsDouble()));
       break;
     case ValueType::kString: {
       const std::string& s = v.AsString();
-      Put<uint32_t>(out, static_cast<uint32_t>(s.size()));
-      PutBytes(out, s.data(), s.size());
+      QSYS_RETURN_IF_ERROR(
+          out->Put<uint32_t>(static_cast<uint32_t>(s.size())));
+      QSYS_RETURN_IF_ERROR(out->PutBytes(s.data(), s.size()));
       break;
     }
   }
+  return Status::OK();
 }
 
 Status GetValue(Reader* in, Value* v) {
@@ -111,10 +195,10 @@ Status GetValue(Reader* in, Value* v) {
   return Status::OutOfRange("spill payload: unknown Value type tag");
 }
 
-void PutRef(std::vector<uint8_t>* out, const BaseRef& r) {
-  Put<int32_t>(out, r.table);
-  Put<uint32_t>(out, r.row);
-  Put<double>(out, r.score);
+Status PutRef(SpillPageWriter* out, const BaseRef& r) {
+  QSYS_RETURN_IF_ERROR(out->Put<int32_t>(r.table));
+  QSYS_RETURN_IF_ERROR(out->Put<uint32_t>(r.row));
+  return out->Put<double>(r.score);
 }
 
 Status GetRef(Reader* in, BaseRef* r) {
@@ -190,37 +274,6 @@ Result<SegmentFile*> SpillManager::SegmentFor(Class cls) {
   return segments_[idx].get();
 }
 
-// Payloads are staged in one contiguous buffer before paging out (and
-// after paging in), which transiently costs ~the item's size in heap
-// during a demotion; victims are bounded by the memory budget, so this
-// is tolerated for now (see ROADMAP "Spill tier follow-ons").
-Status SpillManager::WritePayload(Class cls,
-                                  const std::vector<uint8_t>& payload,
-                                  int64_t items, const std::string& key) {
-  QSYS_RETURN_IF_ERROR(SegmentFor(cls).status());
-  Drop(key);  // supersede any earlier spill under this key
-  Handle handle;
-  handle.cls = cls;
-  handle.payload_bytes = static_cast<int64_t>(payload.size());
-  handle.items = items;
-  size_t offset = 0;
-  while (offset < payload.size() || handle.pages.empty()) {
-    auto page = pool_.NewPage(static_cast<uint8_t>(cls));
-    if (!page.ok()) {
-      for (PageId id : handle.pages) pool_.Free(id);
-      return page.status();
-    }
-    size_t n = std::min(static_cast<size_t>(kPageSize),
-                        payload.size() - offset);
-    std::memcpy(page.value().frame, payload.data() + offset, n);
-    pool_.Unpin(page.value().id, /*dirty=*/true);
-    handle.pages.push_back(page.value().id);
-    offset += n;
-  }
-  handles_[key] = std::move(handle);
-  ++items_spilled_;
-  return Status::OK();
-}
 
 Status SpillManager::ReadPayload(const Handle& handle,
                                  std::vector<uint8_t>* payload) {
@@ -243,16 +296,37 @@ Status SpillManager::ReadPayload(const Handle& handle,
 
 Status SpillManager::SpillTable(const std::string& key,
                                 const JoinHashTable& table) {
-  std::vector<uint8_t> payload;
-  Put<int64_t>(&payload, table.num_entries());
+  QSYS_RETURN_IF_ERROR(SegmentFor(Class::kHashTable).status());
+  // Stream the victim straight into pool frames, entry by entry — no
+  // contiguous staging buffer (demotion happens under memory pressure,
+  // where a payload-sized heap spike is the worst possible time).
+  SpillPageWriter writer(&pool_, static_cast<uint8_t>(Class::kHashTable));
+  QSYS_RETURN_IF_ERROR(writer.Put<int64_t>(table.num_entries()));
   for (int64_t i = 0; i < table.num_entries(); ++i) {
     const CompositeTuple& t = table.entry(i);
-    Put<int32_t>(&payload, table.entry_epoch(i));
-    Put<int32_t>(&payload, t.num_refs());
-    for (const BaseRef& r : t.refs()) PutRef(&payload, r);
+    QSYS_RETURN_IF_ERROR(writer.Put<int32_t>(table.entry_epoch(i)));
+    QSYS_RETURN_IF_ERROR(writer.Put<int32_t>(t.num_refs()));
+    for (const BaseRef& r : t.refs()) {
+      QSYS_RETURN_IF_ERROR(PutRef(&writer, r));
+    }
   }
-  return WritePayload(Class::kHashTable, payload, table.num_entries(),
-                      key);
+  return FinishSpill(Class::kHashTable, writer, table.num_entries(), key);
+}
+
+Status SpillManager::FinishSpill(Class cls, SpillPageWriter& writer,
+                                 int64_t items, const std::string& key) {
+  int64_t payload_bytes = writer.bytes();
+  auto pages = writer.Finish();
+  QSYS_RETURN_IF_ERROR(pages.status());
+  Drop(key);  // supersede any earlier spill under this key
+  Handle handle;
+  handle.cls = cls;
+  handle.payload_bytes = payload_bytes;
+  handle.items = items;
+  handle.pages = std::move(pages).value();
+  handles_[key] = std::move(handle);
+  ++items_spilled_;
+  return Status::OK();
 }
 
 Result<SpillManager::RestoreOutcome> SpillManager::RestoreTable(
@@ -289,16 +363,21 @@ Result<SpillManager::RestoreOutcome> SpillManager::RestoreTable(
 
 Status SpillManager::SpillProbeCache(const std::string& key,
                                      const ProbeSource& probe) {
-  std::vector<uint8_t> payload;
+  QSYS_RETURN_IF_ERROR(SegmentFor(Class::kProbeCache).status());
   const ProbeSource::CacheMap& cache = probe.cache();
-  Put<int64_t>(&payload, static_cast<int64_t>(cache.size()));
+  SpillPageWriter writer(&pool_, static_cast<uint8_t>(Class::kProbeCache));
+  QSYS_RETURN_IF_ERROR(
+      writer.Put<int64_t>(static_cast<int64_t>(cache.size())));
   for (const auto& [value, answers] : cache) {
-    PutValue(&payload, value);
-    Put<int32_t>(&payload, static_cast<int32_t>(answers.size()));
-    for (const BaseRef& r : answers) PutRef(&payload, r);
+    QSYS_RETURN_IF_ERROR(PutValue(&writer, value));
+    QSYS_RETURN_IF_ERROR(
+        writer.Put<int32_t>(static_cast<int32_t>(answers.size())));
+    for (const BaseRef& r : answers) {
+      QSYS_RETURN_IF_ERROR(PutRef(&writer, r));
+    }
   }
-  return WritePayload(Class::kProbeCache, payload,
-                      static_cast<int64_t>(cache.size()), key);
+  return FinishSpill(Class::kProbeCache, writer,
+                     static_cast<int64_t>(cache.size()), key);
 }
 
 Result<SpillManager::RestoreOutcome> SpillManager::RestoreProbeCache(

@@ -31,6 +31,8 @@
 
 namespace qsys {
 
+class SpillPageWriter;  // spill_manager.cc: page-at-a-time serializer
+
 /// \brief Demotes evicted CacheItem payloads to disk pages and
 /// restores them on demand. One instance per Engine.
 class SpillManager {
@@ -121,10 +123,17 @@ class SpillManager {
   /// Segment file for `cls`, created lazily on first spill.
   Result<SegmentFile*> SegmentFor(Class cls);
 
-  /// Chunks `payload` into freshly allocated pages of `cls`.
-  Status WritePayload(Class cls, const std::vector<uint8_t>& payload,
-                      int64_t items, const std::string& key);
-  /// Reassembles a handle's payload from its pages.
+  // Demotion serializes straight into pinned pool frames page-by-page
+  // (see SpillPageWriter in spill_manager.cc) — a spill never stages
+  // the victim's payload in one contiguous heap buffer.
+
+  /// Seals `writer`'s payload into a handle under `key`, superseding
+  /// any earlier spill with the same key (only after the new copy is
+  /// fully written).
+  Status FinishSpill(Class cls, SpillPageWriter& writer, int64_t items,
+                     const std::string& key);
+
+  /// Reassembles a handle's payload from its pages (restores only).
   Status ReadPayload(const Handle& handle, std::vector<uint8_t>* payload);
 
   std::string dir_;

@@ -16,6 +16,7 @@ void ExecStats::Merge(const ExecStats& other) {
   join_outputs += other.join_outputs;
   split_routed += other.split_routed;
   results_emitted += other.results_emitted;
+  tuples_rederived += other.tuples_rederived;
 }
 
 std::string ExecStats::ToString() const {

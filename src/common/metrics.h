@@ -46,6 +46,10 @@ struct ExecStats {
   int64_t split_routed = 0;
   /// Top-k results emitted to users across all rank-merge operators.
   int64_t results_emitted = 0;
+  /// Buffered tuples replayed through upstream producers at graft time
+  /// to re-derive the joint prefix of a hierarchical plan (warm-state
+  /// completeness; see PlanGrafter::RederivePrefixes).
+  int64_t tuples_rederived = 0;
 
   /// Adds `delta_us` to the bucket's total.
   void Charge(TimeBucket bucket, VirtualTime delta_us) {
@@ -93,6 +97,7 @@ struct AtomicExecStats {
   std::atomic<int64_t> join_outputs{0};
   std::atomic<int64_t> split_routed{0};
   std::atomic<int64_t> results_emitted{0};
+  std::atomic<int64_t> tuples_rederived{0};
 
   /// Publishes `s` as the current totals.
   void Store(const ExecStats& s) {
@@ -107,6 +112,7 @@ struct AtomicExecStats {
     join_outputs.store(s.join_outputs, std::memory_order_relaxed);
     split_routed.store(s.split_routed, std::memory_order_relaxed);
     results_emitted.store(s.results_emitted, std::memory_order_relaxed);
+    tuples_rederived.store(s.tuples_rederived, std::memory_order_relaxed);
   }
 
   /// Reads the current totals into a plain ExecStats.
@@ -123,6 +129,7 @@ struct AtomicExecStats {
     s.join_outputs = join_outputs.load(std::memory_order_relaxed);
     s.split_routed = split_routed.load(std::memory_order_relaxed);
     s.results_emitted = results_emitted.load(std::memory_order_relaxed);
+    s.tuples_rederived = tuples_rederived.load(std::memory_order_relaxed);
     return s;
   }
 };

@@ -274,6 +274,13 @@ Result<Engine::StepOutcome> Engine::Step(const StepOptions& options) {
   if (t_flush <= t_atc) {
     VirtualTime flush_at = std::max<VirtualTime>(t_flush, 0);
     QSYS_RETURN_IF_ERROR(FlushBatch(flush_at));
+    // Re-check completion immediately after the graft: late
+    // registrations (recovery replays, live ports whose shared streams
+    // an earlier epoch already exhausted) can settle a merge without a
+    // single stream read, and their prune/complete decisions must run
+    // against the just-grafted state — not whenever the scheduler next
+    // happens to visit the merge.
+    for (const auto& atc : atcs_) atc->MaintainAll();
     state_manager_->SnapshotSourceStats();
     state_manager_->EnforceBudget(flush_at);
     DrainCompletions();

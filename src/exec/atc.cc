@@ -27,6 +27,14 @@ void Atc::RecordIfComplete(RankMergeOp* rm) {
   completed_.push_back(m);
 }
 
+void Atc::MaintainAll() {
+  ExecContext ctx = MakeContext();
+  for (RankMergeOp* rm : graph_->rank_merges()) {
+    if (!rm->complete()) rm->Maintain(ctx);
+    RecordIfComplete(rm);
+  }
+}
+
 bool Atc::Step() {
   const std::vector<RankMergeOp*>& merges = graph_->rank_merges();
   if (merges.empty()) return false;

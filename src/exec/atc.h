@@ -50,6 +50,14 @@ class Atc {
   /// complete (nothing left to do).
   bool Step();
 
+  /// Maintains every incomplete rank-merge once and records new
+  /// completions. Called by the engine right after a graft: late
+  /// registrations (a recovery replay, an all-exhausted live port) can
+  /// settle a merge's completion without any stream read, and deferring
+  /// that to the next scheduled round would leave a window where the
+  /// merge's bounds are not grounded in the just-grafted state.
+  void MaintainAll();
+
   /// Runs rounds until AllComplete() (or `max_rounds` as a safety net).
   /// Returns the number of rounds executed.
   int64_t RunToCompletion(int64_t max_rounds = -1);

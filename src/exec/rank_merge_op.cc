@@ -11,11 +11,35 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 constexpr double kEps = 1e-12;
 }  // namespace
 
+bool ResultTupleOrder::operator()(const ResultTuple& a,
+                                  const ResultTuple& b) const {
+  if (a.score != b.score) return a.score > b.score;
+  const std::vector<BaseRef>& ra = a.tuple.refs();
+  const std::vector<BaseRef>& rb = b.tuple.refs();
+  size_t n = std::min(ra.size(), rb.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (ra[i].table != rb[i].table) return ra[i].table < rb[i].table;
+    if (ra[i].row != rb[i].row) return ra[i].row < rb[i].row;
+  }
+  if (ra.size() != rb.size()) return ra.size() < rb.size();
+  // Same provenance: distinguish by the per-slot score contributions
+  // (different CQs can cover the same base tuples with different
+  // selections). Engine-local cq ids are NOT consulted — they are not
+  // stable across shard layouts.
+  for (size_t i = 0; i < n; ++i) {
+    if (ra[i].score != rb[i].score) return ra[i].score < rb[i].score;
+  }
+  return false;  // equivalent
+}
+
 int RankMergeOp::RegisterCq(CqRegistration reg) {
   CqSlot slot;
   slot.status = reg.initially_active ? CqStatus::kActive : CqStatus::kPending;
   if (reg.initially_active) executed_cq_ids_.insert(reg.cq_id);
   all_cq_ids_.insert(reg.cq_id);
+  if (reg.grafted_depth > 0 || reg.grafted_exhausted > 0) {
+    ++warm_registrations_;
+  }
   slot.reg = std::move(reg);
   regs_.push_back(std::move(slot));
   complete_ = false;
@@ -138,6 +162,16 @@ StreamingSource* RankMergeOp::PreferredStream() {
   return best_stream;
 }
 
+void RankMergeOp::ReleaseCqDedup(int cq_id) {
+  // Done ports drop their input before the dedup lookup (see Consume),
+  // so once the last registration of a CQ is done its dedup entries can
+  // never be consulted again — erase them so a long-serving engine does
+  // not accumulate one red-black node per result ever delivered.
+  seen_results_.erase(
+      seen_results_.lower_bound({cq_id, 0}),
+      seen_results_.lower_bound({cq_id + 1, 0}));
+}
+
 void RankMergeOp::MarkDone(int port) {
   CqSlot& slot = regs_[port];
   if (slot.status == CqStatus::kDone) return;
@@ -151,6 +185,7 @@ void RankMergeOp::MarkDone(int port) {
       return;
     }
   }
+  ReleaseCqDedup(slot.reg.cq_id);
   if (on_cq_pruned) on_cq_pruned(slot.reg.cq_id);
 }
 
@@ -189,12 +224,57 @@ void RankMergeOp::Maintain(ExecContext& ctx) {
     }
   }
   // Completion: k results out, or nothing can ever arrive again.
+  //
+  // "k results out" alone is not enough: a sibling registration whose
+  // bound still *ties* the kth score may deliver equal-score answers
+  // that rank earlier in the canonical total order. Declaring
+  // completion while such a sibling is pending (possibly never
+  // activated) would make the chosen tie subset depend on arrival
+  // timing — exactly what differs between a warm-state graft and a
+  // fresh run. Emission already guarantees every emitted score is >=
+  // every bound at emission time and bounds only decrease, so a late
+  // result can tie the kth score but never beat it; the merge therefore
+  // stays live until every remaining bound is *strictly* below the kth
+  // score (the scheduler keeps activating/reading the tied sibling —
+  // that is the activation-order half of the §6.3 safety argument).
   if (static_cast<int>(results_.size()) >= k_) {
-    complete_ = true;
+    const double kth = results_[k_ - 1].score;
+    bool tied_bound_pending = false;
+    for (size_t p = 0; p < regs_.size(); ++p) {
+      if (regs_[p].status == CqStatus::kDone) continue;
+      if (Threshold(static_cast<int>(p)) + kEps >= kth) {
+        tied_bound_pending = true;
+        break;
+      }
+    }
+    if (!tied_bound_pending) complete_ = true;
   } else if (GlobalThreshold() == kNegInf && buffer_.empty()) {
     complete_ = true;
   }
   if (complete_ && complete_time_us_ == 0) {
+    // Fold buffered results that tie the kth score into the candidate
+    // set: every bound is now below the kth score, so they are final
+    // answers, and the canonical order — not arrival order — must pick
+    // which of the tied answers make the top k. Re-ranking the whole
+    // set canonically makes a warm-state run byte-equivalent to a
+    // fresh run (and a sharded run to an unsharded one).
+    if (static_cast<int>(results_.size()) >= k_) {
+      const double kth = results_[k_ - 1].score;
+      while (!buffer_.empty() && buffer_.top().score + kEps >= kth) {
+        const Buffered& top = buffer_.top();
+        ResultTuple r;
+        r.score = top.score;
+        r.cq_id = regs_[top.port].reg.cq_id;
+        r.tuple = top.tuple;
+        r.emitted_at_us = ctx.clock->now();
+        results_.push_back(std::move(r));
+        buffer_.pop();
+      }
+    }
+    std::stable_sort(results_.begin(), results_.end(), ResultTupleOrder());
+    if (static_cast<int>(results_.size()) > k_) {
+      results_.resize(static_cast<size_t>(k_));
+    }
     complete_time_us_ = ctx.clock->now();
     // Release all contributing paths.
     for (size_t p = 0; p < regs_.size(); ++p) {

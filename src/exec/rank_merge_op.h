@@ -36,6 +36,18 @@ struct ResultTuple {
   VirtualTime emitted_at_us = 0;
 };
 
+/// \brief Canonical total order on result tuples: score (descending),
+/// then the lexicographic (table, row) provenance of the composite,
+/// then ref count, then score contributions. Deterministic across runs
+/// — it never consults arrival order, emission time, or engine-local
+/// CQ ids (which differ between shard layouts). The rank-merge applies
+/// it to every completed answer set (so a warm-state run selects the
+/// same tied-score subset as a fresh run), and the sharded serving
+/// layer reuses it for cross-shard top-k merging.
+struct ResultTupleOrder {
+  bool operator()(const ResultTuple& a, const ResultTuple& b) const;
+};
+
 /// \brief Registration of one conjunctive query with the merge.
 struct CqRegistration {
   /// Logical CQ id (a recovery query CQᵉ shares its parent's id).
@@ -47,6 +59,17 @@ struct CqRegistration {
   std::vector<StreamingSource*> streams;
   /// Recovery queries start active (their driving replay is in-memory).
   bool initially_active = false;
+  /// Grounding report from the grafter: tuples its streams had already
+  /// delivered when this registration was grafted (0 = cold graft).
+  /// Thresholds read live stream state, so a warm registration's bound
+  /// is grounded in the true consumed depth from its first Maintain; the
+  /// depth is recorded for observability (warm_registrations()).
+  int64_t grafted_depth = 0;
+  /// Streams of this registration already exhausted by an earlier epoch
+  /// at graft time. Such an input contributes its last-seen bound
+  /// (frontier −inf, excluded from the slack minimum) — never the
+  /// stale statistics bound it had before it was first opened.
+  int grafted_exhausted = 0;
 };
 
 /// \brief Top-k rank merge for one user query.
@@ -99,6 +122,10 @@ class RankMergeOp : public Operator {
   int cqs_executed() const {
     return static_cast<int>(executed_cq_ids_.size());
   }
+  /// Registrations grafted against warm state (grafted_depth > 0 or an
+  /// already-exhausted stream) — the temporal-reuse pressure on this
+  /// merge's completeness invariant.
+  int warm_registrations() const { return warm_registrations_; }
   /// Number of distinct logical CQs registered in total.
   int cqs_total() const { return static_cast<int>(all_cq_ids_.size()); }
   /// Every logical CQ id ever registered (for retirement unlinking).
@@ -149,6 +176,10 @@ class RankMergeOp : public Operator {
 
   void MarkDone(int port);
 
+  /// Drops the per-CQ dedup entries of `cq_id` once its last
+  /// registration is done (no further Consume can reference them).
+  void ReleaseCqDedup(int cq_id);
+
   int uq_id_;
   int k_;
   VirtualTime submit_time_us_;
@@ -161,8 +192,11 @@ class RankMergeOp : public Operator {
   std::set<int> executed_cq_ids_;
   std::set<int> all_cq_ids_;
   /// (cq id, result identity) pairs already delivered — per-CQ dedup
-  /// of duplicate derivations (see Consume).
+  /// of duplicate derivations (see Consume). Entries of a CQ are
+  /// released as soon as its last registration completes
+  /// (ReleaseCqDedup), so long-serving engines do not accumulate them.
   std::set<std::pair<int, uint64_t>> seen_results_;
+  int warm_registrations_ = 0;
   int64_t seq_counter_ = 0;
 };
 

@@ -44,10 +44,10 @@ JoinHashTable* PlanGrafter::FullestModuleTable(const FullestBySig& fullest,
   return best;
 }
 
-void PlanGrafter::BackfillOrRestore(const FullestBySig& fullest, int tag,
-                                    const std::string& sig,
-                                    JoinHashTable* dest,
-                                    ExecContext& ctx) {
+int64_t PlanGrafter::BackfillOrRestore(const FullestBySig& fullest, int tag,
+                                       const std::string& sig,
+                                       JoinHashTable* dest,
+                                       ExecContext& ctx) {
   JoinHashTable* old = FullestModuleTable(fullest, tag, sig);
   if (old != nullptr && old != dest &&
       old->num_entries() > dest->num_entries()) {
@@ -76,9 +76,9 @@ void PlanGrafter::BackfillOrRestore(const FullestBySig& fullest, int tag,
     ctx.Charge(TimeBucket::kJoin,
                static_cast<VirtualTime>(static_cast<double>(copied) *
                                         ctx.delays->params().join_output_us));
-    return;
+    return copied;
   }
-  if (dest->num_entries() > 0) return;  // already the fullest known prefix
+  if (dest->num_entries() > 0) return 0;  // already the fullest known prefix
   // No live copy: fault a demoted one back from the spill tier, so
   // recovery (CQᵉ) and future joins see the full prefix without
   // re-executing against the remote sources.
@@ -88,6 +88,63 @@ void PlanGrafter::BackfillOrRestore(const FullestBySig& fullest, int tag,
     tuples_backfilled_ += r.entries;
     ctx.Charge(TimeBucket::kJoin, state_->SpillReadCostUs(r.bytes));
   }
+  return r.entries;
+}
+
+int64_t PlanGrafter::RederivePrefixes(const PlanSpec& spec,
+                                      const std::vector<MJoinOp*>& comp_ops,
+                                      ExecContext& ctx) {
+  // Root producers only: a producer's replay cascades through every
+  // downstream operator (duplicate arrivals still cascade — see
+  // MJoinOp::Consume), so replaying the roots re-derives the buffered
+  // prefix of every level of the component DAG.
+  std::vector<bool> is_producer(spec.components.size(), false);
+  std::vector<bool> has_upstream(spec.components.size(), false);
+  for (const PlanSpec::Component& comp : spec.components) {
+    for (const PlanSpec::ModuleRef& ref : comp.modules) {
+      if (ref.kind == PlanSpec::ModuleRef::Kind::kUpstream) {
+        is_producer[ref.index] = true;
+        has_upstream[comp.id] = true;
+      }
+    }
+  }
+  int64_t replayed = 0;
+  for (const PlanSpec::Component& comp : spec.components) {
+    if (!is_producer[comp.id] || has_upstream[comp.id]) continue;
+    MJoinOp* op = comp_ops[comp.id];
+    if (op == nullptr) continue;
+    // Drive from the stream module with the fewest buffered tuples:
+    // every join combo contains exactly one tuple per module, so
+    // replaying one module's full prefix derives every buffered combo,
+    // and the smallest prefix is the cheapest driver. An empty module
+    // means no combo can be made purely of buffered tuples — nothing
+    // to re-derive.
+    int drive = -1;
+    int64_t fewest = 0;
+    for (int p = 0; p < op->num_modules(); ++p) {
+      if (!op->module_is_stream(p)) continue;
+      JoinHashTable* t = op->module_table(p);
+      if (t == nullptr) continue;
+      if (drive < 0 || t->num_entries() < fewest) {
+        drive = p;
+        fewest = t->num_entries();
+      }
+    }
+    if (drive < 0 || fewest == 0) continue;
+    JoinHashTable* t = op->module_table(drive);
+    // Re-offered entries are identity-deduplicated by the table, so the
+    // table cannot grow while we walk it; the bound is still pinned
+    // defensively.
+    const int64_t n = t->num_entries();
+    for (int64_t i = 0; i < n; ++i) {
+      op->Consume(drive, t->entry(i), ctx);
+    }
+    replayed += n;
+    prefix_replays_ += 1;
+  }
+  tuples_rederived_ += replayed;
+  ctx.stats->tuples_rederived += replayed;
+  return replayed;
 }
 
 RankMergeOp* PlanGrafter::GetOrCreateMerge(Atc* atc, const UserQuery& uq) {
@@ -268,6 +325,17 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
     comp_ops[comp.id] = op;
   }
 
+  // ---- hierarchical prefix re-derivation (warm-state completeness) --
+  //
+  // Run with the pre-graft epoch: everything derived here comes from
+  // pre-epoch tuples only, and tagging it pre-epoch keeps it visible to
+  // the recovery queries (CQᵉ) built below as *buffered* state.
+  {
+    ExecContext replay_ctx = ctx;
+    replay_ctx.epoch = epoch - 1;
+    RederivePrefixes(spec, comp_ops, replay_ctx);
+  }
+
   // ---- rank-merge registration + recovery ----
   for (int cq_id : group.cq_ids) {
     auto it = cq_lookup.find(cq_id);
@@ -296,6 +364,12 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
       StreamingSource* src = sources_->GetOrCreateStream(
           spec.assignment.inputs[idx].expr, tag);
       reg.streams.push_back(src);
+      // Per-port grounding report: the registration carries the true
+      // consumed depth and exhaustion state of its inputs at graft
+      // time, so the merge can tell warm registrations (whose bounds
+      // start below the statistics bound) from cold ones.
+      reg.grafted_depth += src->tuples_read();
+      if (src->exhausted()) reg.grafted_exhausted += 1;
       if (src->tuples_read() > 0) {
         any_read = true;
       } else {

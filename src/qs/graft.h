@@ -41,6 +41,12 @@ class PlanGrafter {
   int64_t ops_reused() const { return ops_reused_; }
   /// Tuples copied while backfilling fresh modules from retained state.
   int64_t tuples_backfilled() const { return tuples_backfilled_; }
+  /// Upstream producers whose buffered prefix was re-derived through
+  /// the join at graft time (hierarchical warm-state completeness).
+  int64_t prefix_replays() const { return prefix_replays_; }
+  /// Buffered tuples replayed through upstream producers by those
+  /// re-derivations.
+  int64_t tuples_rederived() const { return tuples_rederived_; }
 
  private:
   RankMergeOp* GetOrCreateMerge(Atc* atc, const UserQuery& uq);
@@ -66,10 +72,27 @@ class PlanGrafter {
   /// prefix (arrival order + epochs; identity-deduplicated), or — when
   /// no live copy has entries — faults a demoted copy back in from the
   /// spill tier. Charges the copy/disk-read cost to `ctx` and counts
-  /// the backfilled tuples.
-  void BackfillOrRestore(const FullestBySig& fullest, int tag,
-                         const std::string& sig, JoinHashTable* dest,
-                         ExecContext& ctx);
+  /// the backfilled tuples. Returns how many entries were added.
+  int64_t BackfillOrRestore(const FullestBySig& fullest, int tag,
+                            const std::string& sig, JoinHashTable* dest,
+                            ExecContext& ctx);
+
+  /// Warm-state completeness for *hierarchical* plans: backfill
+  /// equalizes same-signature module tables, but an upstream producer's
+  /// output table has no prior copy when the component shape is new —
+  /// and a producer only emits on fresh arrivals, so join combos made
+  /// entirely of already-buffered leaf prefixes would never reach the
+  /// downstream module tables (new arrivals then probe an incomplete
+  /// prefix and silently lose results; the zero-result warm-graft bug).
+  /// This pass replays each root producer's buffered prefix through its
+  /// own join, re-deriving those combos into every attached consumer
+  /// (identity dedup at each table and the merges' per-CQ dedup absorb
+  /// re-derivations). `ctx.epoch` must be the pre-graft epoch so the
+  /// derived state stays visible to this epoch's recovery queries.
+  /// Returns the number of tuples replayed.
+  int64_t RederivePrefixes(const PlanSpec& spec,
+                           const std::vector<MJoinOp*>& comp_ops,
+                           ExecContext& ctx);
 
   /// True if `candidate` can stand in for `comp`: built under the same
   /// sharing scope (`tag`), same expression, same module structure, no
@@ -91,6 +114,8 @@ class PlanGrafter {
   int64_t recoveries_built_ = 0;
   int64_t ops_reused_ = 0;
   int64_t tuples_backfilled_ = 0;
+  int64_t prefix_replays_ = 0;
+  int64_t tuples_rederived_ = 0;
 };
 
 }  // namespace qsys

@@ -43,13 +43,22 @@ Status BuildRecoveryQuery(const ConjunctiveQuery& cq,
 
   // Register CQᵉ with the rank-merge: same logical id and score
   // function, its own threshold via the replay frontier; active from the
-  // start (its input is local memory).
+  // start (its input is local memory). Activation order matters here:
+  // the recovery registration must exist before the merge's next
+  // Maintain, or the live registration's (possibly exhausted) bound
+  // could complete the merge while the all-buffered results are still
+  // unread — Graft() registers both inside one engine step to keep
+  // that window closed.
   CqRegistration reg;
   reg.cq_id = cq.id;
   reg.score_fn = cq.score_fn;
   reg.max_sum = cq.max_sum;
   reg.streams = {replay};
   reg.initially_active = true;
+  // Grounding report: the replay drives a warm prefix of `limit`
+  // already-consumed tuples (its frontier is real buffered state, never
+  // a statistics bound).
+  reg.grafted_depth = replay->limit();
   int port = merge->RegisterCq(std::move(reg));
   graph.ConnectMJoin(op, {merge, port});
   graph.RegisterCqDependency(cq.id, op);

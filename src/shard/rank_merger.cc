@@ -4,27 +4,6 @@
 
 namespace qsys {
 
-bool ResultTupleOrder::operator()(const ResultTuple& a,
-                                  const ResultTuple& b) const {
-  if (a.score != b.score) return a.score > b.score;
-  const std::vector<BaseRef>& ra = a.tuple.refs();
-  const std::vector<BaseRef>& rb = b.tuple.refs();
-  size_t n = std::min(ra.size(), rb.size());
-  for (size_t i = 0; i < n; ++i) {
-    if (ra[i].table != rb[i].table) return ra[i].table < rb[i].table;
-    if (ra[i].row != rb[i].row) return ra[i].row < rb[i].row;
-  }
-  if (ra.size() != rb.size()) return ra.size() < rb.size();
-  // Same provenance: distinguish by the per-slot score contributions
-  // (different CQs can cover the same base tuples with different
-  // selections). Engine-local cq ids are NOT consulted — they are not
-  // stable across shard layouts.
-  for (size_t i = 0; i < n; ++i) {
-    if (ra[i].score != rb[i].score) return ra[i].score < rb[i].score;
-  }
-  return false;  // equivalent
-}
-
 std::vector<ResultTuple> RankMerger::Merge(
     const std::vector<std::vector<ResultTuple>>& streams, int k) {
   std::vector<ResultTuple> merged;

@@ -25,14 +25,11 @@
 
 namespace qsys {
 
-/// \brief Canonical total order on result tuples: score (descending),
-/// then the lexicographic (table, row) provenance of the composite,
-/// then ref count, then score contributions. Deterministic across runs
-/// — it never consults arrival order, emission time, or engine-local
-/// CQ ids (which differ between shard layouts).
-struct ResultTupleOrder {
-  bool operator()(const ResultTuple& a, const ResultTuple& b) const;
-};
+// The canonical total order itself (ResultTupleOrder) lives with the
+// rank-merge operator (src/exec/rank_merge_op.h): since the
+// temporal-reuse completeness fix, every merge finalizes its answer set
+// under that order, and this cross-shard merger reuses the exact same
+// comparator — one definition, one notion of "canonical".
 
 /// \brief Merges per-shard ranked answer streams into one global top-k.
 ///
