@@ -19,6 +19,7 @@
 
 namespace qsys::bench {
 
+
 /// Paper-style synthetic setup: GUS-shaped schema (358 relations),
 /// 15 two-keyword user queries, k=50, batches of 5, Poisson 2 ms delays.
 inline ExperimentOptions GusDefaults(SharingConfig sharing,

@@ -15,6 +15,13 @@
 // over the same workload and emits BENCH_shard_scaling.json: served
 // queries/s per shard count, plus a per-UQ byte-equivalence check of
 // every sharded run against the single-engine run.
+//
+// --ci runs only the *deterministic* sharing-ratio check: the isolated
+// baseline vs a manually pumped serve pass (fixed batch decomposition,
+// no wall-clock timing anywhere), with hard floors on the shared-work
+// ratios. That is the regression tripwire CI runs on every push —
+// machine-independent, so the PR-1 sharing baselines cannot silently
+// erode behind timing noise.
 
 #include <chrono>
 #include <cstdio>
@@ -57,25 +64,6 @@ QConfig BaseConfig() {
   return config;
 }
 
-/// Bit-exact serialization of a ranked answer list (scores + base-tuple
-/// provenance; engine-local cq ids excluded — they differ across shard
-/// layouts).
-std::string Fingerprint(const std::vector<ResultTuple>& results) {
-  std::string bytes;
-  auto put = [&bytes](const void* p, size_t n) {
-    bytes.append(reinterpret_cast<const char*>(p), n);
-  };
-  for (const ResultTuple& r : results) {
-    put(&r.score, sizeof(r.score));
-    for (const BaseRef& ref : r.tuple.refs()) {
-      put(&ref.table, sizeof(ref.table));
-      put(&ref.row, sizeof(ref.row));
-      put(&ref.score, sizeof(ref.score));
-    }
-    bytes.push_back('|');
-  }
-  return bytes;
-}
 
 struct SweepRun {
   int num_shards = 1;
@@ -139,7 +127,7 @@ bool RunShardedWorkload(int num_shards,
     for (auto& [index, ticket] : tickets) {
       const QueryOutcome& out = ticket.Wait();
       if (out.status.ok()) {
-        run->fingerprints[index] = Fingerprint(out.results);
+        run->fingerprints[index] = FingerprintResults(out.results);
       }
     }
   }
@@ -218,11 +206,56 @@ std::vector<int> ParseShardSweep(int argc, char** argv) {
   return shards;
 }
 
+/// Runs the workload through a deterministic (manual pump, single
+/// submitter, drain shutdown) single-shard serve pass and returns its
+/// aggregate ExecStats. Batch decomposition is fixed — kNumQueries
+/// submitted up front in batches of batch_size — so the shared-work
+/// counters are machine-independent.
+bool RunDeterministicServe(const std::vector<WorkloadQuery>& workload,
+                           ExecStats* stats, int64_t* completed) {
+  ServiceOptions options;
+  options.config = BaseConfig();
+  options.config.sharing = SharingConfig::kAtcFull;
+  options.config.batch_window_us = 50'000;
+  options.queue_capacity = kNumQueries;
+  options.manual_pump = true;
+  QueryService service(options);
+  if (!service
+           .BuildEachEngine(
+               [](Engine& e) { return BuildGusDataset(e, SmallGus()); })
+           .ok() ||
+      !service.Start().ok()) {
+    printf("deterministic serve setup failed\n");
+    return false;
+  }
+  SessionId session = service.OpenSession("ratio-check").value();
+  std::vector<QueryTicket> tickets;
+  for (const WorkloadQuery& q : workload) {
+    auto ticket = service.Submit(session, q.keywords, q.options);
+    if (ticket.ok()) tickets.push_back(ticket.value());
+  }
+  Status stop = service.Shutdown(QueryService::ShutdownMode::kDrain);
+  if (!stop.ok()) {
+    printf("deterministic serve shutdown failed: %s\n",
+           stop.ToString().c_str());
+    return false;
+  }
+  for (QueryTicket& t : tickets) t.Wait();
+  *stats = service.stats_snapshot();
+  *completed = service.counters().completed.load();
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  printf("bench_serve_throughput: %d queries, %d client threads\n",
-         kNumQueries, kNumClients);
+  bool ci_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ci") == 0) ci_only = true;
+  }
+  printf("bench_serve_throughput: %d queries, %d client threads%s\n",
+         kNumQueries, kNumClients,
+         ci_only ? " (--ci: deterministic ratio check only)" : "");
   std::vector<WorkloadQuery> workload = MakeWorkload();
 
   // ---- isolated baseline: every query optimized and executed alone ----
@@ -253,6 +286,48 @@ int main(int argc, char** argv) {
     }
     isolated = sim.aggregate_stats();
     isolated_completed = static_cast<int>(sim.metrics().size());
+  }
+
+  ShapeChecker check;
+
+  // ---- deterministic sharing-ratio check (the CI tripwire) ----
+  {
+    ExecStats det;
+    int64_t det_completed = 0;
+    if (!RunDeterministicServe(workload, &det, &det_completed)) return 1;
+    auto ratio = [](int64_t a, int64_t b) {
+      return b > 0 ? static_cast<double>(a) / static_cast<double>(b) : 0.0;
+    };
+    double r_streamed = ratio(isolated.tuples_streamed, det.tuples_streamed);
+    double r_probes = ratio(isolated.probes_issued, det.probes_issued);
+    double r_join = ratio(isolated.join_probes, det.join_probes);
+    printf("\ndeterministic sharing ratios (isolated / served, fixed "
+           "batches):\n");
+    printf("  tuples streamed %.2fx, probes issued %.2fx, join probes "
+           "%.2fx (%lld completed)\n",
+           r_streamed, r_probes, r_join,
+           static_cast<long long>(det_completed));
+    check.Check(det_completed == kNumQueries,
+                "deterministic serve pass resolved the whole workload");
+    // Floors with margin under the recorded baselines (3.68x / 2.43x /
+    // 1.35x): a regression that erodes sharing trips these long before
+    // it reaches parity.
+    check.Check(r_streamed >= 3.0,
+                "sharing ratio floor: tuples streamed >= 3.0x");
+    check.Check(r_probes >= 2.0,
+                "sharing ratio floor: probes issued >= 2.0x");
+    check.Check(r_join >= 1.2,
+                "sharing ratio floor: join probes >= 1.2x");
+    if (ci_only) {
+      BenchJson json("serve_sharing_ratios", argc, argv);
+      json.Add("num_queries", kNumQueries);
+      json.Add("completed", det_completed);
+      json.Add("ratio.tuples_streamed", r_streamed);
+      json.Add("ratio.probes_issued", r_probes);
+      json.Add("ratio.join_probes", r_join);
+      json.Write();
+      return check.Finish();
+    }
   }
 
   // ---- served: N client threads share one QueryService ----
@@ -357,7 +432,6 @@ int main(int argc, char** argv) {
   json.Add("served.join_probes", shared.join_probes);
   json.Write();
 
-  ShapeChecker check;
   check.Check(completed + failed == submitted &&
                   submitted == kNumQueries,
               "every submitted query resolved");

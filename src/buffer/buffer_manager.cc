@@ -15,6 +15,7 @@ BufferManager::BufferManager(int frame_count) {
 }
 
 void BufferManager::AttachSegment(uint8_t segment, SegmentFile* file) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (segments_.size() <= segment) segments_.resize(segment + size_t{1});
   segments_[segment] = file;
 }
@@ -54,6 +55,7 @@ Result<int> BufferManager::AcquireFrame() {
 
 Result<BufferManager::AllocatedPage> BufferManager::NewPage(
     uint8_t segment) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!HasSegment(segment)) {
     return Status::InvalidArgument("no segment attached for spill class");
   }
@@ -71,6 +73,7 @@ Result<BufferManager::AllocatedPage> BufferManager::NewPage(
 }
 
 Result<uint8_t*> BufferManager::Pin(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frame_of_.find(id);
   if (it != frame_of_.end()) {
     Frame& f = frames_[static_cast<size_t>(it->second)];
@@ -101,6 +104,7 @@ Result<uint8_t*> BufferManager::Pin(PageId id) {
 }
 
 void BufferManager::Unpin(PageId id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frame_of_.find(id);
   if (it == frame_of_.end()) return;
   Frame& f = frames_[static_cast<size_t>(it->second)];
@@ -109,6 +113,7 @@ void BufferManager::Unpin(PageId id, bool dirty) {
 }
 
 Status BufferManager::Free(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frame_of_.find(id);
   if (it != frame_of_.end()) {
     Frame& f = frames_[static_cast<size_t>(it->second)];
@@ -124,7 +129,21 @@ Status BufferManager::Free(PageId id) {
   return Status::OK();
 }
 
+Status BufferManager::WriteBack(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frame_of_.find(id);
+  if (it == frame_of_.end()) return Status::OK();  // evicted = written
+  Frame& f = frames_[static_cast<size_t>(it->second)];
+  if (!f.dirty || f.pins > 0) return Status::OK();
+  SegmentFile* seg = segments_[PageSegment(f.id)];
+  QSYS_RETURN_IF_ERROR(seg->WritePage(PageNumber(f.id), f.data.get()));
+  ++pages_written_;
+  f.dirty = false;
+  return Status::OK();
+}
+
 Status BufferManager::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& f : frames_) {
     if (f.id == kInvalidPageId || !f.dirty) continue;
     SegmentFile* seg = segments_[PageSegment(f.id)];

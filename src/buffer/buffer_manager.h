@@ -1,18 +1,25 @@
 // BufferManager: a fixed pool of in-memory frames fronting the spill
-// segments (the leanstore shape, radically simplified for a
-// single-threaded engine).
+// segments (the leanstore shape, radically simplified).
 //
 // Pages are pinned while a caller reads or writes their frame, marked
 // dirty when modified, and written back to their segment file lazily:
-// only when the clock replacement sweep needs the frame for another
-// page (or on FlushAll). Faulting a non-resident page back in costs one
-// segment read. All counters feed the spill metrics surfaced by the
-// state manager and the serving layer.
+// when the clock replacement sweep needs the frame for another page,
+// when the spill tier's background writer cleans them (WriteBack), or
+// on FlushAll. Faulting a non-resident page back in costs one segment
+// read. All counters feed the spill metrics surfaced by the state
+// manager and the serving layer.
+//
+// Thread safety: every public operation locks one internal mutex. Two
+// threads touch a pool — the engine's executor (spill/restore on the
+// serialized flush path) and the SpillManager's background write-back
+// thread — and the mutex also orders their calls into the underlying
+// SegmentFiles.
 
 #ifndef QSYS_BUFFER_BUFFER_MANAGER_H_
 #define QSYS_BUFFER_BUFFER_MANAGER_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -68,17 +75,38 @@ class BufferManager {
   /// Writes every dirty resident page back to its segment.
   Status FlushAll();
 
+  /// Writes `id`'s frame back to its segment and marks it clean — if
+  /// the page is resident, dirty, and unpinned; a no-op otherwise
+  /// (non-resident means an eviction already wrote it; pinned means a
+  /// writer is still filling it and its own write-back is queued
+  /// behind the pin). The background write-back path: cleaning frames
+  /// off the executor thread so the clock sweep finds clean victims
+  /// and never does disk I/O on the serving path.
+  Status WriteBack(PageId id);
+
   int frame_count() const { return static_cast<int>(frames_.size()); }
-  int resident_pages() const { return static_cast<int>(frame_of_.size()); }
+  int resident_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(frame_of_.size());
+  }
 
   // ---- counters (spill observability) ----
 
-  /// Pages written back to disk (evictions + flushes).
-  int64_t pages_written() const { return pages_written_; }
+  /// Pages written back to disk (evictions + write-backs + flushes).
+  int64_t pages_written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pages_written_;
+  }
   /// Pages read back from disk (faults).
-  int64_t pages_read() const { return pages_read_; }
+  int64_t pages_read() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pages_read_;
+  }
   /// Pin() calls that missed the pool and had to read the segment.
-  int64_t faults() const { return faults_; }
+  int64_t faults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return faults_;
+  }
 
  private:
   struct Frame {
@@ -90,8 +118,10 @@ class BufferManager {
   };
 
   /// A frame holding no page, evicting an unpinned victim if needed.
+  /// Caller holds mu_.
   Result<int> AcquireFrame();
 
+  mutable std::mutex mu_;
   std::vector<Frame> frames_;
   std::vector<int> free_frames_;
   std::unordered_map<PageId, int> frame_of_;

@@ -255,11 +255,62 @@ Result<std::unique_ptr<SpillManager>> SpillManager::Open(
       new SpillManager(std::move(scratch), frame_count));
 }
 
+SpillManager::SpillManager(std::string dir, int frame_count)
+    : dir_(std::move(dir)), pool_(frame_count) {
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
 SpillManager::~SpillManager() {
+  // Shutdown flush barrier: let the writer finish cleaning what it
+  // holds, then stop it — the segments must not be torn down under an
+  // in-flight pwrite.
+  FlushWriteBacks();
+  {
+    std::lock_guard<std::mutex> lock(wb_mu_);
+    wb_stop_ = true;
+  }
+  wb_cv_.notify_all();
+  writer_.join();
   // Segments unlink their files on destruction; then the (now empty)
   // scratch directory can go.
   for (auto& seg : segments_) seg.reset();
   ::rmdir(dir_.c_str());
+}
+
+void SpillManager::EnqueueWriteBacks(const std::vector<PageId>& pages) {
+  {
+    std::lock_guard<std::mutex> lock(wb_mu_);
+    for (PageId id : pages) wb_queue_.push_back(id);
+  }
+  wb_cv_.notify_one();
+}
+
+void SpillManager::WriterLoop() {
+  for (;;) {
+    PageId id = kInvalidPageId;
+    {
+      std::unique_lock<std::mutex> lock(wb_mu_);
+      wb_cv_.wait(lock, [this] { return wb_stop_ || !wb_queue_.empty(); });
+      if (wb_queue_.empty()) return;  // stop requested, queue drained
+      id = wb_queue_.front();
+      wb_queue_.pop_front();
+      wb_busy_ = true;
+    }
+    // Best effort off the hot path: a page already evicted (= already
+    // written) or re-pinned is skipped; a write error surfaces later
+    // through the synchronous eviction/flush paths.
+    pool_.WriteBack(id);
+    {
+      std::lock_guard<std::mutex> lock(wb_mu_);
+      wb_busy_ = false;
+      if (wb_queue_.empty()) wb_done_cv_.notify_all();
+    }
+  }
+}
+
+void SpillManager::FlushWriteBacks() {
+  std::unique_lock<std::mutex> lock(wb_mu_);
+  wb_done_cv_.wait(lock, [this] { return wb_queue_.empty() && !wb_busy_; });
 }
 
 Result<SegmentFile*> SpillManager::SegmentFor(Class cls) {
@@ -296,6 +347,7 @@ Status SpillManager::ReadPayload(const Handle& handle,
 
 Status SpillManager::SpillTable(const std::string& key,
                                 const JoinHashTable& table) {
+  std::lock_guard<std::mutex> lock(mu_);
   QSYS_RETURN_IF_ERROR(SegmentFor(Class::kHashTable).status());
   // Stream the victim straight into pool frames, entry by entry — no
   // contiguous staging buffer (demotion happens under memory pressure,
@@ -318,12 +370,18 @@ Status SpillManager::FinishSpill(Class cls, SpillPageWriter& writer,
   int64_t payload_bytes = writer.bytes();
   auto pages = writer.Finish();
   QSYS_RETURN_IF_ERROR(pages.status());
-  Drop(key);  // supersede any earlier spill under this key
+  DropLocked(key);  // supersede any earlier spill under this key
   Handle handle;
   handle.cls = cls;
   handle.payload_bytes = payload_bytes;
   handle.items = items;
   handle.pages = std::move(pages).value();
+  // Clean the freshly filled pages in the background: the executor
+  // returns as soon as the frames are filled, and the clock sweep
+  // later finds them already written (no disk I/O on the serving
+  // path). Superseded/raced ids are harmless — WriteBack skips
+  // anything non-resident, clean, or pinned.
+  EnqueueWriteBacks(handle.pages);
   handles_[key] = std::move(handle);
   ++items_spilled_;
   return Status::OK();
@@ -331,10 +389,15 @@ Status SpillManager::FinishSpill(Class cls, SpillPageWriter& writer,
 
 Result<SpillManager::RestoreOutcome> SpillManager::RestoreTable(
     const std::string& key, JoinHashTable* dest) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = handles_.find(key);
   if (it == handles_.end()) {
     return Status::NotFound("no spilled table under key " + key);
   }
+  // Restore flush barrier: quiesce the background writer so the read
+  // below sees a stable pool and the page counters are deterministic
+  // at restore points.
+  FlushWriteBacks();
   std::vector<uint8_t> payload;
   QSYS_RETURN_IF_ERROR(ReadPayload(it->second, &payload));
   Reader in(payload);
@@ -356,13 +419,14 @@ Result<SpillManager::RestoreOutcome> SpillManager::RestoreTable(
     dest->Insert(epoch, std::move(t));
   }
   RestoreOutcome out{n, it->second.payload_bytes};
-  Drop(key);
+  DropLocked(key);
   ++items_restored_;
   return out;
 }
 
 Status SpillManager::SpillProbeCache(const std::string& key,
                                      const ProbeSource& probe) {
+  std::lock_guard<std::mutex> lock(mu_);
   QSYS_RETURN_IF_ERROR(SegmentFor(Class::kProbeCache).status());
   const ProbeSource::CacheMap& cache = probe.cache();
   SpillPageWriter writer(&pool_, static_cast<uint8_t>(Class::kProbeCache));
@@ -382,10 +446,12 @@ Status SpillManager::SpillProbeCache(const std::string& key,
 
 Result<SpillManager::RestoreOutcome> SpillManager::RestoreProbeCache(
     const std::string& key, ProbeSource* probe) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = handles_.find(key);
   if (it == handles_.end()) {
     return Status::NotFound("no spilled probe cache under key " + key);
   }
+  FlushWriteBacks();
   std::vector<uint8_t> payload;
   QSYS_RETURN_IF_ERROR(ReadPayload(it->second, &payload));
   Reader in(payload);
@@ -406,17 +472,23 @@ Result<SpillManager::RestoreOutcome> SpillManager::RestoreProbeCache(
   }
   probe->ImportCache(std::move(cache));
   RestoreOutcome out{n, it->second.payload_bytes};
-  Drop(key);
+  DropLocked(key);
   ++items_restored_;
   return out;
 }
 
 int64_t SpillManager::SpilledBytes(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = handles_.find(key);
   return it == handles_.end() ? 0 : it->second.payload_bytes;
 }
 
 void SpillManager::Drop(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DropLocked(key);
+}
+
+void SpillManager::DropLocked(const std::string& key) {
   auto it = handles_.find(key);
   if (it == handles_.end()) return;
   for (PageId id : it->second.pages) pool_.Free(id);
@@ -424,6 +496,7 @@ void SpillManager::Drop(const std::string& key) {
 }
 
 SpillStats SpillManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
   SpillStats s;
   s.pages_written = pool_.pages_written();
   s.pages_read = pool_.pages_read();

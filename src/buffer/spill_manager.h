@@ -15,12 +15,23 @@
 // restored table joins, partitions by epoch, and replays exactly like
 // the original. Handles live in memory only — the spill tier is a
 // cache, not a durability layer.
+//
+// Thread safety: every public operation locks one internal mutex.
+// Under multi-core epochs a spilled probe cache faults back in from
+// whichever ATC drain worker first misses it (the spill_fault handler
+// installed by StateManager::EnforceBudget), concurrently with other
+// workers' restores and with the background write-back thread — the
+// handle registry and counters must not be torn by that.
 
 #ifndef QSYS_BUFFER_SPILL_MANAGER_H_
 #define QSYS_BUFFER_SPILL_MANAGER_H_
 
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -60,10 +71,20 @@ class SpillManager {
 
   /// Serializes `table` (entries in arrival order, with epoch tags)
   /// under `key`, superseding any earlier spill with the same key.
+  /// Demotion itself only fills pool frames; the dirty pages are
+  /// enqueued to the background writer thread, which cleans them to
+  /// disk off the executor (see FlushWriteBacks for the barrier).
   Status SpillTable(const std::string& key, const JoinHashTable& table);
 
-  /// Serializes `probe`'s answer cache under `key`.
+  /// Serializes `probe`'s answer cache under `key` (same background
+  /// write-back as SpillTable).
   Status SpillProbeCache(const std::string& key, const ProbeSource& probe);
+
+  /// Flush barrier: blocks until the background writer has drained
+  /// every enqueued page write-back. Restores take it (so page-level
+  /// counters and disk state are deterministic at restore points) and
+  /// the destructor takes it before tearing the segments down.
+  void FlushWriteBacks();
 
   // ---- promotion ----
 
@@ -88,6 +109,7 @@ class SpillManager {
   // ---- registry ----
 
   bool HasSpill(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return handles_.count(key) > 0;
   }
   /// Serialized size of the spilled payload (0 when `key` is absent);
@@ -99,6 +121,7 @@ class SpillManager {
   void Drop(const std::string& key);
 
   int64_t spilled_item_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return static_cast<int64_t>(handles_.size());
   }
 
@@ -117,8 +140,15 @@ class SpillManager {
     int64_t items = 0;
   };
 
-  SpillManager(std::string dir, int frame_count)
-      : dir_(std::move(dir)), pool_(frame_count) {}
+  SpillManager(std::string dir, int frame_count);
+
+  /// Hands `pages` to the background writer.
+  void EnqueueWriteBacks(const std::vector<PageId>& pages);
+  /// Background thread: pops queued page ids and cleans them via
+  /// BufferManager::WriteBack.
+  void WriterLoop();
+  /// Drop without taking mu_ (caller holds it).
+  void DropLocked(const std::string& key);
 
   /// Segment file for `cls`, created lazily on first spill.
   Result<SegmentFile*> SegmentFor(Class cls);
@@ -138,10 +168,21 @@ class SpillManager {
 
   std::string dir_;
   BufferManager pool_;
+  /// Guards the registry, segments, and item counters below.
+  mutable std::mutex mu_;
   std::unique_ptr<SegmentFile> segments_[4];
   std::unordered_map<std::string, Handle> handles_;
   int64_t items_spilled_ = 0;
   int64_t items_restored_ = 0;
+
+  // ---- background write-back (demotion off the executor) ----
+  std::mutex wb_mu_;
+  std::condition_variable wb_cv_;       // writer waits for work
+  std::condition_variable wb_done_cv_;  // FlushWriteBacks barrier
+  std::deque<PageId> wb_queue_;
+  bool wb_busy_ = false;  // writer holds a popped page
+  bool wb_stop_ = false;
+  std::thread writer_;
 };
 
 }  // namespace qsys

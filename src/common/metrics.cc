@@ -17,6 +17,7 @@ void ExecStats::Merge(const ExecStats& other) {
   split_routed += other.split_routed;
   results_emitted += other.results_emitted;
   tuples_rederived += other.tuples_rederived;
+  tuples_rederived_skipped += other.tuples_rederived_skipped;
 }
 
 std::string ExecStats::ToString() const {

@@ -50,6 +50,11 @@ struct ExecStats {
   /// to re-derive the joint prefix of a hierarchical plan (warm-state
   /// completeness; see PlanGrafter::RederivePrefixes).
   int64_t tuples_rederived = 0;
+  /// Buffered tuples a warm graft did NOT re-offer because the
+  /// producer's replay watermark showed them already replayed — the
+  /// steady-state saving of the per-producer watermark over full
+  /// replay-and-dedup.
+  int64_t tuples_rederived_skipped = 0;
 
   /// Adds `delta_us` to the bucket's total.
   void Charge(TimeBucket bucket, VirtualTime delta_us) {
@@ -98,6 +103,7 @@ struct AtomicExecStats {
   std::atomic<int64_t> split_routed{0};
   std::atomic<int64_t> results_emitted{0};
   std::atomic<int64_t> tuples_rederived{0};
+  std::atomic<int64_t> tuples_rederived_skipped{0};
 
   /// Publishes `s` as the current totals.
   void Store(const ExecStats& s) {
@@ -113,6 +119,8 @@ struct AtomicExecStats {
     split_routed.store(s.split_routed, std::memory_order_relaxed);
     results_emitted.store(s.results_emitted, std::memory_order_relaxed);
     tuples_rederived.store(s.tuples_rederived, std::memory_order_relaxed);
+    tuples_rederived_skipped.store(s.tuples_rederived_skipped,
+                                   std::memory_order_relaxed);
   }
 
   /// Reads the current totals into a plain ExecStats.
@@ -130,6 +138,8 @@ struct AtomicExecStats {
     s.split_routed = split_routed.load(std::memory_order_relaxed);
     s.results_emitted = results_emitted.load(std::memory_order_relaxed);
     s.tuples_rederived = tuples_rederived.load(std::memory_order_relaxed);
+    s.tuples_rederived_skipped =
+        tuples_rederived_skipped.load(std::memory_order_relaxed);
     return s;
   }
 };

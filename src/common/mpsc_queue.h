@@ -1,0 +1,97 @@
+// Lock-free unbounded multi-producer / single-consumer queue (the
+// Vyukov intrusive-node design, non-intrusive variant).
+//
+// Producers are the ATC worker threads of one shard's executor pool,
+// publishing completed user queries; the single consumer is the shard
+// executor (coordinator) thread, which drains the queue between
+// parallel drain segments and resolves client tickets. Push is
+// wait-free (one exchange + one store); Pop never blocks — it returns
+// nothing when the queue is empty or a push is mid-publication.
+//
+// Ordering guarantee: per-producer FIFO. Two items pushed by the same
+// thread are always popped in push order; items from different
+// producers interleave in an unspecified (but complete — nothing is
+// ever lost) order. That is exactly the contract completed-result
+// delivery needs: each user query completes on one ATC worker, and
+// per-query content is deterministic regardless of cross-ATC
+// interleaving.
+
+#ifndef QSYS_COMMON_MPSC_QUEUE_H_
+#define QSYS_COMMON_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+namespace qsys {
+
+/// \brief Unbounded lock-free MPSC queue of T.
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node();
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  ~MpscQueue() {
+    // Single-threaded teardown: drain remaining nodes plus the stub.
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Enqueues `item`. Safe from any number of threads concurrently;
+  /// wait-free (a single atomic exchange serializes producers).
+  void Push(T item) {
+    Node* node = new Node(std::move(item));
+    // Claim the head slot, then publish: between the exchange and the
+    // store the previous head's `next` is briefly null, which Pop
+    // treats as "not yet published" and simply returns empty.
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Dequeues the oldest published item, or nullopt when the queue is
+  /// empty (or the oldest push has not finished publishing). Must be
+  /// called from the single consumer thread only.
+  std::optional<T> Pop() {
+    Node* stub = tail_;
+    Node* next = stub->next.load(std::memory_order_acquire);
+    if (next == nullptr) return std::nullopt;
+    std::optional<T> out(std::move(next->value));
+    tail_ = next;
+    delete stub;
+    return out;
+  }
+
+  /// Whether a Pop could currently succeed (consumer thread only;
+  /// producers may race it, so emptiness is advisory).
+  bool Empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  /// Producers exchange themselves in here (the newest node).
+  std::atomic<Node*> head_;
+  /// Consumer-owned: the stub/oldest-consumed node.
+  Node* tail_;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_COMMON_MPSC_QUEUE_H_

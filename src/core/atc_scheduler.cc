@@ -1,0 +1,74 @@
+#include "src/core/atc_scheduler.h"
+
+namespace qsys {
+
+AtcScheduler::AtcScheduler(int threads)
+    : threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AtcScheduler::~AtcScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void AtcScheduler::DrainBatch(Batch* batch) {
+  for (;;) {
+    size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    // Once the counter passes `size` every task has been claimed; a
+    // stale worker spins off without ever touching the task vector
+    // (which the caller may already have destroyed).
+    if (i >= batch->size) return;
+    (*batch->tasks)[i]();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void AtcScheduler::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen] {
+        return stop_ || (batch_ != nullptr && generation_ != seen);
+      });
+      if (stop_) return;
+      seen = generation_;
+      batch = batch_;
+    }
+    DrainBatch(batch.get());
+  }
+}
+
+void AtcScheduler::RunAll(std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  auto batch = std::make_shared<Batch>();
+  batch->tasks = &tasks;
+  batch->size = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+    outstanding_ = tasks.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is an executor too: with a 1-thread pool this is the
+  // whole story (a plain serial loop, no handoff).
+  DrainBatch(batch.get());
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  batch_ = nullptr;
+}
+
+}  // namespace qsys

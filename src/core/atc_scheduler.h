@@ -1,0 +1,82 @@
+// AtcScheduler: the worker pool behind multi-core epochs.
+//
+// One shard's executor thread stays the *coordinator* — it owns every
+// serialized section (batch flush, optimize, graft, budget
+// enforcement, stats publication) — and fans the embarrassingly
+// parallel part of an epoch, the per-ATC scheduling rounds, out to
+// this pool. Each task drains one ATC (under that ATC's lock) up to
+// the next flush deadline; independent ATCs share no mutable state
+// (disjoint sharing scopes, per-ATC delay samplers), so tasks never
+// contend beyond the pool's own bookkeeping.
+//
+// The pool is deliberately dumb: RunAll() executes N closures across
+// `threads` executors (the calling thread participates, so
+// exec_threads=1 spawns no workers and degenerates to a plain serial
+// loop) and blocks until every closure has returned. That barrier is
+// the synchronization point the engine's serialized sections rely on:
+// when RunAll() returns, everything the workers wrote is visible to
+// the coordinator.
+
+#ifndef QSYS_CORE_ATC_SCHEDULER_H_
+#define QSYS_CORE_ATC_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qsys {
+
+/// \brief Fixed pool of worker threads executing batches of closures
+/// with a join barrier. One instance per Engine (created lazily when
+/// QConfig::exec_threads > 1).
+class AtcScheduler {
+ public:
+  /// A pool of `threads` total executors: the calling thread plus
+  /// `threads - 1` spawned workers. `threads` < 1 is clamped to 1.
+  explicit AtcScheduler(int threads);
+  ~AtcScheduler();
+  AtcScheduler(const AtcScheduler&) = delete;
+  AtcScheduler& operator=(const AtcScheduler&) = delete;
+
+  /// Total executors (including the calling thread).
+  int threads() const { return threads_; }
+
+  /// Runs every task across the pool and the calling thread; returns
+  /// when all have completed (full barrier — workers' writes are
+  /// visible to the caller). Not reentrant: one RunAll at a time.
+  void RunAll(std::vector<std::function<void()>>& tasks);
+
+ private:
+  /// One RunAll's shared state. Heap-allocated per call so a worker
+  /// that observes the batch late (after the caller's barrier already
+  /// released) claims indices from *its* exhausted counter instead of
+  /// racing the next batch's.
+  struct Batch {
+    std::vector<std::function<void()>>* tasks = nullptr;
+    size_t size = 0;  // snapshot; `tasks` is only dereferenced below it
+    std::atomic<size_t> next{0};
+  };
+
+  void WorkerLoop();
+  /// Pulls and runs tasks from `batch` until its counter is exhausted.
+  void DrainBatch(Batch* batch);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a batch
+  std::condition_variable done_cv_;   // caller waits for the barrier
+  std::shared_ptr<Batch> batch_;      // current batch (under mu_)
+  size_t outstanding_ = 0;  // tasks not yet finished (under mu_)
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_CORE_ATC_SCHEDULER_H_

@@ -110,6 +110,18 @@ struct QConfig {
   /// How queries are routed across shards (ignored when num_shards=1).
   ShardAffinity shard_affinity = ShardAffinity::kSignatureHash;
 
+  /// Intra-shard parallelism (multi-core epochs): number of executors
+  /// driving one engine's ATC scheduling rounds concurrently. The
+  /// shard's executor thread coordinates (flush/optimize/graft/evict
+  /// stay serialized on it) and `exec_threads - 1` pool workers join it
+  /// for the per-ATC drain segments, each ATC under its own lock.
+  /// Per-UQ top-k answers are byte-equivalent at every thread count
+  /// (ATCs share no mutable execution state — disjoint sharing scopes,
+  /// per-ATC delay samplers). 1 (default) spawns no workers. Only pays
+  /// off with multiple ATCs per engine (SharingConfig::kAtcCl); the
+  /// simulator (QSystem) ignores this.
+  int exec_threads = 1;
+
   /// Conversion factor from measured optimizer wall time to virtual
   /// time charged on the clock.
   double opt_time_multiplier = 1.0;

@@ -99,9 +99,20 @@ Atc* Engine::GetOrCreateAtc(int index_hint, VirtualTime start_time) {
   if (index_hint >= 0 && index_hint < static_cast<int>(atcs_.size())) {
     return atcs_[index_hint].get();
   }
-  auto atc = std::make_unique<Atc>(static_cast<int>(atcs_.size()),
-                                   &catalog_, delays_.get(),
-                                   config_.adaptive_probing);
+  // Every ATC samples its wide-area delays from a private,
+  // deterministically derived stream: ATC 0 keeps the engine seed
+  // bit-for-bit (single-ATC runs are unchanged), later ATCs mix in
+  // their id. Concurrent ATCs therefore never interleave draws from a
+  // shared RNG — per-ATC execution stays a pure function of the
+  // grafted queries, which is what makes parallel drains
+  // byte-equivalent to serial ones.
+  const int id = static_cast<int>(atcs_.size());
+  uint64_t seed = config_.seed;
+  if (id > 0) seed ^= 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(id);
+  auto atc = std::make_unique<Atc>(
+      id, &catalog_,
+      std::make_unique<DelayModel>(config_.delays, seed),
+      config_.adaptive_probing);
   atc->clock().AdvanceTo(start_time);
   atcs_.push_back(std::move(atc));
   return atcs_.back().get();
@@ -230,10 +241,7 @@ Status Engine::FlushBatch(VirtualTime flush_at) {
   return Status::Internal("unknown sharing config");
 }
 
-Result<Engine::StepOutcome> Engine::Step(const StepOptions& options) {
-  if (!finalized_) {
-    return Status::FailedPrecondition("FinalizeCatalog() not called");
-  }
+VirtualTime Engine::NextFlushDeadline(const StepOptions& options) const {
   VirtualTime t_flush = batcher_.NextDeadline();
   if (options.drain_pending && batcher_.HasPending()) {
     // No more arrivals will ever come: flush whatever is waiting, at the
@@ -246,6 +254,14 @@ Result<Engine::StepOutcome> Engine::Step(const StepOptions& options) {
     // of wall time) may already have passed the deadline.
     t_flush = kNeverUs;
   }
+  return t_flush;
+}
+
+Result<Engine::StepOutcome> Engine::Step(const StepOptions& options) {
+  if (!finalized_) {
+    return Status::FailedPrecondition("FinalizeCatalog() not called");
+  }
+  VirtualTime t_flush = NextFlushDeadline(options);
 
   Atc* runnable = nullptr;
   for (const auto& atc : atcs_) {
@@ -294,6 +310,129 @@ Result<Engine::StepOutcome> Engine::Step(const StepOptions& options) {
     return Status::ResourceExhausted("max scheduling rounds exceeded");
   }
   return StepOutcome{StepKind::kAtcRound};
+}
+
+Status Engine::DrainAtcsTo(VirtualTime bound) {
+  // Per-ATC semantics of the serial loop: an ATC executes scheduling
+  // rounds exactly while its own clock is below the next flush
+  // deadline (the min-clock selection in Step() only fixes the
+  // *order*; the flush preempts precisely when every ATC has
+  // individually reached the deadline). Replaying that rule per ATC is
+  // what makes the parallel drain byte-equivalent to the serial one.
+  std::vector<Atc*> ready;
+  for (const auto& atc : atcs_) {
+    if (atc->HasWork() && atc->clock().now() < bound) {
+      ready.push_back(atc.get());
+    }
+  }
+  if (ready.empty()) return Status::OK();
+
+  std::atomic<int64_t> rounds{rounds_};
+  std::atomic<bool> over_budget{false};
+  const int64_t max_rounds = config_.max_rounds;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(ready.size());
+  for (Atc* atc : ready) {
+    tasks.push_back([this, atc, bound, max_rounds, &rounds,
+                     &over_budget] {
+      std::lock_guard<std::mutex> atc_lock(atc->mu());
+      while (atc->HasWork() && atc->clock().now() < bound) {
+        atc->Step();
+        HarvestCompletions(atc);
+        int64_t r = rounds.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (max_rounds > 0 && r > max_rounds) {
+          over_budget.store(true, std::memory_order_relaxed);
+        }
+        if (over_budget.load(std::memory_order_relaxed)) break;
+      }
+    });
+  }
+  if (scheduler_ == nullptr) {
+    scheduler_ = std::make_unique<AtcScheduler>(config_.exec_threads);
+  }
+  scheduler_->RunAll(tasks);
+  rounds_ = rounds.load(std::memory_order_relaxed);
+  if (over_budget.load(std::memory_order_relaxed)) {
+    return Status::ResourceExhausted("max scheduling rounds exceeded");
+  }
+  return Status::OK();
+}
+
+void Engine::HarvestCompletions(Atc* atc) {
+  for (UserQueryMetrics& m : atc->TakeCompletedMetrics()) {
+    CompletedQuery done;
+    done.metrics = m;
+    if (const std::vector<ResultTuple>* res = atc->ResultsFor(m.uq_id)) {
+      done.results = *res;
+    }
+    completed_queue_.Push(std::move(done));
+    if (!retain_history_) {
+      // Same point the serial loop retires at — right after the round
+      // that completed the merge — so later rounds of this ATC see the
+      // identical (pruned) graph in both drive modes.
+      atc->RetireCompleted(m.uq_id);
+    }
+  }
+}
+
+void Engine::DrainCompletionQueue() {
+  while (std::optional<CompletedQuery> done = completed_queue_.Pop()) {
+    if (retain_history_) {
+      metrics_.push_back(done->metrics);
+    } else {
+      uqs_.erase(done->metrics.uq_id);
+    }
+    if (completed_sink_) completed_sink_(std::move(*done));
+  }
+}
+
+Result<Engine::EpochOutcome> Engine::DrainServing(
+    const StepOptions& options) {
+  if (!finalized_) {
+    return Status::FailedPrecondition("FinalizeCatalog() not called");
+  }
+  StepOptions serving = options;
+  serving.pace_to_horizon = false;
+  EpochOutcome out;
+  for (;;) {
+    VirtualTime t_flush = NextFlushDeadline(serving);
+    bool any_work = false;
+    for (const auto& atc : atcs_) {
+      if (atc->HasWork()) {
+        any_work = true;
+        break;
+      }
+    }
+    if (!any_work && t_flush == kNeverUs) break;  // idle
+
+    if (any_work) {
+      Status drained = DrainAtcsTo(t_flush);
+      out.worked = true;
+      DrainCompletionQueue();
+      QSYS_RETURN_IF_ERROR(drained);
+    }
+    if (t_flush == kNeverUs) break;  // all ATC work drained, no flush due
+
+    // ---- serialized section: every cross-ATC structure ----
+    // The drain barrier above has quiesced the workers; the batcher,
+    // optimizer, grafter, state registry and spill tier are touched by
+    // this (coordinating) thread only.
+    VirtualTime flush_at = std::max<VirtualTime>(t_flush, 0);
+    QSYS_RETURN_IF_ERROR(FlushBatch(flush_at));
+    // Same re-check as Step(): late registrations must settle against
+    // the just-grafted state (see Atc::MaintainAll).
+    for (const auto& atc : atcs_) {
+      std::lock_guard<std::mutex> atc_lock(atc->mu());
+      atc->MaintainAll();
+      HarvestCompletions(atc.get());
+    }
+    state_manager_->SnapshotSourceStats();
+    state_manager_->EnforceBudget(flush_at);
+    DrainCompletionQueue();
+    out.flushes += 1;
+    out.worked = true;
+  }
+  return out;
 }
 
 bool Engine::HasWork() const {

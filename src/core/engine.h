@@ -19,9 +19,17 @@
 //     (pace_to_horizon = false), delivering results through the
 //     completion listener as rank-merges finish.
 //
-// The Engine itself is single-threaded: drivers that accept work from
-// many threads (QueryService) serialize all access behind one coarse
-// engine lock.
+// The Engine's externally visible surface is single-threaded: drivers
+// that accept work from many threads (QueryService) serialize every
+// touch behind one per-shard engine lock. Internally, the serving
+// drive (DrainServing) exploits many cores: independent ATCs — which
+// share no mutable execution state — run their scheduling rounds
+// concurrently on an AtcScheduler worker pool (QConfig::exec_threads),
+// each under its own per-ATC lock, while the cross-ATC structures
+// (batcher, optimizer, grafter, state registry, spill tier) keep a
+// narrow serialized section on the coordinating thread. Completed
+// queries travel from drain workers to the coordinator through a
+// lock-free MPSC completion queue.
 
 #ifndef QSYS_CORE_ENGINE_H_
 #define QSYS_CORE_ENGINE_H_
@@ -34,6 +42,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/mpsc_queue.h"
+#include "src/core/atc_scheduler.h"
 #include "src/core/config.h"
 #include "src/keyword/candidate_gen.h"
 #include "src/qs/batcher.h"
@@ -158,6 +168,45 @@ class Engine {
   /// ATC scheduling round) subject to `options`, or reports kIdle.
   Result<StepOutcome> Step(const StepOptions& options);
 
+  /// \brief One completed user query, as published on the completion
+  /// queue: the per-query metrics plus a copy of its ranked top-k
+  /// (snapshotted by the completing ATC's drain worker before the
+  /// merge is retired).
+  struct CompletedQuery {
+    UserQueryMetrics metrics;
+    std::vector<ResultTuple> results;
+  };
+
+  /// Delivery callback for DrainServing() completions. Always invoked
+  /// on the thread driving DrainServing (the shard executor), as the
+  /// coordinator drains the MPSC completion queue — never on a pool
+  /// worker.
+  using CompletedSink = std::function<void(CompletedQuery&&)>;
+  void set_completed_sink(CompletedSink sink) {
+    completed_sink_ = std::move(sink);
+  }
+
+  /// What one DrainServing() call did.
+  struct EpochOutcome {
+    /// Batches flushed (optimized + grafted).
+    int flushes = 0;
+    /// Whether any event (flush or ATC round) ran at all.
+    bool worked = false;
+  };
+
+  /// The serving-mode epoch drive (multi-core epochs): alternates
+  /// serialized flush sections with parallel per-ATC drain segments
+  /// until nothing is runnable under `options` (interpreted with
+  /// serving semantics — pace_to_horizon is ignored and treated as
+  /// false). Each segment runs every ATC with pending work up to the
+  /// next due flush deadline (exactly the point the serial Step() loop
+  /// would flush at: an ATC only ever executes rounds while its own
+  /// clock is below the deadline), on QConfig::exec_threads executors.
+  /// Completions are delivered through the CompletedSink; per-UQ top-k
+  /// content is byte-equivalent at every thread count. Equivalent to
+  /// looping Step() + DrainCompletions when exec_threads == 1.
+  Result<EpochOutcome> DrainServing(const StepOptions& options);
+
   /// Whether any event could ever become runnable (waiting batch or
   /// incomplete ATC work).
   bool HasWork() const;
@@ -247,6 +296,21 @@ class Engine {
   /// completion listener for each.
   void DrainCompletions();
 
+  /// Next due flush deadline under serving semantics (kNeverUs when no
+  /// flush may run before the arrival horizon) — the single definition
+  /// Step() and DrainServing() share.
+  VirtualTime NextFlushDeadline(const StepOptions& options) const;
+  /// Runs every ATC with pending work up to `bound` on the scheduler
+  /// pool (per-ATC locks; round budget enforced across workers).
+  Status DrainAtcsTo(VirtualTime bound);
+  /// Worker-side completion handling for one ATC (caller holds the
+  /// ATC's lock): snapshot results, publish on the completion queue,
+  /// retire the merge.
+  void HarvestCompletions(Atc* atc);
+  /// Coordinator-side: pops published completions, releases engine
+  /// bookkeeping, and fires the CompletedSink.
+  void DrainCompletionQueue();
+
   QConfig config_;
   Catalog catalog_;
   std::unique_ptr<SchemaGraph> schema_graph_;
@@ -262,6 +326,12 @@ class Engine {
   std::unique_ptr<PlanGrafter> grafter_;
   QueryBatcher batcher_;
   std::vector<std::unique_ptr<Atc>> atcs_;
+  /// Worker pool for parallel ATC drains (lazily created on the first
+  /// DrainServing with exec_threads > 1; null otherwise).
+  std::unique_ptr<AtcScheduler> scheduler_;
+  /// Drain workers -> coordinator handoff of completed queries.
+  MpscQueue<CompletedQuery> completed_queue_;
+  CompletedSink completed_sink_;
   std::vector<ClusterInfo> clusters_;
   std::map<int, std::unique_ptr<UserQuery>> uqs_;
   std::vector<UserQueryMetrics> metrics_;

@@ -86,6 +86,13 @@ int64_t Atc::RunToCompletion(int64_t max_rounds) {
   return rounds;
 }
 
+const std::vector<ResultTuple>* Atc::ResultsFor(int uq_id) const {
+  for (const RankMergeOp* rm : graph_->rank_merges()) {
+    if (rm->uq_id() == uq_id) return &rm->results();
+  }
+  return nullptr;
+}
+
 std::vector<UserQueryMetrics> Atc::TakeCompletedMetrics() {
   std::vector<UserQueryMetrics> out = std::move(completed_);
   completed_.clear();

@@ -7,11 +7,23 @@
 // the tuple through splits and m-joins to every query that uses it.
 // Round-robin over rank-merges equals a voting scheme where the most
 // demanded streams are read most, while preventing starvation.
+//
+// Threading: an ATC is single-threaded *at a time*. Under multi-core
+// epochs (QConfig::exec_threads > 1) different ATCs of one engine run
+// concurrently on a worker pool, each worker holding its ATC's mu()
+// for the whole drain segment; everything an ATC touches while
+// stepping — its plan graph, its virtual clock and stats, its delay
+// sampler, and the per-sharing-scope streams and probe caches feeding
+// its operators — is private to it, so per-ATC execution is a
+// deterministic function of the grafted queries regardless of thread
+// count or interleaving (the byte-equivalence bar of the parallel
+// tests).
 
 #ifndef QSYS_EXEC_ATC_H_
 #define QSYS_EXEC_ATC_H_
 
 #include <memory>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -24,10 +36,24 @@ namespace qsys {
 /// event actors (the paper's parallel plan graphs).
 class Atc {
  public:
+  /// An ATC sampling delays from a caller-owned model (tests and
+  /// single-ATC drivers).
   Atc(int id, const Catalog* catalog, DelayModel* delays, bool adaptive)
       : id_(id),
         catalog_(catalog),
         delays_(delays),
+        graph_(std::make_unique<PlanGraph>(catalog, adaptive)) {}
+
+  /// An ATC owning its delay sampler. The engine derives one
+  /// deterministic sampler per ATC (seed mixed with the ATC id) so
+  /// concurrent ATCs never interleave draws from a shared RNG — the
+  /// prerequisite for byte-equivalent parallel execution.
+  Atc(int id, const Catalog* catalog, std::unique_ptr<DelayModel> delays,
+      bool adaptive)
+      : id_(id),
+        catalog_(catalog),
+        owned_delays_(std::move(delays)),
+        delays_(owned_delays_.get()),
         graph_(std::make_unique<PlanGraph>(catalog, adaptive)) {}
 
   int id() const { return id_; }
@@ -42,6 +68,15 @@ class Atc {
   /// Current reuse epoch; the state manager bumps it per grafted batch.
   int epoch() const { return epoch_; }
   void set_epoch(int e) { epoch_ = e; }
+
+  /// The per-ATC lock of the multi-core locking hierarchy
+  /// (engine -> ATC -> merge maintenance): a worker holds it for the
+  /// whole of one drain segment; the coordinator takes it in serialized
+  /// sections that touch this ATC's graph (graft, MaintainAll,
+  /// introspection). Workers are quiesced at those points, so the lock
+  /// is contention-free — it exists to make the ownership handoff
+  /// explicit (and visible to TSan).
+  std::mutex& mu() { return mu_; }
 
   /// Execution context bound to this ATC's clock/stats.
   ExecContext MakeContext();
@@ -68,6 +103,11 @@ class Atc {
   /// transfers to the caller).
   std::vector<UserQueryMetrics> TakeCompletedMetrics();
 
+  /// This ATC's ranked answers for `uq_id` (nullptr if its graph holds
+  /// no such merge). ATC-local so a drain worker can snapshot results
+  /// without touching any other ATC.
+  const std::vector<ResultTuple>* ResultsFor(int uq_id) const;
+
   /// Serving-mode GC: retires the completed user query's rank-merge
   /// from the plan graph and forgets its recording slot, so a
   /// long-lived service's graph and bookkeeping stay bounded. Call
@@ -79,10 +119,12 @@ class Atc {
 
   int id_;
   const Catalog* catalog_;
+  std::unique_ptr<DelayModel> owned_delays_;
   DelayModel* delays_;
   std::unique_ptr<PlanGraph> graph_;
   VirtualClock clock_;
   ExecStats stats_;
+  std::mutex mu_;
   int epoch_ = 0;
   size_t rr_pos_ = 0;
   std::set<int> recorded_uqs_;

@@ -6,6 +6,23 @@
 
 namespace qsys {
 
+std::string FingerprintResults(const std::vector<ResultTuple>& results) {
+  std::string bytes;
+  auto put = [&bytes](const void* p, size_t n) {
+    bytes.append(reinterpret_cast<const char*>(p), n);
+  };
+  for (const ResultTuple& r : results) {
+    put(&r.score, sizeof(r.score));
+    for (const BaseRef& ref : r.tuple.refs()) {
+      put(&ref.table, sizeof(ref.table));
+      put(&ref.row, sizeof(ref.row));
+      put(&ref.score, sizeof(ref.score));
+    }
+    bytes.push_back('|');
+  }
+  return bytes;
+}
+
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 constexpr double kEps = 1e-12;

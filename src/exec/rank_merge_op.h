@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <queue>
+#include <string>
 #include <set>
 #include <utility>
 #include <vector>
@@ -47,6 +48,14 @@ struct ResultTuple {
 struct ResultTupleOrder {
   bool operator()(const ResultTuple& a, const ResultTuple& b) const;
 };
+
+/// \brief Bit-exact serialization of a ranked answer list: score bits
+/// plus the full (table, row, slot-score) provenance of every result.
+/// Engine-local CQ ids and emission times are excluded — they are not
+/// stable across shard layouts or thread counts (and are not part of
+/// what a client ranks on). The single definition every differential
+/// byte-equivalence check (tests and benches) compares with.
+std::string FingerprintResults(const std::vector<ResultTuple>& results);
 
 /// \brief Registration of one conjunctive query with the merge.
 struct CqRegistration {

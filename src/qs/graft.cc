@@ -91,56 +91,145 @@ int64_t PlanGrafter::BackfillOrRestore(const FullestBySig& fullest, int tag,
   return r.entries;
 }
 
-int64_t PlanGrafter::RederivePrefixes(const PlanSpec& spec,
-                                      const std::vector<MJoinOp*>& comp_ops,
-                                      ExecContext& ctx) {
+int64_t PlanGrafter::RederivePrefixes(
+    const PlanSpec& spec, const std::vector<MJoinOp*>& comp_ops,
+    const std::vector<bool>& comp_reused,
+    const std::set<const MJoinOp*>& warmed_ops, ExecContext& ctx) {
   // Root producers only: a producer's replay cascades through every
   // downstream operator (duplicate arrivals still cascade — see
   // MJoinOp::Consume), so replaying the roots re-derives the buffered
   // prefix of every level of the component DAG.
-  std::vector<bool> is_producer(spec.components.size(), false);
-  std::vector<bool> has_upstream(spec.components.size(), false);
+  const size_t n_comps = spec.components.size();
+  std::vector<bool> is_producer(n_comps, false);
+  std::vector<bool> has_upstream(n_comps, false);
+  std::vector<std::vector<int>> upstreams(n_comps);
   for (const PlanSpec::Component& comp : spec.components) {
     for (const PlanSpec::ModuleRef& ref : comp.modules) {
       if (ref.kind == PlanSpec::ModuleRef::Kind::kUpstream) {
         is_producer[ref.index] = true;
         has_upstream[comp.id] = true;
+        upstreams[comp.id].push_back(ref.index);
       }
     }
   }
+  // "Tainted" components force a full replay of every root they draw
+  // from: a fresh consumer holds an output table no prior replay ever
+  // populated, and a backfilled/restored one may have lost derived
+  // combos with its evicted state — in both cases the watermark's
+  // "already derived downstream" claim does not hold for them. Taint
+  // propagates up the component DAG (the cascade must pass through
+  // every intermediate level to reach the tainted consumer).
+  std::vector<bool> tainted(n_comps, false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const PlanSpec::Component& comp : spec.components) {
+      bool taint =
+          tainted[comp.id] || !comp_reused[comp.id] ||
+          (comp_ops[comp.id] != nullptr &&
+           warmed_ops.count(comp_ops[comp.id]) > 0);
+      if (!taint) continue;
+      if (!tainted[comp.id]) {
+        tainted[comp.id] = true;
+        changed = true;
+      }
+      for (int up : upstreams[comp.id]) {
+        if (!tainted[up]) {
+          tainted[up] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
   int64_t replayed = 0;
   for (const PlanSpec::Component& comp : spec.components) {
     if (!is_producer[comp.id] || has_upstream[comp.id]) continue;
     MJoinOp* op = comp_ops[comp.id];
     if (op == nullptr) continue;
-    // Drive from the stream module with the fewest buffered tuples:
-    // every join combo contains exactly one tuple per module, so
-    // replaying one module's full prefix derives every buffered combo,
-    // and the smallest prefix is the cheapest driver. An empty module
-    // means no combo can be made purely of buffered tuples — nothing
-    // to re-derive.
-    int drive = -1;
-    int64_t fewest = 0;
+
+    auto wm_it = replayed_upto_.find(op);
+    std::vector<int64_t>& marks =
+        wm_it != replayed_upto_.end()
+            ? wm_it->second
+            : replayed_upto_
+                  .emplace(op, std::vector<int64_t>(
+                                   static_cast<size_t>(op->num_modules()), 0))
+                  .first->second;
+    bool full = tainted[comp.id] || wm_it == replayed_upto_.end();
+    for (int p = 0; !full && p < op->num_modules(); ++p) {
+      if (!op->module_is_stream(p)) continue;
+      JoinHashTable* t = op->module_table(p);
+      // A table below its own watermark lost entries to eviction since
+      // the last replay; the combos derived from them may be gone
+      // downstream too. Fall back to a full replay.
+      if (t != nullptr &&
+          t->num_entries() < marks[static_cast<size_t>(p)]) {
+        full = true;
+      }
+    }
+
+    if (full) {
+      // Drive from the stream module with the fewest buffered tuples:
+      // every join combo contains exactly one tuple per module, so
+      // replaying one module's full prefix derives every buffered
+      // combo, and the smallest prefix is the cheapest driver. An empty
+      // module means no combo can be made purely of buffered tuples —
+      // nothing to re-derive.
+      int drive = -1;
+      int64_t fewest = 0;
+      for (int p = 0; p < op->num_modules(); ++p) {
+        if (!op->module_is_stream(p)) continue;
+        JoinHashTable* t = op->module_table(p);
+        if (t == nullptr) continue;
+        if (drive < 0 || t->num_entries() < fewest) {
+          drive = p;
+          fewest = t->num_entries();
+        }
+      }
+      if (drive >= 0 && fewest > 0) {
+        JoinHashTable* t = op->module_table(drive);
+        // Re-offered entries are identity-deduplicated by the table, so
+        // the table cannot grow while we walk it; the bound is still
+        // pinned defensively.
+        const int64_t n = t->num_entries();
+        for (int64_t i = 0; i < n; ++i) {
+          op->Consume(drive, t->entry(i), ctx);
+        }
+        replayed += n;
+        prefix_replays_ += 1;
+      }
+      // Full replay (or an empty module = zero derivable combos)
+      // establishes the invariant for everything currently buffered:
+      // advance every module's watermark to its current size.
+      for (int p = 0; p < op->num_modules(); ++p) {
+        JoinHashTable* t =
+            op->module_is_stream(p) ? op->module_table(p) : nullptr;
+        marks[static_cast<size_t>(p)] = t != nullptr ? t->num_entries() : 0;
+      }
+      continue;
+    }
+
+    // Steady state: nothing to replay at all. Every entry at or below
+    // a watermark was covered by an earlier replay; every entry above
+    // one arrived through this op's own live Consume (anything else —
+    // backfill, spill restore — taints the op above and forces the
+    // full path), which derived its combos downstream on arrival. Just
+    // advance the watermarks and record what the pre-watermark full
+    // replay would have re-offered.
+    int64_t would_replay = -1;
     for (int p = 0; p < op->num_modules(); ++p) {
       if (!op->module_is_stream(p)) continue;
       JoinHashTable* t = op->module_table(p);
       if (t == nullptr) continue;
-      if (drive < 0 || t->num_entries() < fewest) {
-        drive = p;
-        fewest = t->num_entries();
-      }
+      const int64_t n = t->num_entries();
+      if (would_replay < 0 || n < would_replay) would_replay = n;
+      marks[static_cast<size_t>(p)] = n;
     }
-    if (drive < 0 || fewest == 0) continue;
-    JoinHashTable* t = op->module_table(drive);
-    // Re-offered entries are identity-deduplicated by the table, so the
-    // table cannot grow while we walk it; the bound is still pinned
-    // defensively.
-    const int64_t n = t->num_entries();
-    for (int64_t i = 0; i < n; ++i) {
-      op->Consume(drive, t->entry(i), ctx);
+    if (would_replay > 0) {
+      tuples_rederived_skipped_ += would_replay;
+      ctx.stats->tuples_rederived_skipped += would_replay;
     }
-    replayed += n;
-    prefix_replays_ += 1;
   }
   tuples_rederived_ += replayed;
   ctx.stats->tuples_rederived += replayed;
@@ -234,6 +323,10 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
   // ---- components, parents before children ----
   std::vector<MJoinOp*> comp_ops(spec.components.size(), nullptr);
   std::vector<bool> comp_reused(spec.components.size(), false);
+  // Reused ops whose tables needed a top-up this graft: their derived
+  // state was stale, so the replay watermark must not trust them (see
+  // RederivePrefixes).
+  std::set<const MJoinOp*> warmed_ops;
   for (const PlanSpec::Component& comp : spec.components) {
     // Try to reuse an existing operator (newest first).
     MJoinOp* resolved = nullptr;
@@ -248,6 +341,24 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
       comp_ops[comp.id] = resolved;
       comp_reused[comp.id] = true;
       ops_reused_ += 1;
+      // Shrink detection *before* backfill: a stream-module table with
+      // fewer entries than at the end of this op's last graft was
+      // evicted in between, so combos derived from the lost entries
+      // may be missing downstream — even when backfill finds nothing
+      // fuller to top it up from. Taint the op so RederivePrefixes
+      // runs the full replay path for every root above it.
+      if (auto cit = counts_at_last_graft_.find(resolved);
+          cit != counts_at_last_graft_.end()) {
+        for (int p = 0; p < resolved->num_modules(); ++p) {
+          if (!resolved->module_is_stream(p)) continue;
+          JoinHashTable* t = resolved->module_table(p);
+          if (t != nullptr && static_cast<size_t>(p) < cit->second.size() &&
+              t->num_entries() < cit->second[static_cast<size_t>(p)]) {
+            warmed_ops.insert(resolved);
+            break;
+          }
+        }
+      }
       // Touch its state registrations. A reused operator's tables may
       // be stale prefixes: emptied by eviction, or truncated where the
       // operator deactivated while the shared stream kept flowing to
@@ -257,8 +368,9 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
       for (int p = 0; p < resolved->num_modules(); ++p) {
         if (JoinHashTable* t = resolved->module_table(p)) {
           const std::string& sig = resolved->module_expr(p).Signature();
-          if (resolved->module_is_stream(p)) {
-            BackfillOrRestore(fullest, tag, sig, t, ctx);
+          if (resolved->module_is_stream(p) &&
+              BackfillOrRestore(fullest, tag, sig, t, ctx) > 0) {
+            warmed_ops.insert(resolved);
           }
           state_->RegisterModuleTable(tag, sig, t, resolved,
                                       ctx.clock->now());
@@ -333,7 +445,19 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
   {
     ExecContext replay_ctx = ctx;
     replay_ctx.epoch = epoch - 1;
-    RederivePrefixes(spec, comp_ops, replay_ctx);
+    RederivePrefixes(spec, comp_ops, comp_reused, warmed_ops, replay_ctx);
+  }
+  // Record every grafted op's post-replay table sizes — the baseline
+  // the next graft's shrink detection compares against.
+  for (MJoinOp* op : comp_ops) {
+    if (op == nullptr) continue;
+    std::vector<int64_t>& counts = counts_at_last_graft_[op];
+    counts.assign(static_cast<size_t>(op->num_modules()), 0);
+    for (int p = 0; p < op->num_modules(); ++p) {
+      JoinHashTable* t =
+          op->module_is_stream(p) ? op->module_table(p) : nullptr;
+      counts[static_cast<size_t>(p)] = t != nullptr ? t->num_entries() : 0;
+    }
   }
 
   // ---- rank-merge registration + recovery ----

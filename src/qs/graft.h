@@ -12,6 +12,7 @@
 #ifndef QSYS_QS_GRAFT_H_
 #define QSYS_QS_GRAFT_H_
 
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -47,6 +48,12 @@ class PlanGrafter {
   /// Buffered tuples replayed through upstream producers by those
   /// re-derivations.
   int64_t tuples_rederived() const { return tuples_rederived_; }
+  /// Buffered tuples a warm graft skipped because the producer's
+  /// replay watermark showed them already replayed (steady-state warm
+  /// grafts are O(new entries) instead of O(whole prefix)).
+  int64_t tuples_rederived_skipped() const {
+    return tuples_rederived_skipped_;
+  }
 
  private:
   RankMergeOp* GetOrCreateMerge(Atc* atc, const UserQuery& uq);
@@ -89,9 +96,25 @@ class PlanGrafter {
   /// (identity dedup at each table and the merges' per-CQ dedup absorb
   /// re-derivations). `ctx.epoch` must be the pre-graft epoch so the
   /// derived state stays visible to this epoch's recovery queries.
+  ///
+  /// Steady-state warm grafts are incremental: a per-producer replay
+  /// watermark records how much of each stream module has already been
+  /// replayed (or live-consumed up to the last graft), and only the
+  /// suffixes past it are re-offered — every combo containing at least
+  /// one post-watermark tuple is derived when that module's suffix
+  /// replays against the already-backfilled sibling tables, and every
+  /// all-pre-watermark combo was derived before. A *full* replay (the
+  /// original smallest-module drive) runs only when it must: a fresh
+  /// consumer was attached anywhere downstream of the producer this
+  /// graft, stale state was detected (`warmed_ops` — any op whose
+  /// tables needed backfill/restore, meaning derived combos may have
+  /// been evicted with them), a module table shrank below its
+  /// watermark, or the producer has never been replayed.
   /// Returns the number of tuples replayed.
   int64_t RederivePrefixes(const PlanSpec& spec,
                            const std::vector<MJoinOp*>& comp_ops,
+                           const std::vector<bool>& comp_reused,
+                           const std::set<const MJoinOp*>& warmed_ops,
                            ExecContext& ctx);
 
   /// True if `candidate` can stand in for `comp`: built under the same
@@ -111,11 +134,27 @@ class PlanGrafter {
       producers_;
   /// op -> sharing scope it was built under (reuse is scope-local).
   std::unordered_map<const MJoinOp*, int> op_tag_;
+  /// Producer op -> per-stream-module replay watermark: entry counts up
+  /// to which every purely-buffered combo has been derived into the
+  /// op's downstream consumers (advanced by each replay; reset to a
+  /// full replay when a fresh consumer attaches or staleness is
+  /// detected).
+  std::unordered_map<const MJoinOp*, std::vector<int64_t>> replayed_upto_;
+  /// Op -> per-stream-module entry counts as of the end of its last
+  /// graft. A reused op whose table holds *fewer* entries than this was
+  /// evicted in between (eviction clears whole tables) — derived combos
+  /// downstream of it may be gone even when BackfillOrRestore found
+  /// nothing fuller to copy (the cleared table was the only holder of
+  /// its signature and nothing was spilled), so it must taint the
+  /// replay watermark like a backfilled op does.
+  std::unordered_map<const MJoinOp*, std::vector<int64_t>>
+      counts_at_last_graft_;
   int64_t recoveries_built_ = 0;
   int64_t ops_reused_ = 0;
   int64_t tuples_backfilled_ = 0;
   int64_t prefix_replays_ = 0;
   int64_t tuples_rederived_ = 0;
+  int64_t tuples_rederived_skipped_ = 0;
 };
 
 }  // namespace qsys

@@ -108,7 +108,7 @@ StateManager::RestoreOutcome StateManager::RestoreSpilledTable(
     spill_->Drop(key);
     return {};
   }
-  ++spill_restores_;
+  spill_restores_.fetch_add(1, std::memory_order_relaxed);
   return {restored.value().items, restored.value().bytes};
 }
 
@@ -183,7 +183,7 @@ int StateManager::EnforceBudget(VirtualTime now) {
             spill_->Drop(key);
             return false;
           }
-          ++spill_restores_;
+          spill_restores_.fetch_add(1, std::memory_order_relaxed);
           ctx.Charge(TimeBucket::kRandomAccess,
                      SpillReadCostUs(restored.value().bytes));
           return restored.value().items > 0;

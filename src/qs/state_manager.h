@@ -11,6 +11,7 @@
 #ifndef QSYS_QS_STATE_MANAGER_H_
 #define QSYS_QS_STATE_MANAGER_H_
 
+#include <atomic>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -114,7 +115,9 @@ class StateManager {
 
   /// Items demoted to disk / restored from disk by this manager.
   int64_t spills() const { return spills_; }
-  int64_t spill_restores() const { return spill_restores_; }
+  int64_t spill_restores() const {
+    return spill_restores_.load(std::memory_order_relaxed);
+  }
 
   /// Virtual time to page `bytes` of spilled state back from local
   /// disk — the single cost formula behind the spill-vs-drop decision
@@ -148,7 +151,11 @@ class StateManager {
   SpillManager* spill_ = nullptr;
   const DelayParams* spill_delays_ = nullptr;
   int64_t spills_ = 0;
-  int64_t spill_restores_ = 0;
+  /// Atomic: probe spill-fault restores run on whichever ATC drain
+  /// worker first misses the evicted cache (see EnforceBudget), so
+  /// under multi-core epochs this counter is bumped off the
+  /// coordinator thread.
+  std::atomic<int64_t> spill_restores_{0};
   /// Timestamp of the latest registration/enforcement, so the
   /// immediate enforcement in set_memory_budget_bytes has a clock.
   VirtualTime last_now_us_ = 0;

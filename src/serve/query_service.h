@@ -34,9 +34,14 @@
 // through RankMerger's deterministic total order, so per-UQ results are
 // byte-equivalent across shard counts.
 //
-// Threading model: each Engine is single-threaded by design; its shard
-// serializes every touch behind one per-shard engine lock. No lock is
-// shared between two shards' executors. Client-visible counters cross
+// Threading model: every external touch of an Engine is serialized
+// behind its shard's engine lock, and no lock is shared between two
+// shards' executors. Inside an epoch the shard executor acts as
+// coordinator: with QConfig::exec_threads > 1 it fans the engine's
+// independent ATCs out to a worker pool (multi-core epochs — see
+// src/shard/shard.h and src/core/atc_scheduler.h), keeping
+// flush/optimize/graft/evict serialized on itself; per-UQ answers are
+// byte-equivalent at every thread count. Client-visible counters cross
 // thread boundaries through the lock-free AtomicExecStats /
 // ServiceCounters mirrors in src/common/metrics.h. Time mapping: wall
 // microseconds since Start() form one virtual timeline shared by all

@@ -42,15 +42,19 @@ Status EngineShard::Start(Clock::time_point start_wall, bool manual) {
   // Clients get their outcomes through the completion callback; a
   // long-lived shard must not accumulate per-query history.
   engine_->set_retain_history(false);
-  engine_->set_completion_listener([this](const UserQueryMetrics& m) {
+  // Completed queries flow: ATC drain worker -> lock-free MPSC
+  // completion queue -> this sink, which the engine invokes while the
+  // executor (coordinator) thread drains the queue inside
+  // DrainServing. The record owns a snapshot of the ranked answers
+  // (the merge itself is already retired), so the callback just
+  // borrows pointers for its duration; the callee must copy.
+  engine_->set_completed_sink([this](Engine::CompletedQuery&& done) {
     if (!completion_fn_) return;
     Completion c;
     c.shard = shard_id_;
-    c.uq_id = m.uq_id;
-    c.metrics = &m;
-    // The executor holds engine_mu_ here, so reading the rank-merge's
-    // results out of the plan graph is safe; the callee must copy.
-    c.results = engine_->ResultsFor(m.uq_id);
+    c.uq_id = done.metrics.uq_id;
+    c.metrics = &done.metrics;
+    c.results = &done.results;
     completion_fn_(c);
   });
   start_wall_ = start_wall;
@@ -122,25 +126,26 @@ bool EngineShard::RunDueEpochs(bool drain_partial) {
   step.pace_to_horizon = false;
   step.drain_pending = drain_partial;
   step.arrival_horizon = drain_partial ? Engine::kNeverUs : NowUs() + 1;
-  bool worked = false;
-  for (;;) {
-    Result<Engine::StepOutcome> out = engine_->Step(step);
-    if (!out.ok()) {
-      SetTerminal(out.status());
-      PublishStatsLocked();
-      return false;
-    }
-    if (out.value().kind == Engine::StepKind::kIdle) break;
-    if (out.value().kind == Engine::StepKind::kFlushed) {
-      gauges_.batches_flushed.fetch_add(1, std::memory_order_relaxed);
-      if (service_counters_ != nullptr) {
-        service_counters_->batches_flushed.fetch_add(
-            1, std::memory_order_relaxed);
-      }
-    }
-    worked = true;
+  // The executor thread is the epoch *coordinator*: DrainServing fans
+  // the per-ATC scheduling rounds out to the engine's worker pool
+  // (QConfig::exec_threads) and runs every serialized section — flush,
+  // optimize, graft, budget enforcement, completion delivery — right
+  // here, still under engine_mu_.
+  Result<Engine::EpochOutcome> out = engine_->DrainServing(step);
+  if (!out.ok()) {
+    SetTerminal(out.status());
+    PublishStatsLocked();
+    return false;
   }
-  if (worked) {
+  if (out.value().flushes > 0) {
+    gauges_.batches_flushed.fetch_add(out.value().flushes,
+                                      std::memory_order_relaxed);
+    if (service_counters_ != nullptr) {
+      service_counters_->batches_flushed.fetch_add(
+          out.value().flushes, std::memory_order_relaxed);
+    }
+  }
+  if (out.value().worked) {
     gauges_.epochs.fetch_add(1, std::memory_order_relaxed);
     if (service_counters_ != nullptr) {
       service_counters_->epochs.fetch_add(1, std::memory_order_relaxed);

@@ -12,8 +12,14 @@
 //
 // Threading model: client threads call TrySubmit()/SubmitBlocking();
 // the executor thread (or the service's PumpOnce() in manual mode) is
-// the only toucher of the Engine, always under engine_mu_. Completion
-// and shard-finished callbacks fire on the executor thread.
+// the only *driver* of the Engine, always under engine_mu_. Within an
+// epoch the executor acts as coordinator: Engine::DrainServing fans
+// per-ATC scheduling rounds out to the engine's AtcScheduler pool
+// (QConfig::exec_threads, each ATC under its own lock) and keeps every
+// cross-ATC structure — batcher, optimizer, grafter, state registry,
+// spill tier — serialized on the executor thread. Completion and
+// shard-finished callbacks fire on the executor thread (completions
+// travel worker -> coordinator over a lock-free MPSC queue first).
 
 #ifndef QSYS_SHARD_SHARD_H_
 #define QSYS_SHARD_SHARD_H_

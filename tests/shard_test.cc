@@ -140,26 +140,6 @@ TEST(RankMergerTest, CanonicalizeIsIdempotentAndHandlesEmpty) {
 
 // ---- sharded service: differential equivalence ----
 
-/// Bit-exact serialization of a ranked answer list: score bits plus the
-/// full (table, row, slot-score) provenance of every result. Engine-local
-/// CQ ids and emission times are excluded — they are not stable across
-/// shard layouts (and are not part of what a client ranks on).
-std::string Fingerprint(const std::vector<ResultTuple>& results) {
-  std::string bytes;
-  auto put = [&bytes](const void* p, size_t n) {
-    bytes.append(reinterpret_cast<const char*>(p), n);
-  };
-  for (const ResultTuple& r : results) {
-    put(&r.score, sizeof(r.score));
-    for (const BaseRef& ref : r.tuple.refs()) {
-      put(&ref.table, sizeof(ref.table));
-      put(&ref.row, sizeof(ref.row));
-      put(&ref.score, sizeof(ref.score));
-    }
-    bytes.push_back('|');
-  }
-  return bytes;
-}
 
 /// Runs `queries` through a sharded service (deterministically: manual
 /// pump, drain shutdown) and returns each query's outcome fingerprint
@@ -191,7 +171,7 @@ std::vector<std::string> RunSharded(
   std::vector<std::string> fingerprints;
   for (QueryTicket& t : tickets) {
     const QueryOutcome& out = t.Wait();
-    fingerprints.push_back(out.status.ok() ? Fingerprint(out.results) : "");
+    fingerprints.push_back(out.status.ok() ? FingerprintResults(out.results) : "");
   }
   if (cross_shard_merges != nullptr) {
     *cross_shard_merges = service.counters().cross_shard_merges.load();

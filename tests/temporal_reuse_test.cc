@@ -225,25 +225,6 @@ TEST(RankMergeCompletenessTest, WarmRegistrationCounter) {
 
 using ::qsys::testing::BuildTinyBioDataset;
 
-/// Bit-exact serialization of a ranked answer list (scores plus the
-/// full base-tuple provenance; engine-local cq ids and emission times
-/// excluded — they are not stable across batching timings).
-std::string Fingerprint(const std::vector<ResultTuple>& results) {
-  std::string bytes;
-  auto put = [&bytes](const void* p, size_t n) {
-    bytes.append(reinterpret_cast<const char*>(p), n);
-  };
-  for (const ResultTuple& r : results) {
-    put(&r.score, sizeof(r.score));
-    for (const BaseRef& ref : r.tuple.refs()) {
-      put(&ref.table, sizeof(ref.table));
-      put(&ref.row, sizeof(ref.row));
-      put(&ref.score, sizeof(ref.score));
-    }
-    bytes.push_back('|');
-  }
-  return bytes;
-}
 
 QConfig GusConfig() {
   QConfig config;
@@ -326,7 +307,7 @@ std::vector<std::string> RunWaves(
   std::vector<std::string> fingerprints;
   for (QueryTicket& t : tickets) {
     const QueryOutcome& out = t.Wait();
-    fingerprints.push_back(out.status.ok() ? Fingerprint(out.results)
+    fingerprints.push_back(out.status.ok() ? FingerprintResults(out.results)
                                            : "");
   }
   return fingerprints;
@@ -469,7 +450,8 @@ struct ServedEngine {
       const std::vector<ResultTuple>* results =
           engine.ResultsFor(m.uq_id);
       fingerprints[m.uq_id] =
-          results != nullptr ? Fingerprint(*results) : "";
+          results != nullptr ? FingerprintResults(*results)
+                             : "";
       result_counts[m.uq_id] = m.results;
     });
   }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/core/qsystem.h"
+#include "src/exec/rank_merge_op.h"
 
 namespace qsys::testing {
 
