@@ -68,6 +68,8 @@ struct SweepRun {
   int64_t completed = 0;
   int64_t failed = 0;
   int num_atcs = 0;
+  /// End-to-end latency distribution of the best threaded pass.
+  LatencyHistogram::Snapshot latency;
   std::vector<std::string> fingerprints;
 };
 
@@ -163,8 +165,60 @@ bool RunThreadCount(int exec_threads,
       run->qps = qps;
       run->completed = completed;
       run->failed = service.counters().failed.load();
+      run->latency = service.metrics().AggregateSnapshot(
+          ServiceMetric::kEndToEndLatency);
     }
   }
+  return true;
+}
+
+/// Serves the workload once with tracing on (exec_threads=2, ATC-CL,
+/// one shard) and writes the Chrome trace to `path` — the per-ATC
+/// execution slices inside each epoch are the interesting rows here.
+bool RunTracedPass(const std::string& path,
+                   const std::vector<WorkloadQuery>& workload) {
+  ServiceOptions options;
+  options.config = BaseConfig();
+  options.config.exec_threads = 2;
+  options.config.trace_buffer_events = 1 << 16;
+  options.queue_capacity = kNumQueries;
+  QueryService service(options);
+  if (!service
+           .BuildEachEngine(
+               [](Engine& e) { return BuildGusDataset(e, SmallGus()); })
+           .ok() ||
+      !service.Start().ok()) {
+    printf("traced pass setup failed\n");
+    return false;
+  }
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kNumClients; ++c) {
+    clients.emplace_back([&, c] {
+      SessionId session =
+          service.OpenSession("client-" + std::to_string(c)).value();
+      std::vector<QueryTicket> tickets;
+      for (size_t i = c; i < workload.size(); i += kNumClients) {
+        auto ticket = service.Submit(session, workload[i].keywords,
+                                     workload[i].options);
+        if (ticket.ok()) tickets.push_back(ticket.value());
+      }
+      for (QueryTicket& ticket : tickets) ticket.Wait();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  if (!service.Shutdown().ok()) {
+    printf("traced pass shutdown failed\n");
+    return false;
+  }
+  Status dumped = service.DumpTrace(path);
+  if (!dumped.ok()) {
+    printf("trace dump failed: %s\n", dumped.ToString().c_str());
+    return false;
+  }
+  printf("trace written to %s (%lld events dropped) — open in "
+         "chrome://tracing or Perfetto\n",
+         path.c_str(),
+         static_cast<long long>(service.tracer()->dropped()));
   return true;
 }
 
@@ -206,9 +260,11 @@ int main(int argc, char** argv) {
     SweepRun run;
     if (!RunThreadCount(n, workload, &run)) return 1;
     printf("  exec_threads=%d: %.3f s wall, %.2f queries/s, "
-           "%lld completed, %d ATCs\n",
+           "%lld completed, %d ATCs, latency p50=%lldus p99=%lldus\n",
            n, run.wall_seconds, run.qps,
-           static_cast<long long>(run.completed), run.num_atcs);
+           static_cast<long long>(run.completed), run.num_atcs,
+           static_cast<long long>(run.latency.p50_us),
+           static_cast<long long>(run.latency.p99_us));
     runs.push_back(std::move(run));
   }
 
@@ -252,10 +308,15 @@ int main(int argc, char** argv) {
     json.Add(prefix + ".completed", run.completed);
     json.Add(prefix + ".failed", run.failed);
     json.Add(prefix + ".num_atcs", run.num_atcs);
+    json.Add(prefix + ".latency_p50_us", run.latency.p50_us);
+    json.Add(prefix + ".latency_p99_us", run.latency.p99_us);
   }
   json.Add("parallel_speedup", speedup);
   json.Add("byte_equivalent", static_cast<int64_t>(equivalent ? 1 : 0));
   json.Write();
+
+  std::string trace_out = qsys::bench::TraceOutPath(argc, argv);
+  if (!trace_out.empty() && !RunTracedPass(trace_out, workload)) return 1;
 
   ShapeChecker check;
   // Guards the equivalence check against passing vacuously on

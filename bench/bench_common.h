@@ -87,6 +87,18 @@ class ShapeChecker {
   int failed_ = 0;
 };
 
+/// Parses `--trace-out=PATH` (anywhere in argv): the file the bench
+/// should dump a Chrome trace_event JSON to (open in chrome://tracing
+/// or Perfetto). Empty = tracing not requested.
+inline std::string TraceOutPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      return argv[i] + 12;
+    }
+  }
+  return "";
+}
+
 inline double Mean(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
   double total = 0.0;

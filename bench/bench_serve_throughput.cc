@@ -187,6 +187,61 @@ bool RunShardedWorkload(int num_shards,
   return true;
 }
 
+/// Serves the workload once with tracing on — 2 shards, 2 exec threads
+/// per shard, so the dump shows per-query spans crossing both shard
+/// and worker-thread rows — and writes the Chrome trace to `path`.
+bool RunTracedPass(const std::string& path,
+                   const std::vector<WorkloadQuery>& workload) {
+  ServiceOptions options;
+  options.config = BaseConfig();
+  options.config.sharing = SharingConfig::kAtcCl;
+  options.config.batch_window_us = 50'000;
+  options.config.num_shards = 2;
+  options.config.exec_threads = 2;
+  options.config.shard_affinity = ShardAffinity::kSignatureHash;
+  options.config.trace_buffer_events = 1 << 16;
+  options.queue_capacity = kNumQueries;
+  QueryService service(options);
+  if (!service
+           .BuildEachEngine(
+               [](Engine& e) { return BuildGusDataset(e, SmallGus()); })
+           .ok() ||
+      !service.Start().ok()) {
+    printf("traced pass setup failed\n");
+    return false;
+  }
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kNumClients; ++c) {
+    clients.emplace_back([&, c] {
+      SessionId session =
+          service.OpenSession("client-" + std::to_string(c)).value();
+      std::vector<QueryTicket> tickets;
+      for (size_t i = c; i < workload.size(); i += kNumClients) {
+        auto ticket = service.Submit(session, workload[i].keywords,
+                                     workload[i].options);
+        if (ticket.ok()) tickets.push_back(ticket.value());
+      }
+      for (QueryTicket& ticket : tickets) ticket.Wait();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  if (!service.Shutdown().ok()) {
+    printf("traced pass shutdown failed\n");
+    return false;
+  }
+  Status dumped = service.DumpTrace(path);
+  if (!dumped.ok()) {
+    printf("trace dump failed: %s\n", dumped.ToString().c_str());
+    return false;
+  }
+  printf("\ntrace written to %s (%lld events dropped) — open in "
+         "chrome://tracing or Perfetto\n",
+         path.c_str(),
+         static_cast<long long>(service.tracer()->dropped()));
+  printf("traced-pass metrics:\n%s", service.MetricsText().c_str());
+  return true;
+}
+
 /// Parses --shards=1,2,4 (default) into a sweep list.
 std::vector<int> ParseShardSweep(int argc, char** argv) {
   std::string spec = "1,2,4";
@@ -219,6 +274,10 @@ bool RunDeterministicServe(const std::vector<WorkloadQuery>& workload,
   options.config.batch_window_us = 50'000;
   options.queue_capacity = kNumQueries;
   options.manual_pump = true;
+  // Tracing stays on for the CI tripwire: the sharing-ratio floors must
+  // hold with the ring buffers recording (instrumentation must never
+  // change what executes).
+  options.config.trace_buffer_events = 1 << 14;
   QueryService service(options);
   if (!service
            .BuildEachEngine(
@@ -384,6 +443,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   ExecStats shared = service.stats_snapshot();
+  LatencyHistogram::Snapshot e2e =
+      service.metrics().AggregateSnapshot(ServiceMetric::kEndToEndLatency);
+  LatencyHistogram::Snapshot qwait =
+      service.metrics().AggregateSnapshot(ServiceMetric::kQueueWait);
 
   int64_t submitted = service.counters().submitted.load();
   int64_t completed = service.counters().completed.load();
@@ -399,6 +462,8 @@ int main(int argc, char** argv) {
          "tuples)\n",
          wall_seconds, static_cast<double>(completed) / wall_seconds,
          kNumClients, static_cast<long long>(result_tuples));
+  printf("end-to-end latency: %s\n", e2e.ToString().c_str());
+  printf("queue wait:         %s\n", qwait.ToString().c_str());
   printf("\n%-22s %14s %14s %8s\n", "total work", "isolated", "served",
          "ratio");
   auto row = [](const char* name, int64_t a, int64_t b) {
@@ -424,6 +489,10 @@ int main(int argc, char** argv) {
   json.Add("queries_per_second",
            static_cast<double>(completed) / wall_seconds);
   json.Add("result_tuples", result_tuples);
+  json.Add("latency_p50_us", e2e.p50_us);
+  json.Add("latency_p99_us", e2e.p99_us);
+  json.Add("latency_max_us", e2e.max_us);
+  json.Add("queue_wait_p99_us", qwait.p99_us);
   json.Add("isolated.tuples_streamed", isolated.tuples_streamed);
   json.Add("isolated.probes_issued", isolated.probes_issued);
   json.Add("isolated.join_probes", isolated.join_probes);
@@ -443,6 +512,10 @@ int main(int argc, char** argv) {
               "shared execution streams fewer tuples than isolated runs");
   check.Check(shared.probes_issued <= isolated.probes_issued,
               "shared execution issues no more probes");
+
+  // ---- optional traced pass: --trace-out=PATH ----
+  std::string trace_out = qsys::bench::TraceOutPath(argc, argv);
+  if (!trace_out.empty() && !RunTracedPass(trace_out, workload)) return 1;
 
   // ---- shard-scaling sweep: same workload, 1..N shards ----
   std::vector<int> sweep = ParseShardSweep(argc, argv);

@@ -1,6 +1,7 @@
 // Concurrent serving: four client threads share one QueryService.
 //
 //   $ ./concurrent_service
+//   $ ./concurrent_service --trace-out=trace.json
 //
 // Each client opens a session and submits overlapping keyword queries
 // on real wall-clock time. The service batches whatever arrives within
@@ -8,8 +9,15 @@
 // shared plan graph, and streams each client its ranked top-k back
 // through its ticket future — the paper's work-sharing machinery, run
 // as an online service instead of a simulation.
+//
+// With --trace-out the run serves from two shards with two exec threads
+// each, records every span (admit, queue wait, batch window, optimize,
+// graft, epochs, per-ATC execution, resolve), writes a Chrome
+// trace_event JSON to the given path (open in chrome://tracing or
+// Perfetto), and prints the latency histograms.
 
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -99,14 +107,29 @@ struct ClientScript {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    }
+  }
+
   ServiceOptions options;
   options.config.k = 3;
   options.config.batch_size = 4;
   options.config.batch_window_us = 20'000;  // 20 ms wall-clock window
+  if (!trace_out.empty()) {
+    // The traced run exercises the full thread surface so the dump has
+    // something to show: two shards, two exec threads per shard.
+    options.config.num_shards = 2;
+    options.config.exec_threads = 2;
+    options.config.shard_affinity = ShardAffinity::kSignatureHash;
+    options.config.trace_buffer_events = 1 << 14;
+  }
 
   QueryService service(options);
-  Status built = BuildCatalog(service.engine());
+  Status built = service.BuildEachEngine(BuildCatalog);
   if (!built.ok()) {
     printf("catalog build failed: %s\n", built.ToString().c_str());
     return 1;
@@ -172,5 +195,16 @@ int main() {
   printf("  %lld queries completed across %zu sessions\n",
          static_cast<long long>(service.counters().completed.load()),
          scripts.size());
+
+  if (!trace_out.empty()) {
+    Status dumped = service.DumpTrace(trace_out);
+    if (!dumped.ok()) {
+      printf("trace dump failed: %s\n", dumped.ToString().c_str());
+      return 1;
+    }
+    printf("\nlatency histograms:\n%s", service.MetricsText().c_str());
+    printf("trace written to %s — open in chrome://tracing or Perfetto\n",
+           trace_out.c_str());
+  }
   return 0;
 }

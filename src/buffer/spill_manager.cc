@@ -309,8 +309,16 @@ void SpillManager::WriterLoop() {
 }
 
 void SpillManager::FlushWriteBacks() {
-  std::unique_lock<std::mutex> lock(wb_mu_);
-  wb_done_cv_.wait(lock, [this] { return wb_queue_.empty() && !wb_busy_; });
+  const int64_t t0 = tracer_ != nullptr ? tracer_->NowUs() : 0;
+  {
+    std::unique_lock<std::mutex> lock(wb_mu_);
+    wb_done_cv_.wait(lock,
+                     [this] { return wb_queue_.empty() && !wb_busy_; });
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Span(TraceEventType::kWriteBackBarrier, t0,
+                  tracer_->NowUs() - t0, trace_shard_);
+  }
 }
 
 Result<SegmentFile*> SpillManager::SegmentFor(Class cls) {
@@ -347,6 +355,7 @@ Status SpillManager::ReadPayload(const Handle& handle,
 
 Status SpillManager::SpillTable(const std::string& key,
                                 const JoinHashTable& table) {
+  const int64_t t0 = tracer_ != nullptr ? tracer_->NowUs() : 0;
   std::lock_guard<std::mutex> lock(mu_);
   QSYS_RETURN_IF_ERROR(SegmentFor(Class::kHashTable).status());
   // Stream the victim straight into pool frames, entry by entry — no
@@ -362,7 +371,13 @@ Status SpillManager::SpillTable(const std::string& key,
       QSYS_RETURN_IF_ERROR(PutRef(&writer, r));
     }
   }
-  return FinishSpill(Class::kHashTable, writer, table.num_entries(), key);
+  Status sealed =
+      FinishSpill(Class::kHashTable, writer, table.num_entries(), key);
+  if (sealed.ok() && tracer_ != nullptr) {
+    tracer_->Span(TraceEventType::kSpillDemote, t0, tracer_->NowUs() - t0,
+                  trace_shard_, -1, -1, table.num_entries());
+  }
+  return sealed;
 }
 
 Status SpillManager::FinishSpill(Class cls, SpillPageWriter& writer,
@@ -389,6 +404,7 @@ Status SpillManager::FinishSpill(Class cls, SpillPageWriter& writer,
 
 Result<SpillManager::RestoreOutcome> SpillManager::RestoreTable(
     const std::string& key, JoinHashTable* dest) {
+  const int64_t t0 = tracer_ != nullptr ? tracer_->NowUs() : 0;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = handles_.find(key);
   if (it == handles_.end()) {
@@ -421,11 +437,16 @@ Result<SpillManager::RestoreOutcome> SpillManager::RestoreTable(
   RestoreOutcome out{n, it->second.payload_bytes};
   DropLocked(key);
   ++items_restored_;
+  if (tracer_ != nullptr) {
+    tracer_->Span(TraceEventType::kSpillRestore, t0,
+                  tracer_->NowUs() - t0, trace_shard_, -1, -1, out.bytes);
+  }
   return out;
 }
 
 Status SpillManager::SpillProbeCache(const std::string& key,
                                      const ProbeSource& probe) {
+  const int64_t t0 = tracer_ != nullptr ? tracer_->NowUs() : 0;
   std::lock_guard<std::mutex> lock(mu_);
   QSYS_RETURN_IF_ERROR(SegmentFor(Class::kProbeCache).status());
   const ProbeSource::CacheMap& cache = probe.cache();
@@ -440,12 +461,19 @@ Status SpillManager::SpillProbeCache(const std::string& key,
       QSYS_RETURN_IF_ERROR(PutRef(&writer, r));
     }
   }
-  return FinishSpill(Class::kProbeCache, writer,
-                     static_cast<int64_t>(cache.size()), key);
+  Status sealed = FinishSpill(Class::kProbeCache, writer,
+                              static_cast<int64_t>(cache.size()), key);
+  if (sealed.ok() && tracer_ != nullptr) {
+    tracer_->Span(TraceEventType::kSpillDemote, t0, tracer_->NowUs() - t0,
+                  trace_shard_, -1, -1,
+                  static_cast<int64_t>(cache.size()));
+  }
+  return sealed;
 }
 
 Result<SpillManager::RestoreOutcome> SpillManager::RestoreProbeCache(
     const std::string& key, ProbeSource* probe) {
+  const int64_t t0 = tracer_ != nullptr ? tracer_->NowUs() : 0;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = handles_.find(key);
   if (it == handles_.end()) {
@@ -474,6 +502,10 @@ Result<SpillManager::RestoreOutcome> SpillManager::RestoreProbeCache(
   RestoreOutcome out{n, it->second.payload_bytes};
   DropLocked(key);
   ++items_restored_;
+  if (tracer_ != nullptr) {
+    tracer_->Span(TraceEventType::kSpillRestore, t0,
+                  tracer_->NowUs() - t0, trace_shard_, -1, -1, out.bytes);
+  }
   return out;
 }
 

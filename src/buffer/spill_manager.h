@@ -38,6 +38,7 @@
 #include "src/buffer/buffer_manager.h"
 #include "src/common/metrics.h"
 #include "src/exec/join_hash_table.h"
+#include "src/obs/trace.h"
 #include "src/source/probe_source.h"
 
 namespace qsys {
@@ -132,6 +133,15 @@ class SpillManager {
   /// destruction), not the configured parent.
   const std::string& dir() const { return dir_; }
 
+  /// Attaches the serving trace sink (may be null): successful
+  /// demotions/restores record spans (arg = items / payload bytes) and
+  /// FlushWriteBacks records its barrier wait. Set before serving
+  /// starts; spill/restore threads are created afterwards.
+  void set_tracer(Tracer* tracer, int shard) {
+    tracer_ = tracer;
+    trace_shard_ = shard;
+  }
+
  private:
   struct Handle {
     Class cls = Class::kHashTable;
@@ -174,6 +184,11 @@ class SpillManager {
   std::unordered_map<std::string, Handle> handles_;
   int64_t items_spilled_ = 0;
   int64_t items_restored_ = 0;
+
+  /// Serving trace sink (null in the simulator). Written once before
+  /// any tracing thread exists; never touched by WriterLoop.
+  Tracer* tracer_ = nullptr;
+  int trace_shard_ = 0;
 
   // ---- background write-back (demotion off the executor) ----
   std::mutex wb_mu_;

@@ -144,6 +144,20 @@ struct AtomicExecStats {
   }
 };
 
+// Mirror tripwires: ExecStats crosses thread boundaries through
+// AtomicExecStats::Store/Load and shard aggregation through
+// ExecStats::Merge, all of which enumerate fields by hand. A counter
+// added to one struct but not the other would silently vanish from
+// serve/shard observability — the size equalities below (both structs
+// are padding-free arrays of 8-byte fields) turn that into a compile
+// error, and tests/obs_test.cc pattern-checks the enumerations.
+static_assert(sizeof(ExecStats) == 13 * sizeof(int64_t),
+              "ExecStats gained/lost a field: update AtomicExecStats"
+              "::Store/Load, ExecStats::Merge/ToString, and the mirror "
+              "test in tests/obs_test.cc");
+static_assert(sizeof(AtomicExecStats) == sizeof(ExecStats),
+              "AtomicExecStats must mirror every ExecStats field");
+
 /// \brief Counters of the disk-spill tier (src/buffer/): how much
 /// evicted query state was demoted to disk instead of destroyed, and
 /// what it cost to page it back in.
@@ -165,6 +179,12 @@ struct SpillStats {
   /// One-line rendering for logs and bench output.
   std::string ToString() const;
 };
+
+static_assert(sizeof(SpillStats) == 6 * sizeof(int64_t),
+              "SpillStats gained/lost a field: update ServiceCounters"
+              "::StoreSpill/LoadSpill, the spill gauge aggregation in "
+              "QueryService::AggregateSpillGauges, and the mirror test "
+              "in tests/obs_test.cc");
 
 /// \brief Admission/serving counters for the wall-clock query service.
 ///

@@ -122,6 +122,17 @@ struct QConfig {
   /// simulator (QSystem) ignores this.
   int exec_threads = 1;
 
+  /// Observability (src/obs/): per-thread trace ring-buffer capacity,
+  /// in events. When > 0 the serving layer records lifecycle spans
+  /// (admit, queue wait, batch window, optimize, graft, per-ATC epoch
+  /// execution, spill traffic, completion) into lock-free drop-oldest
+  /// ring buffers, exported via QueryService::DumpTrace() in Chrome
+  /// trace_event format. 0 (default) disables tracing entirely — no
+  /// buffers are allocated and every record site is a null-pointer
+  /// check. Latency histograms (QueryService::metrics()) are always on;
+  /// they are a handful of relaxed atomic adds per query.
+  int trace_buffer_events = 0;
+
   /// Conversion factor from measured optimizer wall time to virtual
   /// time charged on the clock.
   double opt_time_multiplier = 1.0;

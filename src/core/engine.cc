@@ -32,6 +32,15 @@ Engine::Engine(QConfig config)
 
 Engine::~Engine() = default;
 
+void Engine::SetObservability(Tracer* tracer, MetricsRegistry* metrics,
+                              int shard) {
+  tracer_ = tracer;
+  obs_metrics_ = metrics;
+  obs_shard_ = shard;
+  state_manager_->set_tracer(tracer, shard);
+  if (spill_manager_ != nullptr) spill_manager_->set_tracer(tracer, shard);
+}
+
 SchemaGraph& Engine::InitSchemaGraph() {
   if (!schema_graph_) {
     schema_graph_ = std::make_unique<SchemaGraph>(&catalog_);
@@ -136,6 +145,20 @@ Status Engine::OptimizeAndGraft(const std::vector<const UserQuery*>& batch,
   OptimizeOutcome outcome =
       optimizer_->OptimizeBatch(batch, opts, base_tag);
 
+  const int64_t opt_wall_us =
+      static_cast<int64_t>(outcome.wall_seconds * 1e6);
+  if (obs_metrics_ != nullptr) {
+    obs_metrics_->Record(ServiceMetric::kOptimizeTime, obs_shard_,
+                         opt_wall_us);
+  }
+  if (tracer_ != nullptr) {
+    // The optimizer just ran on this thread: its span ends now and
+    // started opt_wall_us ago.
+    tracer_->Span(TraceEventType::kOptimize, tracer_->NowUs() - opt_wall_us,
+                  opt_wall_us, obs_shard_, -1, atc->id(),
+                  static_cast<int64_t>(batch.size()));
+  }
+
   if (retain_history_) {
     OptimizationRecord rec;
     rec.candidates = outcome.candidates_considered;
@@ -152,6 +175,11 @@ Status Engine::OptimizeAndGraft(const std::vector<const UserQuery*>& batch,
   atc->clock().Advance(opt_us);
   atc->stats().optimize_us += opt_us;
 
+  const int64_t graft_t0 = tracer_ != nullptr ? tracer_->NowUs() : 0;
+  const int64_t rederived_before =
+      tracer_ != nullptr ? grafter_->tuples_rederived() : 0;
+  const int64_t skipped_before =
+      tracer_ != nullptr ? grafter_->tuples_rederived_skipped() : 0;
   for (const OptimizedGroup& group : outcome.groups) {
     int tag = base_tag;
     if (mode == SharingMode::kNone && !group.cq_ids.empty()) {
@@ -166,6 +194,23 @@ Status Engine::OptimizeAndGraft(const std::vector<const UserQuery*>& batch,
     }
     QSYS_RETURN_IF_ERROR(grafter_->Graft(group, batch, atc, tag));
   }
+  if (tracer_ != nullptr) {
+    tracer_->Span(TraceEventType::kGraft, graft_t0,
+                  tracer_->NowUs() - graft_t0, obs_shard_, -1, atc->id(),
+                  static_cast<int64_t>(outcome.groups.size()));
+    const int64_t rederived =
+        grafter_->tuples_rederived() - rederived_before;
+    const int64_t skipped =
+        grafter_->tuples_rederived_skipped() - skipped_before;
+    if (rederived > 0) {
+      tracer_->Instant(TraceEventType::kRederive, obs_shard_, -1,
+                       atc->id(), rederived);
+    }
+    if (skipped > 0) {
+      tracer_->Instant(TraceEventType::kWatermarkSkip, obs_shard_, -1,
+                       atc->id(), skipped);
+    }
+  }
   return Status::OK();
 }
 
@@ -179,6 +224,26 @@ Status Engine::FlushBatch(VirtualTime flush_at) {
   }
   if (batch.empty()) return Status::OK();
 
+  if (tracer_ == nullptr) return RouteBatch(batch, flush_at);
+
+  // Each member's batch-window wait: submit to flush, on the service's
+  // virtual (wall-since-start) timeline — the same timeline NowUs()
+  // reports, so these spans nest under the surrounding epoch.
+  for (const UserQuery* uq : batch) {
+    tracer_->Span(TraceEventType::kBatchWait, uq->submit_time_us,
+                  std::max<int64_t>(0, flush_at - uq->submit_time_us),
+                  obs_shard_, uq->id);
+  }
+  const int64_t flush_t0 = tracer_->NowUs();
+  Status routed = RouteBatch(batch, flush_at);
+  tracer_->Span(TraceEventType::kFlush, flush_t0,
+                tracer_->NowUs() - flush_t0, obs_shard_, -1, -1,
+                static_cast<int64_t>(batch.size()));
+  return routed;
+}
+
+Status Engine::RouteBatch(const std::vector<const UserQuery*>& batch,
+                          VirtualTime flush_at) {
   switch (config_.sharing) {
     case SharingConfig::kAtcCq:
       return OptimizeAndGraft(batch, GetOrCreateAtc(0, flush_at),
@@ -335,15 +400,28 @@ Status Engine::DrainAtcsTo(VirtualTime bound) {
   for (Atc* atc : ready) {
     tasks.push_back([this, atc, bound, max_rounds, &rounds,
                      &over_budget] {
-      std::lock_guard<std::mutex> atc_lock(atc->mu());
-      while (atc->HasWork() && atc->clock().now() < bound) {
-        atc->Step();
-        HarvestCompletions(atc);
-        int64_t r = rounds.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (max_rounds > 0 && r > max_rounds) {
-          over_budget.store(true, std::memory_order_relaxed);
+      const int64_t drain_t0 = tracer_ != nullptr ? tracer_->NowUs() : 0;
+      int64_t local_rounds = 0;
+      {
+        std::lock_guard<std::mutex> atc_lock(atc->mu());
+        while (atc->HasWork() && atc->clock().now() < bound) {
+          atc->Step();
+          ++local_rounds;
+          HarvestCompletions(atc);
+          int64_t r = rounds.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (max_rounds > 0 && r > max_rounds) {
+            over_budget.store(true, std::memory_order_relaxed);
+          }
+          if (over_budget.load(std::memory_order_relaxed)) break;
         }
-        if (over_budget.load(std::memory_order_relaxed)) break;
+      }
+      if (tracer_ != nullptr && local_rounds > 0) {
+        // One span per ATC per drain segment: which plan graph this
+        // worker executed, for how long, and how many scheduling
+        // rounds it got through (the epoch-tail question).
+        tracer_->Span(TraceEventType::kAtcExec, drain_t0,
+                      tracer_->NowUs() - drain_t0, obs_shard_, -1,
+                      atc->id(), local_rounds);
       }
     });
   }
@@ -364,6 +442,11 @@ void Engine::HarvestCompletions(Atc* atc) {
     done.metrics = m;
     if (const std::vector<ResultTuple>* res = atc->ResultsFor(m.uq_id)) {
       done.results = *res;
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Instant(TraceEventType::kComplete, obs_shard_, m.uq_id,
+                       atc->id(),
+                       static_cast<int64_t>(done.results.size()));
     }
     completed_queue_.Push(std::move(done));
     if (!retain_history_) {

@@ -46,6 +46,8 @@
 #include "src/core/atc_scheduler.h"
 #include "src/core/config.h"
 #include "src/keyword/candidate_gen.h"
+#include "src/obs/histogram.h"
+#include "src/obs/trace.h"
 #include "src/qs/batcher.h"
 #include "src/qs/graft.h"
 #include "src/qs/state_manager.h"
@@ -270,6 +272,15 @@ class Engine {
   StateManager& state_manager() { return *state_manager_; }
   const QueryBatcher& batcher() const { return batcher_; }
 
+  /// Attaches the serving observability sinks (both may be null; the
+  /// simulator never attaches any). `tracer` receives flush / optimize
+  /// / graft / per-ATC execution / completion events, forwarded to the
+  /// state manager (evictions) and spill tier (demote/restore/barrier)
+  /// as well; `metrics` receives the optimize-time distribution.
+  /// `shard` tags every event. Call before serving starts (it is read
+  /// by drain workers without synchronization afterwards).
+  void SetObservability(Tracer* tracer, MetricsRegistry* metrics, int shard);
+
   /// The disk-spill tier (nullptr when QConfig::spill_dir is empty or
   /// the spill directory could not be opened — see spill_status()).
   const SpillManager* spill_manager() const { return spill_manager_.get(); }
@@ -289,6 +300,9 @@ class Engine {
 
   Atc* GetOrCreateAtc(int index_hint, VirtualTime start_time);
   Status FlushBatch(VirtualTime flush_at);
+  /// The sharing-config dispatch of FlushBatch (batch is non-empty).
+  Status RouteBatch(const std::vector<const UserQuery*>& batch,
+                    VirtualTime flush_at);
   Status OptimizeAndGraft(const std::vector<const UserQuery*>& batch,
                           Atc* atc, SharingMode mode, int base_tag,
                           VirtualTime flush_at);
@@ -338,6 +352,12 @@ class Engine {
   std::vector<OptimizationRecord> opt_records_;
   std::vector<std::pair<int, Status>> generation_failures_;
   CompletionListener completion_listener_;
+  /// Serving observability (null in the simulator): set once before
+  /// serving via SetObservability, read by the coordinator and by
+  /// drain workers created afterwards.
+  Tracer* tracer_ = nullptr;
+  MetricsRegistry* obs_metrics_ = nullptr;
+  int obs_shard_ = 0;
   int next_uq_id_ = 1;
   int next_cq_id_ = 1;
   int flush_counter_ = 0;

@@ -1,0 +1,64 @@
+#include "src/obs/trace_export.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace qsys {
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+
+  // One Chrome "process" per shard (pid = shard + 1; pid 0 is the
+  // service level), named up front via metadata events.
+  std::set<int> pids;
+  for (const TraceEvent& ev : events) pids.insert(ev.shard + 1);
+  for (int pid : pids) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"";
+    if (pid == 0) {
+      os << "service";
+    } else {
+      os << "shard " << (pid - 1);
+    }
+    os << "\"}}";
+  }
+
+  for (const TraceEvent& ev : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << TraceEventTypeName(ev.type)
+       << "\",\"cat\":\"qsys\",\"ph\":\""
+       << (TraceEventIsSpan(ev.type) ? "X" : "i") << "\",\"ts\":" << ev.ts_us
+       << ",\"pid\":" << (ev.shard + 1) << ",\"tid\":" << ev.tid;
+    if (TraceEventIsSpan(ev.type)) {
+      os << ",\"dur\":" << ev.dur_us;
+    } else {
+      os << ",\"s\":\"t\"";
+    }
+    os << ",\"args\":{\"uq\":" << ev.uq_id << ",\"atc\":" << ev.atc
+       << ",\"arg\":" << ev.arg << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+Status WriteChromeTrace(const std::vector<TraceEvent>& events,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open trace output file: " + path);
+  }
+  out << ChromeTraceJson(events);
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("failed writing trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace qsys

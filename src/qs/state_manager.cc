@@ -206,6 +206,10 @@ int StateManager::EnforceBudget(VirtualTime now) {
   }
   for (const std::string& k : keys_to_erase) tables_.erase(k);
   evictions_ += evicted;
+  if (tracer_ != nullptr && evicted > 0) {
+    tracer_->Instant(TraceEventType::kEvict, trace_shard_, -1, -1,
+                     evicted);
+  }
   return evicted;
 }
 

@@ -18,6 +18,7 @@
 
 #include "src/buffer/spill_manager.h"
 #include "src/exec/atc.h"
+#include "src/obs/trace.h"
 #include "src/opt/stats_registry.h"
 #include "src/qs/eviction.h"
 #include "src/source/delay_model.h"
@@ -124,6 +125,13 @@ class StateManager {
   /// and every restore charge.
   VirtualTime SpillReadCostUs(int64_t bytes) const;
 
+  /// Attaches the serving trace sink (may be null). Budget enforcement
+  /// records one kEvict instant (arg = victims) per eviction pass.
+  void set_tracer(Tracer* tracer, int shard) {
+    tracer_ = tracer;
+    trace_shard_ = shard;
+  }
+
  private:
   struct TableEntry {
     JoinHashTable* table = nullptr;
@@ -159,6 +167,9 @@ class StateManager {
   /// Timestamp of the latest registration/enforcement, so the
   /// immediate enforcement in set_memory_budget_bytes has a clock.
   VirtualTime last_now_us_ = 0;
+  /// Serving trace sink (null in the simulator).
+  Tracer* tracer_ = nullptr;
+  int trace_shard_ = 0;
 };
 
 }  // namespace qsys

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/trace_export.h"
+
 namespace qsys {
 
 namespace {
@@ -14,6 +16,10 @@ QueryService::QueryService(ServiceOptions options)
       router_(options_.config.num_shards, options_.config.shard_affinity),
       sessions_(options_.max_in_flight_per_session) {
   int n = std::max(1, options_.config.num_shards);
+  metrics_ = std::make_unique<MetricsRegistry>(n);
+  if (options_.config.trace_buffer_events > 0) {
+    tracer_ = std::make_unique<Tracer>(options_.config.trace_buffer_events);
+  }
   shards_.reserve(n);
   for (int i = 0; i < n; ++i) {
     QConfig config = options_.config;
@@ -28,6 +34,7 @@ QueryService::QueryService(ServiceOptions options)
       OnShardFinished(id, terminal);
     });
     shard->set_stats_listener([this] { AggregateSpillGauges(); });
+    shard->set_observability(tracer_.get(), metrics_.get());
   }
 }
 
@@ -103,6 +110,8 @@ Status QueryService::Start() {
     return tables;
   });
   start_wall_ = Clock::now();
+  // Trace timestamps and UserQuery submit times share one zero point.
+  if (tracer_ != nullptr) tracer_->set_time_zero(start_wall_);
   started_ = true;
   for (auto& shard : shards_) {
     QSYS_RETURN_IF_ERROR(shard->Start(start_wall_, options_.manual_pump));
@@ -134,6 +143,7 @@ std::shared_future<QueryOutcome> QueryService::RegisterInFlight(
   entry.session = session;
   entry.keywords = keywords;
   entry.shard = shard;
+  entry.submit_us = NowUs();
   std::shared_future<QueryOutcome> future =
       entry.promise.get_future().share();
   inflight_.emplace(uq_id, std::move(entry));
@@ -162,6 +172,7 @@ Result<QueryTicket> QueryService::Submit(SessionId session,
   request.user_id = session;
   request.keywords = keywords;
   request.options = options;
+  request.submit_us = NowUs();
 
   int shard = router_.Route(keywords);
   int uq_id = request.uq_id;
@@ -186,10 +197,16 @@ Result<QueryTicket> QueryService::Submit(SessionId session,
     }
     sessions_.OnRejected(session);
     counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    if (tracer_ != nullptr) {
+      tracer_->Instant(TraceEventType::kReject, shard, uq_id);
+    }
     return Status::ResourceExhausted(
         "submit queue full or service shutting down");
   }
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (tracer_ != nullptr) {
+    tracer_->Instant(TraceEventType::kAdmit, shard, uq_id);
+  }
   return QueryTicket(uq_id, std::move(future));
 }
 
@@ -205,6 +222,9 @@ Result<QueryTicket> QueryService::SubmitScatter(
   std::shared_future<QueryOutcome> future =
       RegisterInFlight(parent_id, session, keywords, /*shard=*/-1);
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (tracer_ != nullptr) {
+    tracer_->Instant(TraceEventType::kAdmit, /*shard=*/-1, parent_id);
+  }
   if (!gen.ok()) {
     // Same client experience as the routed path: the ticket resolves
     // with the generation failure.
@@ -234,6 +254,7 @@ Result<QueryTicket> QueryService::SubmitScatter(
     request.uq_id = sub_id;
     request.user_id = session;
     request.prepared = std::move(sub);
+    request.submit_us = NowUs();
     to_push.emplace_back(s, std::move(request));
     state.pending += 1;
     state.sub_shards.push_back(s);
@@ -278,6 +299,9 @@ Result<QueryTicket> QueryService::SubmitScatter(
     sessions_.OnRejected(session);
     counters_.submitted.fetch_sub(1, std::memory_order_relaxed);
     counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    if (tracer_ != nullptr) {
+      tracer_->Instant(TraceEventType::kReject, /*shard=*/-1, parent_id);
+    }
     return Status::ResourceExhausted(
         "submit queue full or service shutting down");
   }
@@ -354,6 +378,10 @@ void QueryService::OnScatterSub(int parent_id,
       RankMerger::Merge(streams, options_.config.k);
   metrics.results = static_cast<int>(merged.size());
   counters_.cross_shard_merges.fetch_add(1, std::memory_order_relaxed);
+  if (tracer_ != nullptr) {
+    tracer_->Instant(TraceEventType::kCrossShardMerge, /*shard=*/-1,
+                     parent_id, -1, static_cast<int64_t>(streams.size()));
+  }
   Resolve(parent_id, Status::OK(), &metrics, &merged);
 }
 
@@ -386,6 +414,18 @@ void QueryService::Resolve(int uq_id, Status status,
     counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
   } else {
     counters_.failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (outcome.status.ok() && entry.submit_us >= 0) {
+    // End-to-end: submit-queue entry to ticket resolution. Scatter
+    // parents (shard == -1) account to shard 0's histogram; the
+    // aggregate view is unaffected.
+    metrics_->Record(ServiceMetric::kEndToEndLatency,
+                     entry.shard >= 0 ? entry.shard : 0,
+                     std::max<int64_t>(0, NowUs() - entry.submit_us));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Instant(TraceEventType::kResolve, entry.shard, uq_id, -1,
+                     static_cast<int64_t>(outcome.results.size()));
   }
   sessions_.OnResolved(entry.session, outcome.status.ok());
 
@@ -480,6 +520,14 @@ Status QueryService::Shutdown(ShutdownMode mode) {
     if (!s.ok()) return s;
   }
   return Status::OK();
+}
+
+Status QueryService::DumpTrace(const std::string& path) const {
+  if (tracer_ == nullptr) {
+    return Status::FailedPrecondition(
+        "tracing disabled (QConfig::trace_buffer_events == 0)");
+  }
+  return WriteChromeTrace(tracer_->Snapshot(), path);
 }
 
 Status QueryService::PumpOnce() {

@@ -61,6 +61,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/histogram.h"
+#include "src/obs/trace.h"
 #include "src/serve/result_sink.h"
 #include "src/serve/session.h"
 #include "src/shard/rank_merger.h"
@@ -189,6 +191,26 @@ class QueryService {
   /// shared by every shard.
   VirtualTime NowUs() const;
 
+  /// Latency histograms (end-to-end, queue wait, optimize time, epoch
+  /// duration), per shard and aggregated. Always on; lock-free reads.
+  const MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// One-call plain-text snapshot of every latency distribution — the
+  /// bench/example rendering of metrics().
+  std::string MetricsText() const { return metrics_->RenderText(); }
+
+  /// The trace collector, or nullptr when tracing is disabled
+  /// (QConfig::trace_buffer_events == 0).
+  Tracer* tracer() { return tracer_.get(); }
+
+  /// Writes everything currently in the trace ring buffers to `path`
+  /// in Chrome trace_event JSON (open in chrome://tracing or Perfetto).
+  /// Callable at any time — concurrent recording is safe — but a dump
+  /// after Shutdown() holds the complete span set of the run (bounded
+  /// by drop-oldest). Fails with kFailedPrecondition when tracing is
+  /// disabled.
+  Status DumpTrace(const std::string& path) const;
+
   // ---- test hooks (manual_pump mode only) ----
 
   /// Runs one executor iteration on every shard synchronously, in shard
@@ -203,6 +225,9 @@ class QueryService {
     std::string keywords;
     /// Executing shard; -1 for a scatter parent (merged across shards).
     int shard = -1;
+    /// Wall us since Start() at registration — the end-to-end latency
+    /// histogram's zero point; -1 before Start().
+    VirtualTime submit_us = -1;
   };
 
   /// Book-keeping of one in-flight scatter query: which sub-queries are
@@ -246,6 +271,13 @@ class QueryService {
   void AggregateSpillGauges();
 
   ServiceOptions options_;
+  /// Observability sinks, shared by every shard. Declared before (and
+  /// therefore destroyed after) shards_: executor threads and engines
+  /// hold raw pointers into both until the shards are torn down.
+  /// metrics_ is always present; tracer_ only when
+  /// QConfig::trace_buffer_events > 0.
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<Tracer> tracer_;
   std::vector<std::unique_ptr<EngineShard>> shards_;
   ShardRouter router_;
   SessionManager sessions_;

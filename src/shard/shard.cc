@@ -58,6 +58,9 @@ Status EngineShard::Start(Clock::time_point start_wall, bool manual) {
     completion_fn_(c);
   });
   start_wall_ = start_wall;
+  // Forward the observability sinks before the executor (or any drain
+  // worker) exists, so every tracing thread observes them set.
+  engine_->SetObservability(tracer_, metrics_, shard_id_);
   if (!manual) {
     executor_ = std::thread([this] { ExecutorLoop(); });
   }
@@ -96,6 +99,18 @@ void EngineShard::IngestRequests(std::vector<ShardRequest> requests) {
   std::lock_guard<std::mutex> lock(engine_mu_);
   VirtualTime now = NowUs();
   for (ShardRequest& r : requests) {
+    if (r.submit_us >= 0) {
+      // Queue wait: submit-queue entry (stamped by the service) to this
+      // ingest, both on the service's wall-since-start timeline.
+      const int64_t wait_us = std::max<int64_t>(0, now - r.submit_us);
+      if (tracer_ != nullptr) {
+        tracer_->Span(TraceEventType::kQueueWait, r.submit_us, wait_us,
+                      shard_id_, r.uq_id);
+      }
+      if (metrics_ != nullptr) {
+        metrics_->Record(ServiceMetric::kQueueWait, shard_id_, wait_us);
+      }
+    }
     Status admitted =
         r.prepared != nullptr
             ? engine_->IngestPrepared(std::move(*r.prepared), now)
@@ -121,6 +136,8 @@ void EngineShard::PublishStatsLocked() {
 
 bool EngineShard::RunDueEpochs(bool drain_partial) {
   std::lock_guard<std::mutex> lock(engine_mu_);
+  const int64_t epoch_t0 =
+      (tracer_ != nullptr || metrics_ != nullptr) ? NowUs() : 0;
   engine_->ResetRoundBudget();  // max_rounds bounds one epoch
   Engine::StepOptions step;
   step.pace_to_horizon = false;
@@ -149,6 +166,14 @@ bool EngineShard::RunDueEpochs(bool drain_partial) {
     gauges_.epochs.fetch_add(1, std::memory_order_relaxed);
     if (service_counters_ != nullptr) {
       service_counters_->epochs.fetch_add(1, std::memory_order_relaxed);
+    }
+    const int64_t epoch_us = std::max<int64_t>(0, NowUs() - epoch_t0);
+    if (tracer_ != nullptr) {
+      tracer_->Span(TraceEventType::kEpoch, epoch_t0, epoch_us, shard_id_,
+                    -1, -1, out.value().flushes);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->Record(ServiceMetric::kEpochDuration, shard_id_, epoch_us);
     }
     PublishStatsLocked();
   }

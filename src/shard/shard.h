@@ -54,6 +54,10 @@ struct ShardRequest {
   /// Non-null: an already-generated user query (id/user_id set by the
   /// service) to admit via Engine::IngestPrepared().
   std::unique_ptr<UserQuery> prepared;
+  /// Service virtual time (wall us since Start()) the request entered
+  /// the submit queue; -1 when unknown. Basis of the queue-wait span
+  /// and histogram.
+  VirtualTime submit_us = -1;
 };
 
 /// \brief An Engine with its own executor thread and submit queue.
@@ -105,6 +109,15 @@ class EngineShard {
   void set_completion_fn(CompletionFn fn) { completion_fn_ = std::move(fn); }
   void set_finished_fn(FinishedFn fn) { finished_fn_ = std::move(fn); }
   void set_stats_listener(StatsListener fn) { stats_listener_ = std::move(fn); }
+
+  /// Attaches the service-owned observability sinks (either may be
+  /// null); set before Start(), which forwards them into the engine.
+  /// This shard records queue-wait and epoch spans/histograms; the
+  /// engine records flush/optimize/graft/ATC/spill events.
+  void set_observability(Tracer* tracer, MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+  }
 
   /// Begins serving; the owner must have finalized the catalog first
   /// (QueryService::Start() does, for every shard at once). `start_wall`
@@ -167,6 +180,9 @@ class EngineShard {
   std::unique_ptr<Engine> engine_;
   SubmitQueue<ShardRequest> queue_;
   ServiceCounters* service_counters_;
+  /// Service-owned observability sinks (null when disabled).
+  Tracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
 
   CompletionFn completion_fn_;
   FinishedFn finished_fn_;

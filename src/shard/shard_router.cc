@@ -48,7 +48,10 @@ uint64_t ShardRouter::CanonicalSignature(const std::string& keywords) {
 }
 
 int ShardRouter::SignatureShard(const std::string& keywords) const {
-  return static_cast<int>(CanonicalSignature(keywords) %
+  // FNV-1a's low bit is the parity of the input bytes, so a bare
+  // mod-2 would route by text parity (nearly every lowercase query on
+  // one shard). Finalize before reducing.
+  return static_cast<int>(MixBits(CanonicalSignature(keywords)) %
                           static_cast<uint64_t>(num_shards_));
 }
 
