@@ -175,7 +175,10 @@ bool RunThreadCount(int exec_threads,
 /// Serves the workload once with tracing on (exec_threads=2, ATC-CL,
 /// one shard) and writes the Chrome trace to `path` — the per-ATC
 /// execution slices inside each epoch are the interesting rows here.
+/// Also writes one Prometheus metrics scrape to `metrics_path` when
+/// non-empty (either path may be empty to skip that output).
 bool RunTracedPass(const std::string& path,
+                   const std::string& metrics_path,
                    const std::vector<WorkloadQuery>& workload) {
   ServiceOptions options;
   options.config = BaseConfig();
@@ -210,15 +213,24 @@ bool RunTracedPass(const std::string& path,
     printf("traced pass shutdown failed\n");
     return false;
   }
-  Status dumped = service.DumpTrace(path);
-  if (!dumped.ok()) {
-    printf("trace dump failed: %s\n", dumped.ToString().c_str());
-    return false;
+  if (!path.empty()) {
+    Status dumped = service.DumpTrace(path);
+    if (!dumped.ok()) {
+      printf("trace dump failed: %s\n", dumped.ToString().c_str());
+      return false;
+    }
+    printf("trace written to %s (%lld events dropped) — open in "
+           "chrome://tracing or Perfetto\n",
+           path.c_str(),
+           static_cast<long long>(service.tracer()->dropped()));
   }
-  printf("trace written to %s (%lld events dropped) — open in "
-         "chrome://tracing or Perfetto\n",
-         path.c_str(),
-         static_cast<long long>(service.tracer()->dropped()));
+  if (!metrics_path.empty()) {
+    if (!qsys::bench::WriteTextFile(metrics_path,
+                                    service.MetricsPrometheus())) {
+      return false;
+    }
+    printf("metrics scrape written to %s\n", metrics_path.c_str());
+  }
   return true;
 }
 
@@ -316,7 +328,11 @@ int main(int argc, char** argv) {
   json.Write();
 
   std::string trace_out = qsys::bench::TraceOutPath(argc, argv);
-  if (!trace_out.empty() && !RunTracedPass(trace_out, workload)) return 1;
+  std::string metrics_out = qsys::bench::MetricsOutPath(argc, argv);
+  if ((!trace_out.empty() || !metrics_out.empty()) &&
+      !RunTracedPass(trace_out, metrics_out, workload)) {
+    return 1;
+  }
 
   ShapeChecker check;
   // Guards the equivalence check against passing vacuously on

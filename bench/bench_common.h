@@ -99,6 +99,34 @@ inline std::string TraceOutPath(int argc, char** argv) {
   return "";
 }
 
+/// Parses `--metrics-out=PATH` (anywhere in argv): the file the bench
+/// should write one Prometheus text-exposition scrape of the serving
+/// metrics to (QueryService::MetricsPrometheus;
+/// tools/check_metrics.py validates the format). Empty = not requested.
+inline std::string MetricsOutPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      return argv[i] + 14;
+    }
+  }
+  return "";
+}
+
+/// Writes `text` to `path`; false (with a printed message) on failure.
+inline bool WriteTextFile(const std::string& path,
+                          const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    printf("cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) printf("short write to %s\n", path.c_str());
+  return ok;
+}
+
 inline double Mean(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
   double total = 0.0;

@@ -189,8 +189,11 @@ bool RunShardedWorkload(int num_shards,
 
 /// Serves the workload once with tracing on — 2 shards, 2 exec threads
 /// per shard, so the dump shows per-query spans crossing both shard
-/// and worker-thread rows — and writes the Chrome trace to `path`.
+/// and worker-thread rows — and writes the Chrome trace to `path`
+/// (skipped when empty) plus one Prometheus metrics scrape to
+/// `metrics_path` (skipped when empty).
 bool RunTracedPass(const std::string& path,
+                   const std::string& metrics_path,
                    const std::vector<WorkloadQuery>& workload) {
   ServiceOptions options;
   options.config = BaseConfig();
@@ -229,15 +232,24 @@ bool RunTracedPass(const std::string& path,
     printf("traced pass shutdown failed\n");
     return false;
   }
-  Status dumped = service.DumpTrace(path);
-  if (!dumped.ok()) {
-    printf("trace dump failed: %s\n", dumped.ToString().c_str());
-    return false;
+  if (!path.empty()) {
+    Status dumped = service.DumpTrace(path);
+    if (!dumped.ok()) {
+      printf("trace dump failed: %s\n", dumped.ToString().c_str());
+      return false;
+    }
+    printf("\ntrace written to %s (%lld events dropped) — open in "
+           "chrome://tracing or Perfetto\n",
+           path.c_str(),
+           static_cast<long long>(service.tracer()->dropped()));
   }
-  printf("\ntrace written to %s (%lld events dropped) — open in "
-         "chrome://tracing or Perfetto\n",
-         path.c_str(),
-         static_cast<long long>(service.tracer()->dropped()));
+  if (!metrics_path.empty()) {
+    if (!qsys::bench::WriteTextFile(metrics_path,
+                                    service.MetricsPrometheus())) {
+      return false;
+    }
+    printf("metrics scrape written to %s\n", metrics_path.c_str());
+  }
   printf("traced-pass metrics:\n%s", service.MetricsText().c_str());
   return true;
 }
@@ -513,9 +525,13 @@ int main(int argc, char** argv) {
   check.Check(shared.probes_issued <= isolated.probes_issued,
               "shared execution issues no more probes");
 
-  // ---- optional traced pass: --trace-out=PATH ----
+  // ---- optional instrumented pass: --trace-out= / --metrics-out= ----
   std::string trace_out = qsys::bench::TraceOutPath(argc, argv);
-  if (!trace_out.empty() && !RunTracedPass(trace_out, workload)) return 1;
+  std::string metrics_out = qsys::bench::MetricsOutPath(argc, argv);
+  if ((!trace_out.empty() || !metrics_out.empty()) &&
+      !RunTracedPass(trace_out, metrics_out, workload)) {
+    return 1;
+  }
 
   // ---- shard-scaling sweep: same workload, 1..N shards ----
   std::vector<int> sweep = ParseShardSweep(argc, argv);

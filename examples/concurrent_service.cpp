@@ -2,6 +2,7 @@
 //
 //   $ ./concurrent_service
 //   $ ./concurrent_service --trace-out=trace.json
+//   $ ./concurrent_service --metrics-out=metrics.prom
 //
 // Each client opens a session and submits overlapping keyword queries
 // on real wall-clock time. The service batches whatever arrives within
@@ -10,12 +11,17 @@
 // through its ticket future — the paper's work-sharing machinery, run
 // as an online service instead of a simulation.
 //
-// With --trace-out the run serves from two shards with two exec threads
-// each, records every span (admit, queue wait, batch window, optimize,
-// graft, epochs, per-ATC execution, resolve), writes a Chrome
-// trace_event JSON to the given path (open in chrome://tracing or
-// Perfetto), and prints the latency histograms.
+// With --trace-out or --metrics-out the run serves from two shards with
+// two exec threads each and records every span (admit, queue wait,
+// batch window, optimize, graft, epochs, per-ATC execution, resolve).
+// --trace-out writes a Chrome trace_event JSON to the given path (open
+// in chrome://tracing or Perfetto); --metrics-out writes two Prometheus
+// text-exposition scrapes — PATH.mid mid-run and PATH after shutdown,
+// so tools/check_metrics.py can verify format and counter monotonicity.
+// The instrumented run also enables the decision journal and prints one
+// query's Explain() — every sharing decision made on its behalf.
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
@@ -105,27 +111,46 @@ struct ClientScript {
   std::vector<const char*> queries;
 };
 
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    printf("cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) printf("short write to %s\n", path.c_str());
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_out;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
     }
   }
+  const bool instrumented = !trace_out.empty() || !metrics_out.empty();
 
   ServiceOptions options;
   options.config.k = 3;
   options.config.batch_size = 4;
   options.config.batch_window_us = 20'000;  // 20 ms wall-clock window
-  if (!trace_out.empty()) {
-    // The traced run exercises the full thread surface so the dump has
-    // something to show: two shards, two exec threads per shard.
+  if (instrumented) {
+    // The instrumented run exercises the full thread surface so the
+    // dump has something to show: two shards, two exec threads per
+    // shard, plus the decision journal for Explain().
     options.config.num_shards = 2;
     options.config.exec_threads = 2;
     options.config.shard_affinity = ShardAffinity::kSignatureHash;
     options.config.trace_buffer_events = 1 << 14;
+    options.config.explain_journal_queries = 64;
   }
 
   QueryService service(options);
@@ -150,9 +175,10 @@ int main(int argc, char** argv) {
   };
 
   std::mutex print_mu;
+  std::atomic<int> first_uq{-1};
   std::vector<std::thread> clients;
   for (const ClientScript& script : scripts) {
-    clients.emplace_back([&service, &print_mu, script] {
+    clients.emplace_back([&service, &print_mu, &first_uq, script] {
       auto session = service.OpenSession(script.name);
       if (!session.ok()) return;
       std::vector<QueryTicket> tickets;
@@ -160,6 +186,9 @@ int main(int argc, char** argv) {
       for (const char* q : script.queries) {
         auto ticket = service.Submit(session.value(), q);
         if (ticket.ok()) {
+          int expected = -1;
+          first_uq.compare_exchange_strong(expected,
+                                           ticket.value().uq_id());
           tickets.push_back(ticket.value());
           keywords.push_back(q);
         }
@@ -177,6 +206,14 @@ int main(int argc, char** argv) {
     });
   }
   for (std::thread& t : clients) t.join();
+  if (!metrics_out.empty()) {
+    // Mid-run scrape (every client resolved, shards still serving):
+    // check_metrics.py verifies every counter is monotone between this
+    // scrape and the final one.
+    if (!WriteTextFile(metrics_out + ".mid", service.MetricsPrometheus())) {
+      return 1;
+    }
+  }
   Status stopped = service.Shutdown();
   if (!stopped.ok()) {
     printf("shutdown failed: %s\n", stopped.ToString().c_str());
@@ -202,9 +239,26 @@ int main(int argc, char** argv) {
       printf("trace dump failed: %s\n", dumped.ToString().c_str());
       return 1;
     }
-    printf("\nlatency histograms:\n%s", service.MetricsText().c_str());
     printf("trace written to %s — open in chrome://tracing or Perfetto\n",
            trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (!WriteTextFile(metrics_out, service.MetricsPrometheus())) return 1;
+    printf("metrics scrapes written to %s.mid and %s\n",
+           metrics_out.c_str(), metrics_out.c_str());
+  }
+  if (instrumented) {
+    printf("\nlatency histograms and counters:\n%s",
+           service.MetricsText().c_str());
+    // One query's decision journal: which ATC its batch joined, the
+    // costed optimizer alternatives, graft reuse-vs-fresh, and whose
+    // shared state it benefited from.
+    if (first_uq.load() >= 0) {
+      auto explained = service.Explain(first_uq.load());
+      if (explained.ok()) {
+        printf("\n%s", explained.value().c_str());
+      }
+    }
   }
   return 0;
 }

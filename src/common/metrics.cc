@@ -18,6 +18,7 @@ void ExecStats::Merge(const ExecStats& other) {
   results_emitted += other.results_emitted;
   tuples_rederived += other.tuples_rederived;
   tuples_rederived_skipped += other.tuples_rederived_skipped;
+  tuples_shared_served += other.tuples_shared_served;
 }
 
 std::string ExecStats::ToString() const {

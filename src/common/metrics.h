@@ -55,6 +55,12 @@ struct ExecStats {
   /// steady-state saving of the per-producer watermark over full
   /// replay-and-dedup.
   int64_t tuples_rederived_skipped = 0;
+  /// Tuples a grafted query inherited from shared streams already
+  /// advanced by earlier queries (the warm prefix it did not have to
+  /// stream itself). Every unit here is attributed to exactly one
+  /// consuming UQ and one producing UQ by the sharing-benefit profiler
+  /// (see PlanGrafter and UserQueryMetrics::tuples_from_shared).
+  int64_t tuples_shared_served = 0;
 
   /// Adds `delta_us` to the bucket's total.
   void Charge(TimeBucket bucket, VirtualTime delta_us) {
@@ -104,6 +110,7 @@ struct AtomicExecStats {
   std::atomic<int64_t> results_emitted{0};
   std::atomic<int64_t> tuples_rederived{0};
   std::atomic<int64_t> tuples_rederived_skipped{0};
+  std::atomic<int64_t> tuples_shared_served{0};
 
   /// Publishes `s` as the current totals.
   void Store(const ExecStats& s) {
@@ -121,6 +128,8 @@ struct AtomicExecStats {
     tuples_rederived.store(s.tuples_rederived, std::memory_order_relaxed);
     tuples_rederived_skipped.store(s.tuples_rederived_skipped,
                                    std::memory_order_relaxed);
+    tuples_shared_served.store(s.tuples_shared_served,
+                               std::memory_order_relaxed);
   }
 
   /// Reads the current totals into a plain ExecStats.
@@ -140,6 +149,8 @@ struct AtomicExecStats {
     s.tuples_rederived = tuples_rederived.load(std::memory_order_relaxed);
     s.tuples_rederived_skipped =
         tuples_rederived_skipped.load(std::memory_order_relaxed);
+    s.tuples_shared_served =
+        tuples_shared_served.load(std::memory_order_relaxed);
     return s;
   }
 };
@@ -151,7 +162,7 @@ struct AtomicExecStats {
 // serve/shard observability — the size equalities below (both structs
 // are padding-free arrays of 8-byte fields) turn that into a compile
 // error, and tests/obs_test.cc pattern-checks the enumerations.
-static_assert(sizeof(ExecStats) == 13 * sizeof(int64_t),
+static_assert(sizeof(ExecStats) == 14 * sizeof(int64_t),
               "ExecStats gained/lost a field: update AtomicExecStats"
               "::Store/Load, ExecStats::Merge/ToString, and the mirror "
               "test in tests/obs_test.cc");
@@ -261,6 +272,15 @@ struct UserQueryMetrics {
   int cqs_total = 0;
   /// Results returned (min(k, available)).
   int results = 0;
+  /// Tuples this UQ's conjunctive queries inherited from shared state
+  /// warmed by earlier queries (graft-time warm-stream prefixes). The
+  /// sum over all resolved UQs equals ExecStats::tuples_shared_served
+  /// exactly — tests/explain_test.cc pins the conservation identity.
+  int64_t tuples_from_shared = 0;
+  /// Estimated virtual microseconds of streaming work those inherited
+  /// tuples would have cost if streamed fresh (the paper's Figure 7
+  /// "per-query gain", as a live serving metric).
+  VirtualTime est_saved_us = 0;
 
   /// End-to-end latency in virtual seconds (includes batching wait).
   double LatencySeconds() const {

@@ -133,6 +133,21 @@ struct QConfig {
   /// they are a handful of relaxed atomic adds per query.
   int trace_buffer_events = 0;
 
+  /// Decision journal (src/obs/explain.h): number of resolved user
+  /// queries whose decision records are retained for
+  /// QueryService::Explain(uq). When > 0 every sharing decision —
+  /// cluster assignment, optimizer plan choice with costed
+  /// alternatives, graft-vs-fresh per plan component, replay vs
+  /// watermark skip, eviction victim scoring — appends one bounded
+  /// structured event to the journal. 0 (default) disables the journal
+  /// entirely: no allocation, and every record site is a single
+  /// null-pointer check.
+  int explain_journal_queries = 0;
+  /// Cap on journal events retained per user query (drop-newest once
+  /// full; the truncation is itself recorded). Bounds Explain() output
+  /// for pathological plans.
+  int explain_journal_events_per_query = 256;
+
   /// Conversion factor from measured optimizer wall time to virtual
   /// time charged on the clock.
   double opt_time_multiplier = 1.0;

@@ -41,6 +41,12 @@ void Engine::SetObservability(Tracer* tracer, MetricsRegistry* metrics,
   if (spill_manager_ != nullptr) spill_manager_->set_tracer(tracer, shard);
 }
 
+void Engine::set_journal(DecisionJournal* journal) {
+  journal_ = journal;
+  state_manager_->set_journal(journal, obs_shard_);
+  grafter_->set_journal(journal, obs_shard_);
+}
+
 SchemaGraph& Engine::InitSchemaGraph() {
   if (!schema_graph_) {
     schema_graph_ = std::make_unique<SchemaGraph>(&catalog_);
@@ -141,9 +147,47 @@ Status Engine::OptimizeAndGraft(const std::vector<const UserQuery*>& batch,
   opts.pruning = config_.pruning;
   opts.max_subexpr_atoms = config_.max_subexpr_atoms;
   opts.k = config_.k;
+  opts.explain = journal_ != nullptr;
 
   OptimizeOutcome outcome =
       optimizer_->OptimizeBatch(batch, opts, base_tag);
+
+  if (journal_ != nullptr) {
+    const char* mode_name = mode == SharingMode::kNone ? "none"
+                            : mode == SharingMode::kWithinUq ? "within_uq"
+                                                             : "full";
+    for (const UserQuery* uq : batch) {
+      journal_->Record(uq->id, DecisionKind::kAtcAssign, obs_shard_,
+                       atc->id(), 0, 0, 0.0, 0.0, mode_name);
+    }
+    // One plan-choice record (with its costed alternatives) per user
+    // query each optimized group serves.
+    std::unordered_map<int, int> uq_of_cq;
+    for (const UserQuery* uq : batch) {
+      for (const ConjunctiveQuery& cq : uq->cqs) uq_of_cq[cq.id] = uq->id;
+    }
+    for (const OptimizedGroup& group : outcome.groups) {
+      if (!group.decision.recorded) continue;
+      std::set<int> owners;
+      for (int cq_id : group.cq_ids) {
+        auto it = uq_of_cq.find(cq_id);
+        if (it != uq_of_cq.end()) owners.insert(it->second);
+      }
+      const auto& d = group.decision;
+      for (int id : owners) {
+        journal_->Record(id, DecisionKind::kOptChoice, obs_shard_,
+                         d.num_candidates, d.nodes_explored,
+                         static_cast<int64_t>(d.alternatives.size()),
+                         d.win_cost, d.margin);
+        for (size_t i = 0; i < d.alternatives.size(); ++i) {
+          const PlanAlternative& alt = d.alternatives[i];
+          journal_->Record(id, DecisionKind::kOptAlternative, obs_shard_,
+                           static_cast<int64_t>(i), alt.pushdowns, 0,
+                           alt.cost, 0.0, alt.desc.c_str());
+        }
+      }
+    }
+  }
 
   const int64_t opt_wall_us =
       static_cast<int64_t>(outcome.wall_seconds * 1e6);
@@ -295,6 +339,13 @@ Status Engine::RouteBatch(const std::vector<const UserQuery*>& batch,
           atc = GetOrCreateAtc(-1, flush_at);
           clusters_.push_back(
               {static_cast<int>(atcs_.size()) - 1, tables});
+        }
+        if (journal_ != nullptr) {
+          for (const UserQuery* uq : members) {
+            journal_->Record(uq->id, DecisionKind::kClusterRoute,
+                             obs_shard_, reuse_cluster ? 1 : 0, atc->id(),
+                             0, best_sim, config_.clustering.tc);
+          }
         }
         QSYS_RETURN_IF_ERROR(OptimizeAndGraft(members, atc,
                                               SharingMode::kFull,

@@ -281,6 +281,12 @@ class Engine {
   /// by drain workers without synchronization afterwards).
   void SetObservability(Tracer* tracer, MetricsRegistry* metrics, int shard);
 
+  /// Attaches the decision journal (may be null; the simulator never
+  /// attaches one). Forwarded to the grafter and state manager. Call
+  /// after SetObservability (events are tagged with its shard id) and
+  /// before serving starts.
+  void set_journal(DecisionJournal* journal);
+
   /// The disk-spill tier (nullptr when QConfig::spill_dir is empty or
   /// the spill directory could not be opened — see spill_status()).
   const SpillManager* spill_manager() const { return spill_manager_.get(); }
@@ -357,6 +363,7 @@ class Engine {
   /// drain workers created afterwards.
   Tracer* tracer_ = nullptr;
   MetricsRegistry* obs_metrics_ = nullptr;
+  DecisionJournal* journal_ = nullptr;
   int obs_shard_ = 0;
   int next_uq_id_ = 1;
   int next_cq_id_ = 1;

@@ -24,6 +24,8 @@ void Atc::RecordIfComplete(RankMergeOp* rm) {
   m.cqs_executed = rm->cqs_executed();
   m.cqs_total = rm->cqs_total();
   m.results = static_cast<int>(rm->results().size());
+  m.tuples_from_shared = rm->tuples_from_shared();
+  m.est_saved_us = rm->est_saved_us();
   completed_.push_back(m);
 }
 

@@ -137,6 +137,18 @@ class RankMergeOp : public Operator {
   int warm_registrations() const { return warm_registrations_; }
   /// Number of distinct logical CQs registered in total.
   int cqs_total() const { return static_cast<int>(all_cq_ids_.size()); }
+
+  /// Sharing-benefit attribution (src/obs/explain.h): warm stream
+  /// prefix this merge's registrations inherited from shared state
+  /// produced by *other* user queries, credited by the grafter. The
+  /// sum over all merges reconciles exactly with
+  /// ExecStats::tuples_shared_served.
+  void AddSharedCredit(int64_t tuples, VirtualTime est_saved_us) {
+    tuples_from_shared_ += tuples;
+    est_saved_us_ += est_saved_us;
+  }
+  int64_t tuples_from_shared() const { return tuples_from_shared_; }
+  VirtualTime est_saved_us() const { return est_saved_us_; }
   /// Every logical CQ id ever registered (for retirement unlinking).
   const std::set<int>& all_cq_ids() const { return all_cq_ids_; }
 
@@ -207,6 +219,8 @@ class RankMergeOp : public Operator {
   std::set<std::pair<int, uint64_t>> seen_results_;
   int warm_registrations_ = 0;
   int64_t seq_counter_ = 0;
+  int64_t tuples_from_shared_ = 0;
+  VirtualTime est_saved_us_ = 0;
 };
 
 }  // namespace qsys

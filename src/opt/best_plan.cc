@@ -91,6 +91,38 @@ double BestPlanSearch::CompleteAndCost(
   return cost_model_->PlanCost(queries, *out, k_, reuse_tag_);
 }
 
+void BestPlanSearch::RecordAlternative(
+    const std::vector<CandidateInput>& candidates,
+    const std::vector<Chosen>& chosen, double cost,
+    BestPlanResult* best) const {
+  auto& alts = best->alternatives;
+  if (static_cast<int>(alts.size()) >= kMaxAlternatives &&
+      cost >= alts.back().cost) {
+    return;
+  }
+  PlanAlternative alt;
+  alt.cost = cost;
+  alt.pushdowns = static_cast<int>(chosen.size());
+  if (chosen.empty()) {
+    alt.desc = "residual-only";
+  } else {
+    for (const Chosen& c : chosen) {
+      if (!alt.desc.empty()) alt.desc += '+';
+      alt.desc += candidates[c.cand_index].expr.Signature();
+    }
+  }
+  // Insert keeping ascending (cost, desc) order; desc tie-breaks so the
+  // retained set is independent of exploration order.
+  auto pos = std::lower_bound(
+      alts.begin(), alts.end(), alt,
+      [](const PlanAlternative& l, const PlanAlternative& r) {
+        if (l.cost != r.cost) return l.cost < r.cost;
+        return l.desc < r.desc;
+      });
+  alts.insert(pos, std::move(alt));
+  if (static_cast<int>(alts.size()) > kMaxAlternatives) alts.pop_back();
+}
+
 std::string BestPlanSearch::MemoKey(const std::vector<Chosen>& chosen) const {
   std::string key;
   for (const Chosen& c : chosen) {
@@ -113,6 +145,9 @@ void BestPlanSearch::Search(
   InputAssignment assignment;
   double cost = CompleteAndCost(queries, candidates, chosen, &assignment);
   memo_[key] = cost;
+  if (collect_alternatives_) {
+    RecordAlternative(candidates, chosen, cost, best);
+  }
   if (cost < best->cost) {
     best->cost = cost;
     best->assignment = std::move(assignment);

@@ -24,6 +24,17 @@
 
 namespace qsys {
 
+/// \brief One fully costed assignment the search considered — kept only
+/// when the caller asks for explainable decisions (decision journal).
+struct PlanAlternative {
+  double cost = 0.0;
+  /// Pushed-down candidate inputs in this assignment (0 = all residual).
+  int pushdowns = 0;
+  /// Deterministic descriptor: "+"-joined signatures of the chosen
+  /// pushdowns, or "residual-only".
+  std::string desc;
+};
+
 /// \brief Outcome of the BestPlan search.
 struct BestPlanResult {
   InputAssignment assignment;
@@ -32,18 +43,27 @@ struct BestPlanResult {
   int64_t nodes_explored = 0;
   /// Candidates that entered the search (Figure 11's x-axis).
   int num_candidates = 0;
+  /// Lowest-cost explored assignments, ascending by cost (the winner is
+  /// [0]). Empty unless collect_alternatives was set.
+  std::vector<PlanAlternative> alternatives;
 };
 
 /// \brief Runs Algorithm 1 over a pruned candidate set.
 class BestPlanSearch {
  public:
+  /// Explored assignments retained per decision when collecting
+  /// alternatives for the journal.
+  static constexpr int kMaxAlternatives = 8;
+
   BestPlanSearch(const CostModel* cost_model, const Catalog* catalog,
-                 const PruningOptions* pruning, int k, int reuse_tag)
+                 const PruningOptions* pruning, int k, int reuse_tag,
+                 bool collect_alternatives = false)
       : cost_model_(cost_model),
         catalog_(catalog),
         pruning_(pruning),
         k_(k),
-        reuse_tag_(reuse_tag) {}
+        reuse_tag_(reuse_tag),
+        collect_alternatives_(collect_alternatives) {}
 
   /// Finds the minimum-cost valid input assignment for `queries` using a
   /// subset of `candidates` plus residual base-relation inputs.
@@ -70,11 +90,17 @@ class BestPlanSearch {
 
   std::string MemoKey(const std::vector<Chosen>& chosen) const;
 
+  /// Keeps the cost-ascending top-kMaxAlternatives explored assignments.
+  void RecordAlternative(const std::vector<CandidateInput>& candidates,
+                         const std::vector<Chosen>& chosen, double cost,
+                         BestPlanResult* best) const;
+
   const CostModel* cost_model_;
   const Catalog* catalog_;
   const PruningOptions* pruning_;
   int k_;
   int reuse_tag_;
+  bool collect_alternatives_;
   std::unordered_map<std::string, double> memo_;
 };
 

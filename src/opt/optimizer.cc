@@ -1,5 +1,6 @@
 #include "src/opt/optimizer.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "src/opt/andor.h"
@@ -25,12 +26,37 @@ OptimizedGroup Optimizer::OptimizeGroup(
 
   // Stage 1b: BestPlan (Algorithm 1).
   BestPlanSearch search(&cost_model_, catalog_, &options.pruning, options.k,
-                        reuse_tag);
+                        reuse_tag, /*collect_alternatives=*/options.explain);
   BestPlanResult best = search.Run(queries, pruned);
   outcome->nodes_explored += best.nodes_explored;
 
   // Stage 2: factorization into m-join components.
   OptimizedGroup group;
+  if (options.explain) {
+    auto& d = group.decision;
+    d.recorded = true;
+    d.win_cost = best.cost;
+    d.num_candidates = best.num_candidates;
+    d.nodes_explored = best.nodes_explored;
+    d.alternatives = std::move(best.alternatives);
+    // Guarantee a second costed alternative: the winning assignment
+    // without retained-state discounts. Its margin over the winner is
+    // the cost the optimizer expects sharing to save for this group.
+    PlanAlternative fresh;
+    fresh.cost =
+        cost_model_.PlanCost(queries, best.assignment, options.k, -1);
+    fresh.pushdowns = static_cast<int>(best.assignment.inputs.size());
+    fresh.desc = "winner-without-retained-state";
+    d.alternatives.push_back(std::move(fresh));
+    std::stable_sort(d.alternatives.begin(), d.alternatives.end(),
+                     [](const PlanAlternative& l, const PlanAlternative& r) {
+                       if (l.cost != r.cost) return l.cost < r.cost;
+                       return l.desc < r.desc;
+                     });
+    if (d.alternatives.size() >= 2) {
+      d.margin = d.alternatives[1].cost - d.alternatives[0].cost;
+    }
+  }
   auto spec = FactorizePlan(queries, best.assignment, cost_model_);
   // Factorization only fails on malformed inputs; surface loudly in
   // debug builds, degrade to per-query plans otherwise.

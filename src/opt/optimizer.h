@@ -43,6 +43,10 @@ struct OptimizerOptions {
   int max_subexpr_atoms = 4;
   /// Results requested per user query (drives depth estimation).
   int k = 50;
+  /// Record the costed alternatives behind every plan choice into
+  /// OptimizedGroup::decision (decision journal; off keeps the search
+  /// allocation-free).
+  bool explain = false;
 };
 
 /// \brief One co-optimized group: a plan spec covering a set of CQs.
@@ -50,6 +54,22 @@ struct OptimizedGroup {
   PlanSpec spec;
   /// CQ ids covered by this spec.
   std::vector<int> cq_ids;
+
+  /// The decision record behind this group's plan, filled only when
+  /// OptimizerOptions::explain is set. Every decision carries at least
+  /// two costed alternatives: the explored runners-up, plus the winning
+  /// assignment re-costed without retained-state discounts (so the
+  /// margin sharing buys is always visible even when the search had a
+  /// single valid assignment).
+  struct Decision {
+    bool recorded = false;
+    double win_cost = 0.0;
+    /// Runner-up cost minus winner cost (0 with no distinct runner-up).
+    double margin = 0.0;
+    int num_candidates = 0;
+    int64_t nodes_explored = 0;
+    std::vector<PlanAlternative> alternatives;
+  } decision;
 };
 
 /// \brief Result of optimizing one batch, with the measurements Figure 11

@@ -320,6 +320,33 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
     }
   }
 
+  // User queries the group serves (attribution + journal targets), and
+  // the deterministic owner a stream created by this graft is credited
+  // to as its producer (smallest uq id of the group).
+  std::set<int> group_uqs;
+  for (int cq_id : group.cq_ids) {
+    auto it = cq_lookup.find(cq_id);
+    if (it != cq_lookup.end()) group_uqs.insert(it->second.second->id);
+  }
+  const int producer_owner = group_uqs.empty() ? -1 : *group_uqs.begin();
+
+  // Per-uq component-decision recorder (single null test when the
+  // journal is off).
+  auto record_component = [&](const PlanSpec::Component& comp, bool reused,
+                              bool warmed) {
+    if (journal_ == nullptr) return;
+    std::set<int> owners;
+    for (int cq_id : comp.cq_ids) {
+      auto it = cq_lookup.find(cq_id);
+      if (it != cq_lookup.end()) owners.insert(it->second.second->id);
+    }
+    for (int id : owners) {
+      journal_->Record(id, DecisionKind::kGraftComponent, journal_shard_,
+                       reused ? 1 : 0, warmed ? 1 : 0, 0, 0.0, 0.0,
+                       comp.expr.Signature().c_str());
+    }
+  };
+
   // ---- components, parents before children ----
   std::vector<MJoinOp*> comp_ops(spec.components.size(), nullptr);
   std::vector<bool> comp_reused(spec.components.size(), false);
@@ -376,6 +403,8 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
                                       ctx.clock->now());
         }
       }
+      record_component(comp, /*reused=*/true,
+                       warmed_ops.count(resolved) > 0);
       continue;
     }
     // Build a fresh operator.
@@ -397,6 +426,7 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
           const CandidateInput& input = spec.assignment.inputs[ref.index];
           StreamingSource* src =
               sources_->GetOrCreateStream(input.expr, tag);
+          if (src->producer_uq() < 0) src->set_producer_uq(producer_owner);
           auto port = op->AddStreamModule(input.expr);
           QSYS_RETURN_IF_ERROR(port.status());
           source_wires.push_back({src, port.value()});
@@ -427,14 +457,16 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
       producers_[op].push_back(w.up);
     }
     // Backfill stream modules from retained state, then (re)register.
+    int64_t fresh_warm = 0;
     for (int p = 0; p < op->num_modules(); ++p) {
       JoinHashTable* table = op->module_table(p);
       if (table == nullptr || !op->module_is_stream(p)) continue;
       const std::string& sig = op->module_expr(p).Signature();
-      BackfillOrRestore(fullest, tag, sig, table, ctx);
+      fresh_warm += BackfillOrRestore(fullest, tag, sig, table, ctx);
       state_->RegisterModuleTable(tag, sig, table, op, ctx.clock->now());
     }
     comp_ops[comp.id] = op;
+    record_component(comp, /*reused=*/false, fresh_warm > 0);
   }
 
   // ---- hierarchical prefix re-derivation (warm-state completeness) --
@@ -443,9 +475,30 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
   // pre-epoch tuples only, and tagging it pre-epoch keeps it visible to
   // the recovery queries (CQᵉ) built below as *buffered* state.
   {
+    const int64_t rederived_before = tuples_rederived_;
+    const int64_t skipped_before = tuples_rederived_skipped_;
     ExecContext replay_ctx = ctx;
     replay_ctx.epoch = epoch - 1;
     RederivePrefixes(spec, comp_ops, comp_reused, warmed_ops, replay_ctx);
+    if (journal_ != nullptr) {
+      const double per_tuple_us = ctx.delays->params().join_output_us;
+      const int64_t replayed = tuples_rederived_ - rederived_before;
+      const int64_t skipped = tuples_rederived_skipped_ - skipped_before;
+      for (int id : group_uqs) {
+        if (replayed > 0) {
+          journal_->Record(id, DecisionKind::kReplay, journal_shard_,
+                           replayed,
+                           static_cast<int64_t>(
+                               static_cast<double>(replayed) * per_tuple_us));
+        }
+        if (skipped > 0) {
+          journal_->Record(id, DecisionKind::kWatermarkSkip, journal_shard_,
+                           skipped,
+                           static_cast<int64_t>(
+                               static_cast<double>(skipped) * per_tuple_us));
+        }
+      }
+    }
   }
   // Record every grafted op's post-replay table sizes — the baseline
   // the next graft's shrink detection compares against.
@@ -487,17 +540,39 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
     for (int idx : stream_inputs) {
       StreamingSource* src = sources_->GetOrCreateStream(
           spec.assignment.inputs[idx].expr, tag);
+      if (src->producer_uq() < 0) src->set_producer_uq(producer_owner);
       reg.streams.push_back(src);
       // Per-port grounding report: the registration carries the true
       // consumed depth and exhaustion state of its inputs at graft
       // time, so the merge can tell warm registrations (whose bounds
       // start below the statistics bound) from cold ones.
-      reg.grafted_depth += src->tuples_read();
+      const int64_t depth = src->tuples_read();
+      reg.grafted_depth += depth;
       if (src->exhausted()) reg.grafted_exhausted += 1;
-      if (src->tuples_read() > 0) {
+      if (depth > 0) {
         any_read = true;
       } else {
         all_read = false;
+      }
+      // Sharing-benefit attribution: `depth` tuples of this stream were
+      // already paid for by an earlier query — this registration
+      // inherits them without streaming. Credit the producing user
+      // query (never the consumer itself), mirror the total into
+      // ExecStats so the per-UQ sums reconcile exactly against the
+      // service counters, and estimate the streaming cost saved.
+      const int producer = src->producer_uq();
+      if (depth > 0 && producer >= 0 && producer != uq.id) {
+        const VirtualTime saved = static_cast<VirtualTime>(
+            static_cast<double>(depth) *
+            ctx.delays->params().stream_tuple_mean_us);
+        ctx.stats->tuples_shared_served += depth;
+        merge->AddSharedCredit(depth, saved);
+        if (journal_ != nullptr) {
+          journal_->Credit(uq.id, producer, journal_shard_, depth, saved);
+          journal_->Record(uq.id, DecisionKind::kSharedInherit,
+                           journal_shard_, producer, depth, saved, 0.0, 0.0,
+                           src->expr().Signature().c_str());
+        }
       }
     }
     (void)any_read;
@@ -542,6 +617,10 @@ Status PlanGrafter::Graft(const OptimizedGroup& group,
                                                 epoch, merge, atc,
                                                 sources_, tag, *catalog_));
         recoveries_built_ += 1;
+        if (journal_ != nullptr) {
+          journal_->Record(uq.id, DecisionKind::kRecovery, journal_shard_,
+                           cq.id, static_cast<int64_t>(frozen.size()));
+        }
       }
     }
   }

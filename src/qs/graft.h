@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/explain.h"
 #include "src/opt/optimizer.h"
 #include "src/qs/recover.h"
 #include "src/qs/state_manager.h"
@@ -29,6 +30,14 @@ class PlanGrafter {
   PlanGrafter(const Catalog* catalog, SourceManager* sources,
               StateManager* state)
       : catalog_(catalog), sources_(sources), state_(state) {}
+
+  /// Attaches the decision journal (may be null): graft decisions —
+  /// component reuse vs fresh build, replay vs watermark skip, recovery
+  /// queries, inherited warm prefixes — are recorded per user query.
+  void set_journal(DecisionJournal* journal, int shard) {
+    journal_ = journal;
+    journal_shard_ = shard;
+  }
 
   /// Grafts `group` (one optimized PlanSpec) into `atc` under sharing
   /// scope `tag`. `uqs` must contain the user query of every CQ the spec
@@ -129,6 +138,8 @@ class PlanGrafter {
   const Catalog* catalog_;
   SourceManager* sources_;
   StateManager* state_;
+  DecisionJournal* journal_ = nullptr;
+  int journal_shard_ = 0;
   /// child op -> upstream producer ops (wiring memory for safe reuse).
   std::unordered_map<const MJoinOp*, std::vector<const MJoinOp*>>
       producers_;

@@ -73,22 +73,34 @@ VirtualTime StateManager::SpillReadCostUs(int64_t bytes) const {
   return static_cast<VirtualTime>(static_cast<double>(bytes) / bw);
 }
 
-bool StateManager::ShouldSpill(const CacheItem& item,
-                               int64_t entries) const {
-  if (spill_ == nullptr || item.size_bytes <= 0) return false;
-  const DelayParams defaults;
-  const DelayParams& d = spill_delays_ != nullptr ? *spill_delays_
-                                                  : defaults;
-  double spill_read_us =
-      static_cast<double>(SpillReadCostUs(item.size_bytes));
+double StateManager::RecomputeCostUs(const CacheItem& item,
+                                     int64_t entries) const {
   // Recompute estimates in virtual us: a destroyed hash table costs a
   // re-stream of its entries over the network; a destroyed probe cache
   // costs re-issuing one remote probe per cached key (`entries`).
-  double recompute_us =
-      static_cast<double>(entries) *
-      (item.kind == CacheItem::Kind::kHashTable ? d.stream_tuple_mean_us
-                                                : d.probe_mean_us);
-  return spill_read_us < recompute_us;
+  const DelayParams defaults;
+  const DelayParams& d = spill_delays_ != nullptr ? *spill_delays_
+                                                  : defaults;
+  return static_cast<double>(entries) *
+         (item.kind == CacheItem::Kind::kHashTable ? d.stream_tuple_mean_us
+                                                   : d.probe_mean_us);
+}
+
+bool StateManager::ShouldSpill(const CacheItem& item,
+                               int64_t entries) const {
+  if (spill_ == nullptr || item.size_bytes <= 0) return false;
+  double spill_read_us =
+      static_cast<double>(SpillReadCostUs(item.size_bytes));
+  return spill_read_us < RecomputeCostUs(item, entries);
+}
+
+void StateManager::JournalVictim(const CacheItem& item, int64_t entries,
+                                 bool spilled) const {
+  if (journal_ == nullptr) return;
+  journal_->Record(-1, DecisionKind::kEvictVictim, journal_shard_,
+                   item.size_bytes, spilled ? 1 : 0, 0,
+                   static_cast<double>(SpillReadCostUs(item.size_bytes)),
+                   RecomputeCostUs(item, entries), item.key.c_str());
 }
 
 bool StateManager::HasSpilledTable(
@@ -109,6 +121,11 @@ StateManager::RestoreOutcome StateManager::RestoreSpilledTable(
     return {};
   }
   spill_restores_.fetch_add(1, std::memory_order_relaxed);
+  if (journal_ != nullptr) {
+    journal_->Record(-1, DecisionKind::kSpillRestore, journal_shard_,
+                     restored.value().items, restored.value().bytes, 0, 0.0,
+                     0.0, key.c_str());
+  }
   return {restored.value().items, restored.value().bytes};
 }
 
@@ -165,9 +182,11 @@ int StateManager::EnforceBudget(VirtualTime now) {
   for (size_t idx : victims) {
     if (probe_ptrs[idx] != nullptr) {
       ProbeSource* probe = probe_ptrs[idx];
-      if (ShouldSpill(items[idx],
-                      static_cast<int64_t>(probe->cache().size())) &&
+      const int64_t cached = static_cast<int64_t>(probe->cache().size());
+      bool demoted = false;
+      if (ShouldSpill(items[idx], cached) &&
           spill_->SpillProbeCache(items[idx].key, *probe).ok()) {
+        demoted = true;
         ++spills_;
         // Demoted, not destroyed: the first post-eviction cache miss
         // pages the whole answer map back in at disk cost instead of
@@ -184,20 +203,32 @@ int StateManager::EnforceBudget(VirtualTime now) {
             return false;
           }
           spill_restores_.fetch_add(1, std::memory_order_relaxed);
+          if (journal_ != nullptr) {
+            // May run on an ATC drain worker; the journal locks.
+            journal_->Record(-1, DecisionKind::kSpillRestore,
+                             journal_shard_, restored.value().items,
+                             restored.value().bytes, 0, 0.0, 0.0,
+                             key.c_str());
+          }
           ctx.Charge(TimeBucket::kRandomAccess,
                      SpillReadCostUs(restored.value().bytes));
           return restored.value().items > 0;
         });
       }
+      JournalVictim(items[idx], cached, demoted);
       probe->EvictCache();
     } else {
       auto it = tables_.find(items[idx].key);
       if (it != tables_.end() && it->second.table != nullptr) {
         JoinHashTable* table = it->second.table;
-        if (ShouldSpill(items[idx], table->num_entries()) &&
+        const int64_t entries = table->num_entries();
+        bool demoted = false;
+        if (ShouldSpill(items[idx], entries) &&
             spill_->SpillTable(items[idx].key, *table).ok()) {
+          demoted = true;
           ++spills_;
         }
+        JournalVictim(items[idx], entries, demoted);
         table->Clear();
         keys_to_erase.push_back(items[idx].key);
       }
@@ -209,6 +240,10 @@ int StateManager::EnforceBudget(VirtualTime now) {
   if (tracer_ != nullptr && evicted > 0) {
     tracer_->Instant(TraceEventType::kEvict, trace_shard_, -1, -1,
                      evicted);
+  }
+  if (journal_ != nullptr && evicted > 0) {
+    journal_->Record(-1, DecisionKind::kEvictPass, journal_shard_, evicted,
+                     need);
   }
   return evicted;
 }

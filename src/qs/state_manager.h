@@ -18,6 +18,7 @@
 
 #include "src/buffer/spill_manager.h"
 #include "src/exec/atc.h"
+#include "src/obs/explain.h"
 #include "src/obs/trace.h"
 #include "src/opt/stats_registry.h"
 #include "src/qs/eviction.h"
@@ -132,6 +133,17 @@ class StateManager {
     trace_shard_ = shard;
   }
 
+  /// Attaches the decision journal (may be null). Budget enforcement
+  /// records engine-scope events: one kEvictPass per pass and one
+  /// kEvictVictim per victim with the demote-vs-reexecute cost
+  /// comparison behind its spill decision; restores record
+  /// kSpillRestore (possibly from an ATC drain worker on a probe
+  /// spill fault — the journal locks internally).
+  void set_journal(DecisionJournal* journal, int shard) {
+    journal_ = journal;
+    journal_shard_ = shard;
+  }
+
  private:
   struct TableEntry {
     JoinHashTable* table = nullptr;
@@ -149,6 +161,15 @@ class StateManager {
   /// bandwidth) below estimated recompute cost (re-streaming /
   /// re-probing over the wide-area network).
   bool ShouldSpill(const CacheItem& item, int64_t entries) const;
+
+  /// Estimated virtual cost of rebuilding `item` from the sources if
+  /// destroyed — the right-hand side of the spill decision.
+  double RecomputeCostUs(const CacheItem& item, int64_t entries) const;
+
+  /// Records one kEvictVictim engine-scope event (no-op without a
+  /// journal).
+  void JournalVictim(const CacheItem& item, int64_t entries,
+                     bool spilled) const;
 
   SourceManager* sources_;
   int64_t memory_budget_bytes_;
@@ -170,6 +191,9 @@ class StateManager {
   /// Serving trace sink (null in the simulator).
   Tracer* tracer_ = nullptr;
   int trace_shard_ = 0;
+  /// Decision journal (null unless explain is enabled).
+  DecisionJournal* journal_ = nullptr;
+  int journal_shard_ = 0;
 };
 
 }  // namespace qsys

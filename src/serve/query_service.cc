@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/export.h"
 #include "src/obs/trace_export.h"
 
 namespace qsys {
@@ -20,6 +21,11 @@ QueryService::QueryService(ServiceOptions options)
   if (options_.config.trace_buffer_events > 0) {
     tracer_ = std::make_unique<Tracer>(options_.config.trace_buffer_events);
   }
+  if (options_.config.explain_journal_queries > 0) {
+    journal_ = std::make_unique<DecisionJournal>(
+        options_.config.explain_journal_queries,
+        options_.config.explain_journal_events_per_query);
+  }
   shards_.reserve(n);
   for (int i = 0; i < n; ++i) {
     QConfig config = options_.config;
@@ -34,7 +40,7 @@ QueryService::QueryService(ServiceOptions options)
       OnShardFinished(id, terminal);
     });
     shard->set_stats_listener([this] { AggregateSpillGauges(); });
-    shard->set_observability(tracer_.get(), metrics_.get());
+    shard->set_observability(tracer_.get(), metrics_.get(), journal_.get());
   }
 }
 
@@ -265,6 +271,8 @@ Result<QueryTicket> QueryService::SubmitScatter(
     for (const auto& [s, request] : to_push) {
       scatter_sub_parent_[request.uq_id] = parent_id;
       sub_ids.push_back(request.uq_id);
+      // Sub-queries journal (and Explain) under their parent.
+      if (journal_ != nullptr) journal_->Alias(request.uq_id, parent_id);
     }
     scatter_.emplace(parent_id, std::move(state));
   }
@@ -355,6 +363,8 @@ void QueryService::OnScatterSub(int parent_id,
               std::max(agg.complete_time_us, m.complete_time_us);
           agg.cqs_executed += m.cqs_executed;
           agg.cqs_total += m.cqs_total;
+          agg.tuples_from_shared += m.tuples_from_shared;
+          agg.est_saved_us += m.est_saved_us;
         }
       }
     } else if (state.error.ok()) {
@@ -428,6 +438,10 @@ void QueryService::Resolve(int uq_id, Status status,
                      static_cast<int64_t>(outcome.results.size()));
   }
   sessions_.OnResolved(entry.session, outcome.status.ok());
+
+  // Marked resolved before the promise fires: a client that Wait()s on
+  // its ticket and then calls Explain(uq) always finds the journal.
+  if (journal_ != nullptr) journal_->MarkResolved(uq_id);
 
   // The promise is resolved first so a misbehaving sink cannot strand
   // the waiting client.
@@ -520,6 +534,62 @@ Status QueryService::Shutdown(ShutdownMode mode) {
     if (!s.ok()) return s;
   }
   return Status::OK();
+}
+
+std::vector<ExecStats> QueryService::ShardStatsVec() const {
+  std::vector<ExecStats> v;
+  v.reserve(shards_.size());
+  for (const auto& shard : shards_) v.push_back(shard->stats_snapshot());
+  return v;
+}
+
+std::vector<SpillStats> QueryService::ShardSpillVec() const {
+  std::vector<SpillStats> v;
+  v.reserve(shards_.size());
+  for (const auto& shard : shards_) v.push_back(shard->spill_snapshot());
+  return v;
+}
+
+std::string QueryService::MetricsText() const {
+  return metrics_->RenderText() +
+         RenderCountersText(counters_, ShardStatsVec(), ShardSpillVec());
+}
+
+std::string QueryService::MetricsPrometheus() const {
+  return RenderPrometheus(*metrics_, counters_, ShardStatsVec(),
+                          ShardSpillVec());
+}
+
+Status QueryService::CheckExplainable(int uq_id) const {
+  if (journal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "explain journal disabled (QConfig::explain_journal_queries == 0)");
+  }
+  if (!journal_->Resolved(uq_id)) {
+    return Status::FailedPrecondition(
+        "query unknown, unresolved, or evicted from the explain "
+        "retention window: uq=" +
+        std::to_string(uq_id));
+  }
+  return Status::OK();
+}
+
+Result<std::string> QueryService::Explain(int uq_id) const {
+  QSYS_RETURN_IF_ERROR(CheckExplainable(uq_id));
+  return journal_->RenderText(uq_id);
+}
+
+Result<std::string> QueryService::ExplainJson(int uq_id) const {
+  QSYS_RETURN_IF_ERROR(CheckExplainable(uq_id));
+  return journal_->RenderJson(uq_id);
+}
+
+Result<std::string> QueryService::ExplainEngine() const {
+  if (journal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "explain journal disabled (QConfig::explain_journal_queries == 0)");
+  }
+  return journal_->RenderEngineText();
 }
 
 Status QueryService::DumpTrace(const std::string& path) const {

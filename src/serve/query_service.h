@@ -61,6 +61,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/explain.h"
 #include "src/obs/histogram.h"
 #include "src/obs/trace.h"
 #include "src/serve/result_sink.h"
@@ -195,9 +196,17 @@ class QueryService {
   /// duration), per shard and aggregated. Always on; lock-free reads.
   const MetricsRegistry& metrics() const { return *metrics_; }
 
-  /// One-call plain-text snapshot of every latency distribution — the
-  /// bench/example rendering of metrics().
-  std::string MetricsText() const { return metrics_->RenderText(); }
+  /// One-call plain-text snapshot of every number the service exports:
+  /// the latency distributions plus the ServiceCounters, spill gauges,
+  /// and per-shard ExecStats work counters — the bench/example
+  /// rendering of metrics().
+  std::string MetricsText() const;
+
+  /// The same surface in Prometheus text exposition format (see
+  /// src/obs/export.h): histogram summaries with shard labels, qsys_*
+  /// counters, spill gauges. Callable at any time from any thread; the
+  /// bench/example `--metrics-out=` flag writes one scrape to a file.
+  std::string MetricsPrometheus() const;
 
   /// The trace collector, or nullptr when tracing is disabled
   /// (QConfig::trace_buffer_events == 0).
@@ -210,6 +219,27 @@ class QueryService {
   /// by drop-oldest). Fails with kFailedPrecondition when tracing is
   /// disabled.
   Status DumpTrace(const std::string& path) const;
+
+  /// The decision journal, or nullptr when disabled
+  /// (QConfig::explain_journal_queries == 0).
+  DecisionJournal* journal() { return journal_.get(); }
+
+  /// The decision journal of one *resolved* user query as deterministic
+  /// structured text: every sharing decision made on its behalf (ATC
+  /// assignment, costed optimizer alternatives and the winner's margin,
+  /// graft reuse vs fresh, replay vs watermark skip) plus the
+  /// sharing-benefit summary attributing its inherited warm tuples to
+  /// producing queries. Mirrors DumpTrace's contract: fails with
+  /// kFailedPrecondition when the journal is disabled, and when `uq_id`
+  /// is unknown, unresolved, or already evicted from the retention
+  /// window.
+  Result<std::string> Explain(int uq_id) const;
+  /// The same journal as a single JSON object.
+  Result<std::string> ExplainJson(int uq_id) const;
+  /// The engine-scope decision log (eviction passes, victim scoring,
+  /// spill restores — decisions not attributable to one query), across
+  /// all shards. kFailedPrecondition when the journal is disabled.
+  Result<std::string> ExplainEngine() const;
 
   // ---- test hooks (manual_pump mode only) ----
 
@@ -269,15 +299,23 @@ class QueryService {
   void ResolveAllRemaining(const Status& status);
   /// Re-aggregates spill gauges over all shards into counters_.
   void AggregateSpillGauges();
+  /// Shared Explain*/kFailedPrecondition gate (journal enabled, query
+  /// resolved and retained).
+  Status CheckExplainable(int uq_id) const;
+  /// Per-shard lock-free snapshots, indexed by shard id.
+  std::vector<ExecStats> ShardStatsVec() const;
+  std::vector<SpillStats> ShardSpillVec() const;
 
   ServiceOptions options_;
   /// Observability sinks, shared by every shard. Declared before (and
   /// therefore destroyed after) shards_: executor threads and engines
   /// hold raw pointers into both until the shards are torn down.
   /// metrics_ is always present; tracer_ only when
-  /// QConfig::trace_buffer_events > 0.
+  /// QConfig::trace_buffer_events > 0, journal_ only when
+  /// QConfig::explain_journal_queries > 0.
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<DecisionJournal> journal_;
   std::vector<std::unique_ptr<EngineShard>> shards_;
   ShardRouter router_;
   SessionManager sessions_;

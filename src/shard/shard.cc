@@ -61,6 +61,7 @@ Status EngineShard::Start(Clock::time_point start_wall, bool manual) {
   // Forward the observability sinks before the executor (or any drain
   // worker) exists, so every tracing thread observes them set.
   engine_->SetObservability(tracer_, metrics_, shard_id_);
+  engine_->set_journal(journal_);
   if (!manual) {
     executor_ = std::thread([this] { ExecutorLoop(); });
   }

@@ -114,9 +114,11 @@ class EngineShard {
   /// null); set before Start(), which forwards them into the engine.
   /// This shard records queue-wait and epoch spans/histograms; the
   /// engine records flush/optimize/graft/ATC/spill events.
-  void set_observability(Tracer* tracer, MetricsRegistry* metrics) {
+  void set_observability(Tracer* tracer, MetricsRegistry* metrics,
+                         DecisionJournal* journal = nullptr) {
     tracer_ = tracer;
     metrics_ = metrics;
+    journal_ = journal;
   }
 
   /// Begins serving; the owner must have finalized the catalog first
@@ -183,6 +185,7 @@ class EngineShard {
   /// Service-owned observability sinks (null when disabled).
   Tracer* tracer_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
+  DecisionJournal* journal_ = nullptr;
 
   CompletionFn completion_fn_;
   FinishedFn finished_fn_;

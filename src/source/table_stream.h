@@ -56,11 +56,19 @@ class StreamingSource {
   int id() const { return id_; }
   void set_id(int id) { id_ = id; }
 
+  /// User query on whose behalf this stream was first created (set once
+  /// by the grafter; -1 until then). Later queries that inherit this
+  /// stream's already-read prefix attribute the saved streaming work to
+  /// the producer (sharing-benefit attribution, src/obs/explain.h).
+  int producer_uq() const { return producer_uq_; }
+  void set_producer_uq(int uq) { producer_uq_ = uq; }
+
  protected:
   Expr expr_;
   double initial_max_sum_;
   int64_t tuples_read_ = 0;
   int id_ = -1;
+  int producer_uq_ = -1;
 };
 
 /// \brief Streaming source that materializes its (sorted) result at the
