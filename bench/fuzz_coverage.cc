@@ -1,0 +1,106 @@
+// Fuzz-harness coverage bench: sweeps generated serving scenarios
+// against the single-shard oracle (src/sim/) and emits
+// BENCH_fuzz_coverage.json — scenarios run, distinct shapes exercised,
+// checked-vs-robustness split, spill traffic, and the divergence count
+// (the trajectory metric: this must stay 0).
+//
+//   ./fuzz_coverage [--scenarios=N] [--seed-base=B]
+//                   [--json-out=PATH] [--timestamp=T]
+//
+// A divergence prints the offending scenario line plus its shrunken
+// minimal reproducer and fails the run (exit 1), so the bench doubles
+// as a long-sweep driver: crank --scenarios far past what the ctest
+// smoke covers.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/sim/runner.h"
+#include "src/sim/scenario.h"
+#include "src/sim/shrink.h"
+
+int main(int argc, char** argv) {
+  using qsys::sim::CheckScenario;
+  using qsys::sim::GenerateScenario;
+  using qsys::sim::Oracle;
+  using qsys::sim::RunOutcome;
+  using qsys::sim::Scenario;
+  using qsys::sim::ShrinkScenario;
+
+  int scenarios = 100;
+  int seed_base = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scenarios=", 12) == 0) {
+      scenarios = std::atoi(argv[i] + 12);
+    }
+    if (std::strncmp(argv[i], "--seed-base=", 12) == 0) {
+      seed_base = std::atoi(argv[i] + 12);
+    }
+  }
+
+  printf("fuzz coverage sweep: %d scenarios from seed %d\n", scenarios,
+         seed_base);
+  Oracle oracle;
+  std::set<std::string> shapes;
+  int checked = 0;
+  int robustness_only = 0;
+  int divergences = 0;
+  int64_t items_spilled = 0;
+  int64_t spill_faults = 0;
+  for (int i = 0; i < scenarios; ++i) {
+    const uint64_t seed = static_cast<uint64_t>(seed_base + i);
+    Scenario s = GenerateScenario(seed);
+    shapes.insert(s.ShapeKey());
+    if (s.CheckedForEquivalence()) {
+      ++checked;
+    } else {
+      ++robustness_only;
+    }
+    RunOutcome outcome;
+    auto divergence = CheckScenario(s, oracle, {}, &outcome);
+    items_spilled += outcome.spill.items_spilled;
+    spill_faults += outcome.spill.spill_faults;
+    if (divergence.has_value()) {
+      ++divergences;
+      printf("  DIVERGENCE seed %llu: %s\n",
+             static_cast<unsigned long long>(seed),
+             divergence->ToString().c_str());
+      printf("    scenario: %s\n", s.ToString().c_str());
+      auto fails = [&](const Scenario& candidate) {
+        return CheckScenario(candidate, oracle).has_value();
+      };
+      int shrink_runs = 0;
+      Scenario minimal = ShrinkScenario(s, fails, /*max_runs=*/60,
+                                        &shrink_runs);
+      printf("    minimal reproducer (%d shrink runs): %s\n", shrink_runs,
+             minimal.ToString().c_str());
+    }
+    if ((i + 1) % 25 == 0) {
+      printf("  %d/%d swept, %zu shapes, %d divergences\n", i + 1,
+             scenarios, shapes.size(), divergences);
+    }
+  }
+
+  printf("swept %d scenarios (%d checked, %d robustness-only), "
+         "%zu distinct shapes, %lld items spilled, %lld spill faults, "
+         "%d divergences\n",
+         scenarios, checked, robustness_only, shapes.size(),
+         static_cast<long long>(items_spilled),
+         static_cast<long long>(spill_faults), divergences);
+
+  qsys::bench::BenchJson json("fuzz_coverage", argc, argv);
+  json.Add("scenarios", scenarios);
+  json.Add("seed_base", seed_base);
+  json.Add("checked_for_equivalence", checked);
+  json.Add("robustness_only", robustness_only);
+  json.Add("distinct_shapes", static_cast<int64_t>(shapes.size()));
+  json.Add("items_spilled", items_spilled);
+  json.Add("spill_faults", spill_faults);
+  json.Add("divergences", divergences);
+  json.Write();
+  return divergences == 0 ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+#include "src/buffer/fault_injection.h"
+
+namespace qsys {
+
+SegmentFaultInjector::Fault SeededFaultInjector::Next(Op op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto idx = static_cast<size_t>(op);
+  double error_p = 0.0;
+  double short_p = 0.0;
+  int err = 0;
+  switch (op) {
+    case Op::kOpen:
+      error_p = plan_.open_fail_p;
+      err = EACCES;
+      break;
+    case Op::kWrite:
+      error_p = plan_.write_error_p;
+      short_p = plan_.write_short_p;
+      err = plan_.write_errno;
+      break;
+    case Op::kRead:
+      error_p = plan_.read_error_p;
+      short_p = plan_.read_short_p;
+      err = plan_.read_errno;
+      break;
+  }
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  const double roll = coin(rng_);
+  if (roll < error_p && consecutive_[idx] < plan_.max_consecutive_errors) {
+    ++consecutive_[idx];
+    ++injected_[idx];
+    return Fault{err, false};
+  }
+  consecutive_[idx] = 0;  // forced success resets the transiency bound
+  if (roll < error_p + short_p) {
+    ++short_ios_[idx];
+    return Fault{0, true};
+  }
+  return Fault{};
+}
+
+int64_t SeededFaultInjector::injected(Op op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_[static_cast<size_t>(op)];
+}
+
+int64_t SeededFaultInjector::injected_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_[0] + injected_[1] + injected_[2];
+}
+
+int64_t SeededFaultInjector::short_ios() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return short_ios_[0] + short_ios_[1] + short_ios_[2];
+}
+
+}  // namespace qsys

@@ -3,19 +3,28 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 namespace qsys {
 
 Result<std::unique_ptr<SegmentFile>> SegmentFile::Create(
-    const std::string& path) {
+    const std::string& path, SegmentFaultInjector* injector) {
+  if (injector != nullptr) {
+    SegmentFaultInjector::Fault f =
+        injector->Next(SegmentFaultInjector::Op::kOpen);
+    if (f.err != 0) {
+      return Status::Internal("spill segment open failed: " + path + ": " +
+                              std::strerror(f.err) + " (injected)");
+    }
+  }
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return Status::Internal("spill segment open failed: " + path + ": " +
                             std::strerror(errno));
   }
-  return std::unique_ptr<SegmentFile>(new SegmentFile(path, fd));
+  return std::unique_ptr<SegmentFile>(new SegmentFile(path, fd, injector));
 }
 
 SegmentFile::~SegmentFile() {
@@ -39,7 +48,20 @@ Status SegmentFile::WritePage(uint64_t page_no, const void* data) {
   int64_t remaining = kPageSize;
   off_t offset = static_cast<off_t>(page_no) * kPageSize;
   while (remaining > 0) {
-    ssize_t n = ::pwrite(fd_, p, static_cast<size_t>(remaining), offset);
+    size_t want = static_cast<size_t>(remaining);
+    if (injector_ != nullptr) {
+      SegmentFaultInjector::Fault f =
+          injector_->Next(SegmentFaultInjector::Op::kWrite);
+      if (f.err != 0) {
+        return Status::Internal("spill segment write failed: " +
+                                std::string(std::strerror(f.err)) +
+                                " (injected)");
+      }
+      // A short transfer: ask the kernel for less, exactly as a real
+      // partial pwrite would deliver less. The loop resumes after it.
+      if (f.short_io) want = std::max<size_t>(size_t{1}, want / 2);
+    }
+    ssize_t n = ::pwrite(fd_, p, want, offset);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::Internal("spill segment write failed: " +
@@ -57,7 +79,18 @@ Status SegmentFile::ReadPage(uint64_t page_no, void* data) const {
   int64_t remaining = kPageSize;
   off_t offset = static_cast<off_t>(page_no) * kPageSize;
   while (remaining > 0) {
-    ssize_t n = ::pread(fd_, p, static_cast<size_t>(remaining), offset);
+    size_t want = static_cast<size_t>(remaining);
+    if (injector_ != nullptr) {
+      SegmentFaultInjector::Fault f =
+          injector_->Next(SegmentFaultInjector::Op::kRead);
+      if (f.err != 0) {
+        return Status::Internal("spill segment read failed: " +
+                                std::string(std::strerror(f.err)) +
+                                " (injected)");
+      }
+      if (f.short_io) want = std::max<size_t>(size_t{1}, want / 2);
+    }
+    ssize_t n = ::pread(fd_, p, want, offset);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::Internal("spill segment read failed: " +

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/buffer/fault_injection.h"
 #include "src/buffer/page.h"
 #include "src/common/status.h"
 
@@ -22,8 +23,11 @@ namespace qsys {
 /// \brief Page-granular file storage for one spill class.
 class SegmentFile {
  public:
-  /// Creates (truncating) the backing file at `path`.
-  static Result<std::unique_ptr<SegmentFile>> Create(const std::string& path);
+  /// Creates (truncating) the backing file at `path`. `injector`, when
+  /// non-null, is consulted before the open and before every page
+  /// read/write (test seam; must outlive the segment).
+  static Result<std::unique_ptr<SegmentFile>> Create(
+      const std::string& path, SegmentFaultInjector* injector = nullptr);
 
   ~SegmentFile();
   SegmentFile(const SegmentFile&) = delete;
@@ -54,13 +58,21 @@ class SegmentFile {
   /// high-water size; it is scratch storage, unlinked on close).
   int64_t bytes_on_disk() const { return live_pages() * kPageSize; }
 
+  /// Installs (or clears, with nullptr) the fault-injection seam on an
+  /// already-open segment.
+  void set_fault_injector(SegmentFaultInjector* injector) {
+    injector_ = injector;
+  }
+
  private:
-  SegmentFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+  SegmentFile(std::string path, int fd, SegmentFaultInjector* injector)
+      : path_(std::move(path)), fd_(fd), injector_(injector) {}
 
   std::string path_;
   int fd_;
   uint64_t next_page_ = 0;
   std::vector<uint64_t> free_;
+  SegmentFaultInjector* injector_ = nullptr;
 };
 
 }  // namespace qsys

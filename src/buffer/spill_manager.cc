@@ -297,9 +297,12 @@ void SpillManager::WriterLoop() {
       wb_busy_ = true;
     }
     // Best effort off the hot path: a page already evicted (= already
-    // written) or re-pinned is skipped; a write error surfaces later
-    // through the synchronous eviction/flush paths.
-    pool_.WriteBack(id);
+    // written) or re-pinned is skipped. A write error leaves the page
+    // dirty in the pool (nothing is lost — the clock sweep retries the
+    // write before recycling the frame); count it and move on.
+    if (!pool_.WriteBack(id).ok()) {
+      faults_.fetch_add(1, std::memory_order_relaxed);
+    }
     {
       std::lock_guard<std::mutex> lock(wb_mu_);
       wb_busy_ = false;
@@ -325,7 +328,7 @@ Result<SegmentFile*> SpillManager::SegmentFor(Class cls) {
   auto idx = static_cast<size_t>(cls);
   if (segments_[idx] == nullptr) {
     auto file =
-        SegmentFile::Create(dir_ + "/" + ClassFileName(cls));
+        SegmentFile::Create(dir_ + "/" + ClassFileName(cls), injector_);
     QSYS_RETURN_IF_ERROR(file.status());
     segments_[idx] = std::move(file).value();
     pool_.AttachSegment(static_cast<uint8_t>(cls), segments_[idx].get());
@@ -333,14 +336,31 @@ Result<SegmentFile*> SpillManager::SegmentFor(Class cls) {
   return segments_[idx].get();
 }
 
+void SpillManager::set_fault_injector(SegmentFaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injector_ = injector;
+  for (auto& seg : segments_) {
+    if (seg != nullptr) seg->set_fault_injector(injector);
+  }
+}
 
 Status SpillManager::ReadPayload(const Handle& handle,
                                  std::vector<uint8_t>* payload) {
+  // Transient read-fault budget per page: above FaultPlan's default
+  // max_consecutive_errors, so an injected (or real EINTR-class)
+  // transient error never fails a restore outright — it just costs
+  // extra attempts, each counted as a survived fault.
+  constexpr int kTransientReadRetries = 4;
   payload->clear();
   payload->reserve(static_cast<size_t>(handle.payload_bytes));
   int64_t remaining = handle.payload_bytes;
   for (PageId id : handle.pages) {
     auto frame = pool_.Pin(id);
+    for (int retry = 0; !frame.ok() && retry < kTransientReadRetries;
+         ++retry) {
+      faults_.fetch_add(1, std::memory_order_relaxed);
+      frame = pool_.Pin(id);
+    }
     QSYS_RETURN_IF_ERROR(frame.status());
     int64_t n = std::min<int64_t>(kPageSize, remaining);
     payload->insert(payload->end(), frame.value(), frame.value() + n);
@@ -353,8 +373,47 @@ Status SpillManager::ReadPayload(const Handle& handle,
   return Status::OK();
 }
 
+// ---- public demote/restore entry points -----------------------------
+//
+// Thin wrappers that count every failure as a survived fault: by the
+// time an error surfaces here, the caller degrades (keeps the victim in
+// memory, re-executes, re-probes) instead of losing answers, and
+// SpillStats::spill_faults records that it happened.
+
 Status SpillManager::SpillTable(const std::string& key,
                                 const JoinHashTable& table) {
+  Status s = DoSpillTable(key, table);
+  if (!s.ok()) faults_.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+Status SpillManager::SpillProbeCache(const std::string& key,
+                                     const ProbeSource& probe) {
+  Status s = DoSpillProbeCache(key, probe);
+  if (!s.ok()) faults_.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+Result<SpillManager::RestoreOutcome> SpillManager::RestoreTable(
+    const std::string& key, JoinHashTable* dest) {
+  auto r = DoRestoreTable(key, dest);
+  if (!r.ok() && r.status().code() != StatusCode::kNotFound) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return r;
+}
+
+Result<SpillManager::RestoreOutcome> SpillManager::RestoreProbeCache(
+    const std::string& key, ProbeSource* probe) {
+  auto r = DoRestoreProbeCache(key, probe);
+  if (!r.ok() && r.status().code() != StatusCode::kNotFound) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return r;
+}
+
+Status SpillManager::DoSpillTable(const std::string& key,
+                                  const JoinHashTable& table) {
   const int64_t t0 = tracer_ != nullptr ? tracer_->NowUs() : 0;
   std::lock_guard<std::mutex> lock(mu_);
   QSYS_RETURN_IF_ERROR(SegmentFor(Class::kHashTable).status());
@@ -402,7 +461,7 @@ Status SpillManager::FinishSpill(Class cls, SpillPageWriter& writer,
   return Status::OK();
 }
 
-Result<SpillManager::RestoreOutcome> SpillManager::RestoreTable(
+Result<SpillManager::RestoreOutcome> SpillManager::DoRestoreTable(
     const std::string& key, JoinHashTable* dest) {
   const int64_t t0 = tracer_ != nullptr ? tracer_->NowUs() : 0;
   std::lock_guard<std::mutex> lock(mu_);
@@ -419,6 +478,11 @@ Result<SpillManager::RestoreOutcome> SpillManager::RestoreTable(
   Reader in(payload);
   int64_t n = 0;
   QSYS_RETURN_IF_ERROR(in.Get(&n));
+  // Stage the full decode before touching `dest`: a payload that turns
+  // out truncated or corrupt mid-way must not leave a half-restored
+  // table behind (a silent truncation would quietly drop answers).
+  std::vector<std::pair<int32_t, CompositeTuple>> staged;
+  staged.reserve(static_cast<size_t>(n > 0 ? n : 0));
   for (int64_t i = 0; i < n; ++i) {
     int32_t epoch = 0, nrefs = 0;
     QSYS_RETURN_IF_ERROR(in.Get(&epoch));
@@ -432,7 +496,10 @@ Result<SpillManager::RestoreOutcome> SpillManager::RestoreTable(
     // Slot-order summation — the same way m-joins compute sum_scores —
     // so the restored score is bit-identical to the original.
     t.RecomputeSum();
-    dest->Insert(epoch, std::move(t));
+    staged.emplace_back(epoch, std::move(t));
+  }
+  for (auto& [epoch, tuple] : staged) {
+    dest->Insert(epoch, std::move(tuple));
   }
   RestoreOutcome out{n, it->second.payload_bytes};
   DropLocked(key);
@@ -444,8 +511,8 @@ Result<SpillManager::RestoreOutcome> SpillManager::RestoreTable(
   return out;
 }
 
-Status SpillManager::SpillProbeCache(const std::string& key,
-                                     const ProbeSource& probe) {
+Status SpillManager::DoSpillProbeCache(const std::string& key,
+                                       const ProbeSource& probe) {
   const int64_t t0 = tracer_ != nullptr ? tracer_->NowUs() : 0;
   std::lock_guard<std::mutex> lock(mu_);
   QSYS_RETURN_IF_ERROR(SegmentFor(Class::kProbeCache).status());
@@ -471,7 +538,7 @@ Status SpillManager::SpillProbeCache(const std::string& key,
   return sealed;
 }
 
-Result<SpillManager::RestoreOutcome> SpillManager::RestoreProbeCache(
+Result<SpillManager::RestoreOutcome> SpillManager::DoRestoreProbeCache(
     const std::string& key, ProbeSource* probe) {
   const int64_t t0 = tracer_ != nullptr ? tracer_->NowUs() : 0;
   std::lock_guard<std::mutex> lock(mu_);
@@ -515,6 +582,12 @@ int64_t SpillManager::SpilledBytes(const std::string& key) const {
   return it == handles_.end() ? 0 : it->second.payload_bytes;
 }
 
+int64_t SpillManager::SpilledItems(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = handles_.find(key);
+  return it == handles_.end() ? 0 : it->second.items;
+}
+
 void SpillManager::Drop(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   DropLocked(key);
@@ -535,6 +608,7 @@ SpillStats SpillManager::stats() const {
   s.page_faults = pool_.faults();
   s.items_spilled = items_spilled_;
   s.items_restored = items_restored_;
+  s.spill_faults = faults_.load(std::memory_order_relaxed);
   for (const auto& seg : segments_) {
     if (seg != nullptr) s.bytes_on_disk += seg->bytes_on_disk();
   }

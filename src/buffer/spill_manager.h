@@ -26,6 +26,7 @@
 #ifndef QSYS_BUFFER_SPILL_MANAGER_H_
 #define QSYS_BUFFER_SPILL_MANAGER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -36,6 +37,7 @@
 #include <vector>
 
 #include "src/buffer/buffer_manager.h"
+#include "src/buffer/fault_injection.h"
 #include "src/common/metrics.h"
 #include "src/exec/join_hash_table.h"
 #include "src/obs/trace.h"
@@ -98,12 +100,16 @@ class SpillManager {
 
   /// Appends the spilled entries to `dest` in original arrival order
   /// with original epochs, then drops the disk copy (the restored
-  /// in-memory state is now the newest version).
+  /// in-memory state is now the newest version). The decode is staged:
+  /// on any error `dest` is untouched (a restore is all-or-nothing,
+  /// never a silent truncation) and the disk copy is kept — the caller
+  /// decides whether to retry later or Drop() it.
   Result<RestoreOutcome> RestoreTable(const std::string& key,
                                       JoinHashTable* dest);
 
   /// Replaces `probe`'s cache with the spilled copy, then drops the
-  /// disk copy.
+  /// disk copy. Staged like RestoreTable: on error the probe's cache
+  /// is untouched and the disk copy is kept.
   Result<RestoreOutcome> RestoreProbeCache(const std::string& key,
                                            ProbeSource* probe);
 
@@ -117,6 +123,12 @@ class SpillManager {
   /// the basis of the spill-read cost estimate.
   int64_t SpilledBytes(const std::string& key) const;
 
+  /// Items (table entries / cached probe keys) in the spilled payload
+  /// (0 when `key` is absent). Grafting compares this against the
+  /// fullest live prefix to decide whether a parked disk copy is the
+  /// more complete version of a module table.
+  int64_t SpilledItems(const std::string& key) const;
+
   /// Discards the spilled copy of `key` (stale after the in-memory
   /// state was superseded), returning its pages for reuse.
   void Drop(const std::string& key);
@@ -128,6 +140,16 @@ class SpillManager {
 
   /// Aggregate spill counters (buffer pool + registry).
   SpillStats stats() const;
+
+  /// I/O faults this tier survived by degrading (demotion refused,
+  /// restore retried or abandoned, write-back deferred) instead of
+  /// losing answers. Mirrors SpillStats::spill_faults.
+  int64_t faults() const { return faults_.load(std::memory_order_relaxed); }
+
+  /// Installs (or clears, with nullptr) the fault-injection seam on
+  /// every current and future segment file (test hook; the injector
+  /// must outlive this manager or be cleared before destruction).
+  void set_fault_injector(SegmentFaultInjector* injector);
 
   /// This instance's private scratch subdirectory (removed on
   /// destruction), not the configured parent.
@@ -174,7 +196,19 @@ class SpillManager {
                      const std::string& key);
 
   /// Reassembles a handle's payload from its pages (restores only).
+  /// Transient page-read faults are retried a bounded number of times
+  /// (each counted in faults_) before the error propagates.
   Status ReadPayload(const Handle& handle, std::vector<uint8_t>* payload);
+
+  // Fallible bodies of the public demote/restore entry points; the
+  // public wrappers count failures into faults_.
+  Status DoSpillTable(const std::string& key, const JoinHashTable& table);
+  Status DoSpillProbeCache(const std::string& key,
+                           const ProbeSource& probe);
+  Result<RestoreOutcome> DoRestoreTable(const std::string& key,
+                                        JoinHashTable* dest);
+  Result<RestoreOutcome> DoRestoreProbeCache(const std::string& key,
+                                             ProbeSource* probe);
 
   std::string dir_;
   BufferManager pool_;
@@ -184,6 +218,11 @@ class SpillManager {
   std::unordered_map<std::string, Handle> handles_;
   int64_t items_spilled_ = 0;
   int64_t items_restored_ = 0;
+  /// Survived I/O faults (atomic: the write-back thread counts its own
+  /// failures without taking mu_).
+  std::atomic<int64_t> faults_{0};
+  /// Fault-injection seam handed to every segment (null in production).
+  SegmentFaultInjector* injector_ = nullptr;
 
   /// Serving trace sink (null in the simulator). Written once before
   /// any tracing thread exists; never touched by WriterLoop.

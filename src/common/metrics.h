@@ -186,12 +186,16 @@ struct SpillStats {
   int64_t items_restored = 0;
   /// Bytes currently occupied by spill segments on disk.
   int64_t bytes_on_disk = 0;
+  /// I/O faults the spill tier survived by degrading — demotion kept
+  /// the victim in memory, a restore was retried or abandoned, a
+  /// write-back stayed dirty in the pool — instead of losing answers.
+  int64_t spill_faults = 0;
 
   /// One-line rendering for logs and bench output.
   std::string ToString() const;
 };
 
-static_assert(sizeof(SpillStats) == 6 * sizeof(int64_t),
+static_assert(sizeof(SpillStats) == 7 * sizeof(int64_t),
               "SpillStats gained/lost a field: update ServiceCounters"
               "::StoreSpill/LoadSpill, the spill gauge aggregation in "
               "QueryService::AggregateSpillGauges, and the mirror test "
@@ -230,6 +234,7 @@ struct ServiceCounters {
   std::atomic<int64_t> spill_items_spilled{0};
   std::atomic<int64_t> spill_items_restored{0};
   std::atomic<int64_t> spill_bytes_on_disk{0};
+  std::atomic<int64_t> spill_io_faults{0};
 
   /// Publishes a fresh spill-tier snapshot (executor thread).
   void StoreSpill(const SpillStats& s) {
@@ -240,6 +245,7 @@ struct ServiceCounters {
     spill_items_restored.store(s.items_restored,
                                std::memory_order_relaxed);
     spill_bytes_on_disk.store(s.bytes_on_disk, std::memory_order_relaxed);
+    spill_io_faults.store(s.spill_faults, std::memory_order_relaxed);
   }
 
   /// Reads the spill gauges back into a plain SpillStats.
@@ -252,6 +258,7 @@ struct ServiceCounters {
     s.items_restored =
         spill_items_restored.load(std::memory_order_relaxed);
     s.bytes_on_disk = spill_bytes_on_disk.load(std::memory_order_relaxed);
+    s.spill_faults = spill_io_faults.load(std::memory_order_relaxed);
     return s;
   }
 };

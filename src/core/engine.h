@@ -290,6 +290,8 @@ class Engine {
   /// The disk-spill tier (nullptr when QConfig::spill_dir is empty or
   /// the spill directory could not be opened — see spill_status()).
   const SpillManager* spill_manager() const { return spill_manager_.get(); }
+  /// Mutable access, for installing a fault-injection seam in tests.
+  SpillManager* spill_manager() { return spill_manager_.get(); }
   /// Why spilling is disabled (OK when enabled or never requested).
   const Status& spill_status() const { return spill_status_; }
   /// Aggregate spill counters (all-zero when spilling is disabled).

@@ -170,6 +170,9 @@ const NamedSpillField kSpillFields[] = {
      &SpillStats::items_restored},
     {"spill_bytes_on_disk", "Bytes currently held in spill segments",
      &SpillStats::bytes_on_disk},
+    {"spill_io_faults",
+     "Spill I/O faults survived by degrading instead of losing answers",
+     &SpillStats::spill_faults},
 };
 
 }  // namespace
@@ -277,6 +280,7 @@ std::string RenderCountersText(const ServiceCounters& counters,
     spill_total.items_spilled += s.items_spilled;
     spill_total.items_restored += s.items_restored;
     spill_total.bytes_on_disk += s.bytes_on_disk;
+    spill_total.spill_faults += s.spill_faults;
   }
   out += "spill: " + spill_total.ToString() + '\n';
 

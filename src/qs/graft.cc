@@ -49,6 +49,29 @@ int64_t PlanGrafter::BackfillOrRestore(const FullestBySig& fullest, int tag,
                                        JoinHashTable* dest,
                                        ExecContext& ctx) {
   JoinHashTable* old = FullestModuleTable(fullest, tag, sig);
+  int64_t restored = 0;
+  // A parked disk copy can be *fuller* than every live prefix: eviction
+  // clears the registered (fullest) table after demoting it, while
+  // shorter consumer copies of the same stream survive in the graph.
+  // Those shorter prefixes must not shadow the spill — the caller
+  // re-registers `dest` right after this, which drops the disk copy,
+  // so skipping the restore here would discard the only holder of the
+  // suffix and silently lose its buffered results (the spill-on
+  // warm-repeat divergence). Restore first; identity dedup absorbs the
+  // overlap with whatever `dest` already holds, and the restored
+  // entries keep their original arrival order and epochs.
+  const int64_t live_fullest =
+      std::max(dest->num_entries(),
+               old != nullptr ? old->num_entries() : int64_t{0});
+  if (state_->SpilledTableEntries(tag, sig) > live_fullest) {
+    StateManager::RestoreOutcome r =
+        state_->RestoreSpilledTable(tag, sig, dest);
+    if (r.entries > 0) {
+      restored = r.entries;
+      tuples_backfilled_ += r.entries;
+      ctx.Charge(TimeBucket::kJoin, state_->SpillReadCostUs(r.bytes));
+    }
+  }
   if (old != nullptr && old != dest &&
       old->num_entries() > dest->num_entries()) {
     // Both tables are prefixes of the same shared arrival sequence, so
@@ -76,19 +99,9 @@ int64_t PlanGrafter::BackfillOrRestore(const FullestBySig& fullest, int tag,
     ctx.Charge(TimeBucket::kJoin,
                static_cast<VirtualTime>(static_cast<double>(copied) *
                                         ctx.delays->params().join_output_us));
-    return copied;
+    return restored + copied;
   }
-  if (dest->num_entries() > 0) return 0;  // already the fullest known prefix
-  // No live copy: fault a demoted one back from the spill tier, so
-  // recovery (CQᵉ) and future joins see the full prefix without
-  // re-executing against the remote sources.
-  StateManager::RestoreOutcome r =
-      state_->RestoreSpilledTable(tag, sig, dest);
-  if (r.entries > 0) {
-    tuples_backfilled_ += r.entries;
-    ctx.Charge(TimeBucket::kJoin, state_->SpillReadCostUs(r.bytes));
-  }
-  return r.entries;
+  return restored;
 }
 
 int64_t PlanGrafter::RederivePrefixes(

@@ -108,6 +108,13 @@ bool StateManager::HasSpilledTable(
   return spill_ != nullptr && spill_->HasSpill(Key(tag, expr_signature));
 }
 
+int64_t StateManager::SpilledTableEntries(
+    int tag, const std::string& expr_signature) const {
+  return spill_ == nullptr
+             ? 0
+             : spill_->SpilledItems(Key(tag, expr_signature));
+}
+
 StateManager::RestoreOutcome StateManager::RestoreSpilledTable(
     int tag, const std::string& expr_signature, JoinHashTable* dest) {
   if (spill_ == nullptr) return {};
@@ -115,8 +122,12 @@ StateManager::RestoreOutcome StateManager::RestoreSpilledTable(
   if (!spill_->HasSpill(key)) return {};
   auto restored = spill_->RestoreTable(key, dest);
   if (!restored.ok()) {
-    // An unreadable copy can never be restored: discard it instead of
-    // re-attempting (and failing) on every future graft.
+    // Transient I/O faults were already retried page-by-page inside the
+    // spill tier, so what reaches here is unrecoverable (a corrupt or
+    // truncated payload, persistent I/O failure). The staged decode
+    // left `dest` untouched — a failed restore is never a silent
+    // truncation — and discarding the copy degrades this expression to
+    // re-execution semantics instead of failing every future graft.
     spill_->Drop(key);
     return {};
   }
@@ -223,10 +234,21 @@ int StateManager::EnforceBudget(VirtualTime now) {
         JoinHashTable* table = it->second.table;
         const int64_t entries = table->num_entries();
         bool demoted = false;
-        if (ShouldSpill(items[idx], entries) &&
-            spill_->SpillTable(items[idx].key, *table).ok()) {
-          demoted = true;
-          ++spills_;
+        if (ShouldSpill(items[idx], entries)) {
+          if (spill_->SpillTable(items[idx].key, *table).ok()) {
+            demoted = true;
+            ++spills_;
+          } else {
+            // Demotion was the plan but the spill I/O failed. Unlike a
+            // probe cache (re-probing regenerates identical answers), a
+            // destroyed hash table loses stream arrivals that can never
+            // be re-read — shared cursors do not rewind — so destroying
+            // the victim here would change answers. Keep it in memory
+            // instead: a soft budget overrun the next enforcement pass
+            // retries, counted by the spill tier as a survived fault.
+            JournalVictim(items[idx], entries, false);
+            continue;
+          }
         }
         JournalVictim(items[idx], entries, demoted);
         table->Clear();

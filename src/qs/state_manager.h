@@ -102,6 +102,13 @@ class StateManager {
   /// parked on disk.
   bool HasSpilledTable(int tag, const std::string& expr_signature) const;
 
+  /// Entries in the parked disk copy for (tag, signature); 0 when
+  /// nothing is spilled under the key. The grafter compares this
+  /// against the fullest *live* prefix: a fuller disk copy must be
+  /// restored before registration supersedes (and drops) it.
+  int64_t SpilledTableEntries(int tag,
+                              const std::string& expr_signature) const;
+
   struct RestoreOutcome {
     int64_t entries = 0;
     int64_t bytes = 0;

@@ -85,6 +85,7 @@ void QueryService::AggregateSpillGauges() {
     sum.items_spilled += s.items_spilled;
     sum.items_restored += s.items_restored;
     sum.bytes_on_disk += s.bytes_on_disk;
+    sum.spill_faults += s.spill_faults;
   }
   counters_.StoreSpill(sum);
 }

@@ -1,0 +1,36 @@
+// Scenario shrinking: reduce a failing scenario to a minimal
+// reproducer.
+//
+// ShrinkScenario takes a scenario known to fail and a predicate that
+// re-runs a candidate and reports whether it still fails, then applies
+// greedy, deterministic reduction passes until no pass makes progress:
+// drop individual order positions, merge adjacent waves, collapse
+// shards and threads to 1, and relax the memory pressure (disable the
+// mid-run drop, remove the budget). Each mutation is kept only if the
+// predicate still fails, so the result provably reproduces the failure
+// and every remaining element is load-bearing. The passes are a fixed
+// sequence over deterministic inputs — the same failing scenario always
+// shrinks to the same reproducer, which the harness prints as a
+// ToString() line ready to paste into a regression test.
+
+#ifndef QSYS_SIM_SHRINK_H_
+#define QSYS_SIM_SHRINK_H_
+
+#include <functional>
+
+#include "src/sim/scenario.h"
+
+namespace qsys::sim {
+
+/// Shrinks `failing` while `fails(candidate)` stays true. `max_runs`
+/// bounds the number of predicate evaluations (each is a full scenario
+/// run); `runs_used`, when non-null, receives the count actually
+/// spent. The returned scenario always satisfies `fails` (it is the
+/// last accepted candidate, or `failing` itself if nothing shrank).
+Scenario ShrinkScenario(const Scenario& failing,
+                        const std::function<bool(const Scenario&)>& fails,
+                        int max_runs = 200, int* runs_used = nullptr);
+
+}  // namespace qsys::sim
+
+#endif  // QSYS_SIM_SHRINK_H_
