@@ -1,0 +1,306 @@
+// Partitioned-placement scaling bench: the same GUS keyword workload
+// served at shards = 1, 2, 4 under both placement modes, reporting
+// per-shard resident data bytes and served queries/s, and emitting
+// BENCH_partition_scaling.json.
+//
+// Replicated mode copies the full dataset into every shard, so its
+// resident bytes per shard are flat in the shard count; partitioned
+// mode (QConfig::placement = kPartitioned) gives each shard only the
+// index-term and tuple-hash slices it owns. Shape expectations:
+//
+//   * per-UQ top-k stays byte-equivalent to the replicated single-shard
+//     oracle in every run (both modes, every shard count);
+//   * partitioned resident bytes/shard strictly decrease as shards
+//     grow, and at >= 2 shards sit strictly under the replicated
+//     per-shard copy;
+//   * the partitioned slices cover the dataset exactly: summed across
+//     shards they equal one replica's bytes.
+//
+// Throughput (threaded clients, live executors) is recorded per run
+// for the JSON trajectory but not shape-checked — wall-clock on a busy
+// CI box is noise; the resident-bytes claims are deterministic.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/placement.h"
+#include "src/serve/query_service.h"
+
+using namespace qsys;
+using qsys::bench::BenchJson;
+using qsys::bench::ShapeChecker;
+
+namespace {
+
+constexpr int kNumQueries = 12;
+constexpr int kNumClients = 4;
+
+std::vector<WorkloadQuery> MakeWorkload() {
+  WorkloadOptions options;
+  options.num_queries = kNumQueries;
+  options.seed = 7;
+  return GenerateBioWorkload(BioVocabulary(), options);
+}
+
+GusOptions BenchGus() {
+  GusOptions gus;
+  gus.num_relations = 80;
+  gus.min_rows = 60;
+  gus.max_rows = 180;
+  gus.seed = 3;
+  return gus;
+}
+
+QConfig BaseConfig() {
+  QConfig config;
+  config.k = 50;
+  config.batch_size = 5;
+  config.max_rounds = 200'000'000;
+  return config;
+}
+
+Status BuildBenchDataset(Engine& e) {
+  return BuildGusDataset(e, BenchGus());
+}
+
+struct PlacementRun {
+  int num_shards = 1;
+  bool partitioned = false;
+  /// Resident data bytes of the fullest shard (= every shard when
+  /// replicated; the accounting ShardResidentBytes / a replica's
+  /// EstimateResidentBytes share).
+  int64_t max_bytes_per_shard = 0;
+  /// Summed across shards (replicated: n full copies; partitioned:
+  /// exactly one replica, sliced).
+  int64_t total_resident_bytes = 0;
+  int64_t local_routes = 0;
+  int64_t scatter_routes = 0;
+  double qps = 0.0;
+  int64_t completed = 0;
+  std::vector<std::string> fingerprints;
+};
+
+/// Deterministic pass (manual pump, single submitter, drain shutdown):
+/// per-UQ fingerprints comparable across every run, plus the resident
+/// accounting and route counters. Then one threaded pass (live
+/// executors, kNumClients submitters) for queries/s.
+bool RunPlacementWorkload(int num_shards, bool partitioned,
+                          const std::vector<WorkloadQuery>& workload,
+                          PlacementRun* run) {
+  run->num_shards = num_shards;
+  run->partitioned = partitioned;
+  ServiceOptions options;
+  options.config = BaseConfig();
+  options.config.sharing = SharingConfig::kAtcFull;
+  options.config.batch_window_us = 50'000;
+  options.config.num_shards = num_shards;
+  options.config.placement = partitioned ? PlacementMode::kPartitioned
+                                         : PlacementMode::kReplicated;
+  options.queue_capacity = kNumQueries;
+
+  // ---- deterministic pass ----
+  {
+    ServiceOptions det = options;
+    det.manual_pump = true;
+    QueryService service(det);
+    if (!service.BuildEachEngine(BuildBenchDataset).ok() ||
+        !service.Start().ok()) {
+      printf("deterministic pass setup failed (shards=%d %s)\n",
+             num_shards, partitioned ? "partitioned" : "replicated");
+      return false;
+    }
+    if (partitioned) {
+      const DataPlacement* placement = service.placement();
+      if (placement == nullptr) {
+        printf("partitioned service has no placement\n");
+        return false;
+      }
+      for (int s = 0; s < num_shards; ++s) {
+        const int64_t bytes = placement->ShardResidentBytes(s);
+        run->total_resident_bytes += bytes;
+        if (bytes > run->max_bytes_per_shard) {
+          run->max_bytes_per_shard = bytes;
+        }
+      }
+    } else {
+      const int64_t replica = EstimateResidentBytes(
+          service.engine().catalog(), service.engine().inverted_index());
+      run->max_bytes_per_shard = replica;
+      run->total_resident_bytes = replica * num_shards;
+    }
+    SessionId session = service.OpenSession("determinism").value();
+    std::vector<std::pair<size_t, QueryTicket>> tickets;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      auto ticket = service.Submit(session, workload[i].keywords,
+                                   workload[i].options);
+      if (ticket.ok()) tickets.emplace_back(i, ticket.value());
+    }
+    if (!service.Shutdown(QueryService::ShutdownMode::kDrain).ok()) {
+      printf("deterministic pass shutdown failed\n");
+      return false;
+    }
+    run->fingerprints.assign(workload.size(), "");
+    for (auto& [index, ticket] : tickets) {
+      const QueryOutcome& out = ticket.Wait();
+      if (out.status.ok()) {
+        run->fingerprints[index] = FingerprintResults(out.results);
+      }
+    }
+    for (int s = 0; s < num_shards; ++s) {
+      const RouteStats r = service.shard_routes(s);
+      run->local_routes += r.local;
+      run->scatter_routes += r.scatter;
+    }
+  }
+
+  // ---- threaded pass: throughput ----
+  {
+    QueryService service(options);
+    if (!service.BuildEachEngine(BuildBenchDataset).ok() ||
+        !service.Start().ok()) {
+      printf("threaded pass setup failed (shards=%d)\n", num_shards);
+      return false;
+    }
+    auto wall_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kNumClients; ++c) {
+      clients.emplace_back([&, c] {
+        SessionId session =
+            service.OpenSession("client-" + std::to_string(c)).value();
+        std::vector<QueryTicket> tickets;
+        for (size_t i = c; i < workload.size(); i += kNumClients) {
+          auto ticket = service.Submit(session, workload[i].keywords,
+                                       workload[i].options);
+          if (ticket.ok()) tickets.push_back(ticket.value());
+        }
+        for (QueryTicket& ticket : tickets) ticket.Wait();
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    if (!service.Shutdown().ok()) {
+      printf("threaded pass shutdown failed\n");
+      return false;
+    }
+    run->completed = service.counters().completed.load();
+    run->qps = wall_seconds > 0
+                   ? static_cast<double>(run->completed) / wall_seconds
+                   : 0.0;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printf("bench_partition_scaling: %d queries, %d client threads, "
+         "shards {1, 2, 4} x {replicated, partitioned}\n",
+         kNumQueries, kNumClients);
+  const std::vector<WorkloadQuery> workload = MakeWorkload();
+  const std::vector<int> sweep = {1, 2, 4};
+
+  std::vector<PlacementRun> replicated, partitioned;
+  for (int n : sweep) {
+    PlacementRun rep, part;
+    if (!RunPlacementWorkload(n, /*partitioned=*/false, workload, &rep)) {
+      return 1;
+    }
+    if (!RunPlacementWorkload(n, /*partitioned=*/true, workload, &part)) {
+      return 1;
+    }
+    printf("  shards=%d  replicated: %8lld B/shard  partitioned: "
+           "%8lld B/shard max (%.1f%% of a replica), %lld local / %lld "
+           "scatter, %.2f q/s\n",
+           n, static_cast<long long>(rep.max_bytes_per_shard),
+           static_cast<long long>(part.max_bytes_per_shard),
+           100.0 * static_cast<double>(part.max_bytes_per_shard) /
+               static_cast<double>(rep.max_bytes_per_shard),
+           static_cast<long long>(part.local_routes),
+           static_cast<long long>(part.scatter_routes),
+           part.qps);
+    replicated.push_back(std::move(rep));
+    partitioned.push_back(std::move(part));
+  }
+
+  // Byte-equivalence: every run against the replicated 1-shard oracle.
+  const std::vector<std::string>& oracle = replicated.front().fingerprints;
+  bool equivalent = true;
+  int answered = 0;
+  for (const std::string& fp : oracle) {
+    if (!fp.empty()) answered += 1;
+  }
+  auto compare = [&](const PlacementRun& run) {
+    for (size_t i = 0; i < workload.size(); ++i) {
+      if (run.fingerprints[i] != oracle[i]) {
+        printf("  MISMATCH shards=%d %s query %zu (%s)\n", run.num_shards,
+               run.partitioned ? "partitioned" : "replicated", i,
+               workload[i].keywords.c_str());
+        equivalent = false;
+      }
+    }
+  };
+  for (const PlacementRun& run : replicated) compare(run);
+  for (const PlacementRun& run : partitioned) compare(run);
+
+  BenchJson json("partition_scaling", argc, argv);
+  json.Add("num_queries", kNumQueries);
+  json.Add("num_clients", kNumClients);
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const std::string prefix = "shards_" + std::to_string(sweep[i]);
+    json.Add(prefix + ".replicated_bytes_per_shard",
+             replicated[i].max_bytes_per_shard);
+    json.Add(prefix + ".partitioned_max_bytes_per_shard",
+             partitioned[i].max_bytes_per_shard);
+    json.Add(prefix + ".partitioned_total_bytes",
+             partitioned[i].total_resident_bytes);
+    json.Add(prefix + ".partitioned_local_routes",
+             partitioned[i].local_routes);
+    json.Add(prefix + ".partitioned_scatter_routes",
+             partitioned[i].scatter_routes);
+    json.Add(prefix + ".replicated_qps", replicated[i].qps);
+    json.Add(prefix + ".partitioned_qps", partitioned[i].qps);
+    json.Add(prefix + ".replicated_completed", replicated[i].completed);
+    json.Add(prefix + ".partitioned_completed", partitioned[i].completed);
+  }
+  json.Add("byte_equivalent", static_cast<int64_t>(equivalent ? 1 : 0));
+  json.Write();
+
+  ShapeChecker check;
+  check.Check(answered > 0, "oracle answered the workload");
+  check.Check(equivalent,
+              "per-UQ top-k byte-equivalent to the replicated "
+              "single-shard oracle in every run");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const std::string at = "shards=" + std::to_string(sweep[i]);
+    // Some generated queries legitimately fail (no matching keywords);
+    // they must fail identically under both placements.
+    check.Check(partitioned[i].completed == replicated[i].completed &&
+                    partitioned[i].completed > 0,
+                at + " partitioned completed the same queries as "
+                     "replicated");
+    // One replica, sliced exactly: no row or term double-owned or lost.
+    check.Check(partitioned[i].total_resident_bytes ==
+                    replicated[i].max_bytes_per_shard,
+                at + " partitioned slices sum to one replica's bytes");
+    if (sweep[i] > 1) {
+      check.Check(partitioned[i].max_bytes_per_shard <
+                      replicated[i].max_bytes_per_shard,
+                  at + " partitioned resident bytes/shard < replicated");
+    }
+    if (i > 0) {
+      check.Check(partitioned[i].max_bytes_per_shard <
+                      partitioned[i - 1].max_bytes_per_shard,
+                  "partitioned bytes/shard strictly decrease " +
+                      std::to_string(sweep[i - 1]) + " -> " +
+                      std::to_string(sweep[i]) + " shards");
+    }
+  }
+  return check.Finish();
+}

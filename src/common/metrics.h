@@ -201,6 +201,19 @@ static_assert(sizeof(SpillStats) == 7 * sizeof(int64_t),
               "QueryService::AggregateSpillGauges, and the mirror test "
               "in tests/obs_test.cc");
 
+/// \brief Per-shard routing-decision counters for partitioned
+/// placement: how many queries a shard executed entirely from its own
+/// data slice (local) vs. how many had to scatter across shards
+/// because their terms span partition owners. A placement regression —
+/// a workload suddenly scattering everywhere — shows up here (and in
+/// the qsys_route_*_total Prometheus families) before it shows up as
+/// lost sharing. Plain snapshot struct; the service keeps the atomic
+/// originals.
+struct RouteStats {
+  int64_t local = 0;
+  int64_t scatter = 0;
+};
+
 /// \brief Admission/serving counters for the wall-clock query service.
 ///
 /// Written with relaxed atomic increments from client threads (submit,

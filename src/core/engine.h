@@ -54,6 +54,8 @@
 
 namespace qsys {
 
+class DataPlacement;
+
 /// \brief One record of a multiple-query-optimization run (Figure 11).
 struct OptimizationRecord {
   /// Candidate inputs considered by the BestPlan search.
@@ -129,10 +131,28 @@ class Engine {
 
   /// Finalizes tables, builds the inverted index and the keyword front
   /// end. Must be called once before ingesting queries; idempotent.
+  /// With a placement attached, the engine instead points its front end
+  /// and optimizer at the placement's shared dataset and builds only
+  /// this shard's resident index slice — its own catalog stays empty.
   Status FinalizeCatalog();
   bool finalized() const { return finalized_; }
 
   InvertedIndex& inverted_index() { return *inverted_index_; }
+
+  /// Switches this engine to partitioned placement: it executes
+  /// against `placement`'s shared catalog as shard `shard`, and
+  /// FinalizeCatalog() builds the shard's index slice instead of a
+  /// full index. Rebinds the source manager, state manager (spill tier
+  /// re-attached), and grafter to the placement catalog, so call this
+  /// right after construction — before any dataset building,
+  /// observability attachment, or FinalizeCatalog(). `placement` must
+  /// outlive the engine.
+  void AttachPlacement(const DataPlacement* placement, int shard);
+
+  /// The catalog execution reads: the placement's shared catalog when
+  /// one is attached, this engine's own otherwise.
+  const Catalog& data_catalog() const;
+  const DataPlacement* placement() const { return placement_; }
 
   // ---- admission ----
 
@@ -335,6 +355,10 @@ class Engine {
 
   QConfig config_;
   Catalog catalog_;
+  /// Partitioned placement (nullptr in replicated mode): the shared
+  /// dataset this engine executes against as shard placement_shard_.
+  const DataPlacement* placement_ = nullptr;
+  int placement_shard_ = 0;
   std::unique_ptr<SchemaGraph> schema_graph_;
   std::unique_ptr<InvertedIndex> inverted_index_;
   std::unique_ptr<KeywordMatcher> matcher_;

@@ -1,0 +1,104 @@
+#include "src/core/placement.h"
+
+namespace qsys {
+
+namespace {
+// Per-term accounting shared with InvertedIndex::EstimateBytes(): key
+// bytes + match payloads + a flat hash-map/vector overhead.
+int64_t TermBytes(const std::string& term,
+                  const std::vector<KeywordMatch>& matches) {
+  return static_cast<int64_t>(term.size()) +
+         static_cast<int64_t>(matches.size() * sizeof(KeywordMatch)) + 64;
+}
+}  // namespace
+
+int64_t EstimateResidentBytes(const Catalog& catalog,
+                              const InvertedIndex& index) {
+  int64_t bytes = index.EstimateBytes();
+  for (TableId t = 0; t < catalog.num_tables(); ++t) {
+    const Table& table = catalog.table(t);
+    bytes += table.EstimateRowBytes() * table.num_rows();
+  }
+  return bytes;
+}
+
+Result<std::unique_ptr<DataPlacement>> DataPlacement::Create(
+    const QConfig& config, const Builder& builder) {
+  // The host engine holds the data; it never executes queries. Strip
+  // the knobs that would allocate execution-side resources (spill
+  // scratch directories, executor pools) from its config.
+  QConfig host_config = config;
+  host_config.spill_dir.clear();
+  host_config.num_shards = 1;
+  host_config.exec_threads = 1;
+  auto host = std::make_unique<Engine>(host_config);
+  QSYS_RETURN_IF_ERROR(builder(*host));
+  if (!host->finalized()) {
+    return Status::FailedPrecondition(
+        "placement builder must FinalizeCatalog()");
+  }
+  std::unique_ptr<DataPlacement> placement(new DataPlacement(
+      std::move(host), PartitionMap(config.num_shards, config.seed)));
+  placement->BuildSlices();
+  return placement;
+}
+
+DataPlacement::DataPlacement(std::unique_ptr<Engine> host, PartitionMap map)
+    : host_(std::move(host)), map_(map) {}
+
+DataPlacement::~DataPlacement() = default;
+
+void DataPlacement::BuildSlices() {
+  const int n = map_.num_shards();
+  index_bytes_.assign(n, 0);
+  index_terms_.assign(n, 0);
+  full_index().ForEachTerm(
+      [this](const std::string& term,
+             const std::vector<KeywordMatch>& matches) {
+        const int owner = map_.TermOwner(term);
+        index_bytes_[owner] += TermBytes(term, matches);
+        index_terms_[owner] += 1;
+      });
+  tables_.resize(n);
+  for (int s = 0; s < n; ++s) {
+    tables_[s].reserve(catalog().num_tables());
+    for (TableId t = 0; t < catalog().num_tables(); ++t) {
+      tables_[s].emplace_back(catalog(), t, map_, s);
+    }
+  }
+}
+
+const Catalog& DataPlacement::catalog() const { return host_->catalog(); }
+
+const SchemaGraph& DataPlacement::schema_graph() const {
+  return host_->schema_graph();
+}
+
+const InvertedIndex& DataPlacement::full_index() const {
+  return host_->inverted_index();
+}
+
+Result<UserQuery> DataPlacement::GenerateCandidates(
+    const std::string& keywords, const CandidateGenOptions& options) const {
+  return host_->GenerateCandidates(keywords, options);
+}
+
+InvertedIndex DataPlacement::BuildIndexSlice(int shard) const {
+  InvertedIndex slice;
+  full_index().ForEachTerm(
+      [&](const std::string& term,
+          const std::vector<KeywordMatch>& matches) {
+        if (map_.TermOwner(term) == shard) slice.InsertTerm(term, matches);
+      });
+  return slice;
+}
+
+int64_t DataPlacement::ShardResidentBytes(int shard) const {
+  int64_t bytes = index_bytes_[shard];
+  for (const TableSlice& slice : tables_[shard]) {
+    bytes += slice.EstimateBytes();
+  }
+  return bytes;
+}
+
+}  // namespace qsys

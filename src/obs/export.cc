@@ -180,7 +180,8 @@ const NamedSpillField kSpillFields[] = {
 std::string RenderPrometheus(const MetricsRegistry& metrics,
                              const ServiceCounters& counters,
                              const std::vector<ExecStats>& shard_stats,
-                             const std::vector<SpillStats>& shard_spill) {
+                             const std::vector<SpillStats>& shard_spill,
+                             const std::vector<RouteStats>& shard_routes) {
   std::string out;
   out.reserve(8192);
 
@@ -225,6 +226,23 @@ std::string RenderPrometheus(const MetricsRegistry& metrics,
     AppendSampleInt(&out, c.name, "_total", "", c.value);
   }
 
+  // -- routing-decision counters (partitioned placement), one series
+  //    per shard --
+  AppendHeader(&out, "route_local_total", "counter",
+               "Queries executed entirely from the shard's own data slice");
+  for (size_t s = 0; s < shard_routes.size(); ++s) {
+    AppendSampleInt(&out, "route_local", "_total",
+                    ShardLabel(static_cast<int>(s)), shard_routes[s].local);
+  }
+  AppendHeader(&out, "route_scatter_total", "counter",
+               "Queries scattered across shards (terms span partition "
+               "owners)");
+  for (size_t s = 0; s < shard_routes.size(); ++s) {
+    AppendSampleInt(&out, "route_scatter", "_total",
+                    ShardLabel(static_cast<int>(s)),
+                    shard_routes[s].scatter);
+  }
+
   // -- spill-tier gauges, one series per shard --
   for (const NamedSpillField& f : kSpillFields) {
     AppendHeader(&out, f.name, "gauge", f.help);
@@ -251,7 +269,8 @@ std::string RenderPrometheus(const MetricsRegistry& metrics,
 
 std::string RenderCountersText(const ServiceCounters& counters,
                                const std::vector<ExecStats>& shard_stats,
-                               const std::vector<SpillStats>& shard_spill) {
+                               const std::vector<SpillStats>& shard_spill,
+                               const std::vector<RouteStats>& shard_routes) {
   std::string out;
   out += "counters: submitted=";
   AppendInt(&out, counters.submitted.load(std::memory_order_relaxed));
@@ -271,6 +290,26 @@ std::string RenderCountersText(const ServiceCounters& counters,
   AppendInt(&out,
             counters.cross_shard_merges.load(std::memory_order_relaxed));
   out += '\n';
+
+  RouteStats route_total;
+  for (const RouteStats& r : shard_routes) {
+    route_total.local += r.local;
+    route_total.scatter += r.scatter;
+  }
+  out += "routes: local=";
+  AppendInt(&out, route_total.local);
+  out += " scatter=";
+  AppendInt(&out, route_total.scatter);
+  out += '\n';
+  if (shard_routes.size() > 1) {
+    for (size_t s = 0; s < shard_routes.size(); ++s) {
+      out += "routes[shard" + std::to_string(s) + "]: local=";
+      AppendInt(&out, shard_routes[s].local);
+      out += " scatter=";
+      AppendInt(&out, shard_routes[s].scatter);
+      out += '\n';
+    }
+  }
 
   SpillStats spill_total;
   for (const SpillStats& s : shard_spill) {

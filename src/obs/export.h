@@ -29,20 +29,23 @@
 namespace qsys {
 
 /// \brief Renders the full metrics surface of one QueryService in
-/// Prometheus text exposition format. `shard_stats` / `shard_spill`
-/// are the per-shard lock-free snapshots, indexed by shard id.
+/// Prometheus text exposition format. `shard_stats` / `shard_spill` /
+/// `shard_routes` are the per-shard lock-free snapshots, indexed by
+/// shard id (`shard_routes` is all-zero in replicated placement).
 std::string RenderPrometheus(const MetricsRegistry& metrics,
                              const ServiceCounters& counters,
                              const std::vector<ExecStats>& shard_stats,
-                             const std::vector<SpillStats>& shard_spill);
+                             const std::vector<SpillStats>& shard_spill,
+                             const std::vector<RouteStats>& shard_routes);
 
 /// \brief Plain-text rendering of the counter surface (ServiceCounters,
-/// spill gauges, per-shard ExecStats) — the piece MetricsText() appends
-/// under the histogram dump so one call shows every number the service
-/// exports.
+/// routing decisions, spill gauges, per-shard ExecStats) — the piece
+/// MetricsText() appends under the histogram dump so one call shows
+/// every number the service exports.
 std::string RenderCountersText(const ServiceCounters& counters,
                                const std::vector<ExecStats>& shard_stats,
-                               const std::vector<SpillStats>& shard_spill);
+                               const std::vector<SpillStats>& shard_spill,
+                               const std::vector<RouteStats>& shard_routes);
 
 }  // namespace qsys
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/core/placement.h"
 #include "src/obs/export.h"
 #include "src/obs/trace_export.h"
 
@@ -15,7 +16,9 @@ using Clock = std::chrono::steady_clock;
 QueryService::QueryService(ServiceOptions options)
     : options_(std::move(options)),
       router_(options_.config.num_shards, options_.config.shard_affinity),
-      sessions_(options_.max_in_flight_per_session) {
+      sessions_(options_.max_in_flight_per_session),
+      route_counters_(
+          static_cast<size_t>(std::max(1, options_.config.num_shards))) {
   int n = std::max(1, options_.config.num_shards);
   metrics_ = std::make_unique<MetricsRegistry>(n);
   if (options_.config.trace_buffer_events > 0) {
@@ -59,8 +62,28 @@ VirtualTime QueryService::NowUs() const {
 
 Status QueryService::BuildEachEngine(
     const std::function<Status(Engine&)>& builder) {
+  if (options_.config.placement == PlacementMode::kPartitioned) {
+    return BuildPartitionedEngines(builder);
+  }
   for (auto& shard : shards_) {
     QSYS_RETURN_IF_ERROR(builder(shard->engine()));
+  }
+  return Status::OK();
+}
+
+Status QueryService::BuildPartitionedEngines(
+    const std::function<Status(Engine&)>& builder) {
+  if (started_) return Status::FailedPrecondition("already started");
+  if (placement_ != nullptr) {
+    return Status::FailedPrecondition("placement already built");
+  }
+  QConfig config = options_.config;
+  config.num_shards = num_shards();  // normalized
+  auto placement = DataPlacement::Create(config, builder);
+  if (!placement.ok()) return placement.status();
+  placement_ = std::move(placement).value();
+  for (int i = 0; i < num_shards(); ++i) {
+    shards_[i]->engine().AttachPlacement(placement_.get(), i);
   }
   return Status::OK();
 }
@@ -95,27 +118,41 @@ Status QueryService::Start() {
   for (auto& shard : shards_) {
     QSYS_RETURN_IF_ERROR(shard->engine().FinalizeCatalog());
   }
-  // Every shard must answer from the same catalog, or routing would
-  // change a query's answers. Catch the "built only shard 0" mistake.
+  // Every shard must answer from the same data catalog, or routing
+  // would change a query's answers. Catch the "built only shard 0"
+  // mistake. (In partitioned mode every shard shares the placement's
+  // catalog by construction.)
   for (auto& shard : shards_) {
-    if (shard->engine().catalog().num_tables() !=
-        shards_[0]->engine().catalog().num_tables()) {
+    if (shard->engine().data_catalog().num_tables() !=
+        shards_[0]->engine().data_catalog().num_tables()) {
       return Status::FailedPrecondition(
           "shard catalogs differ; populate every shard "
           "(see QueryService::BuildEachEngine)");
     }
   }
-  // Table-affinity routing probes shard 0's inverted index, which is
-  // immutable once finalized and therefore safe to read from any
-  // submitting thread.
+  // Table-affinity routing probes the full inverted index — the
+  // placement's in partitioned mode (a shard's own index is only its
+  // slice), shard 0's otherwise. Both are immutable once finalized and
+  // therefore safe to read from any submitting thread.
   router_.set_footprint_fn([this](const std::string& term) {
+    const InvertedIndex& index = placement_ != nullptr
+                                     ? placement_->full_index()
+                                     : shards_[0]->engine().inverted_index();
     std::vector<TableId> tables;
-    for (const KeywordMatch& m :
-         shards_[0]->engine().inverted_index().Lookup(term)) {
+    for (const KeywordMatch& m : index.Lookup(term)) {
       tables.push_back(m.table);
     }
     return tables;
   });
+  if (placement_ != nullptr) {
+    // Ownership-based routing: Submit() consults Decide() instead of
+    // Route(). Terms the index does not contain report -1 (ignored by
+    // the decision — they match nothing anywhere).
+    router_.set_term_owner_fn([this](const std::string& term) {
+      if (placement_->full_index().Lookup(term).empty()) return -1;
+      return placement_->partition_map().TermOwner(term);
+    });
+  }
   start_wall_ = Clock::now();
   // Trace timestamps and UserQuery submit times share one zero point.
   if (tracer_ != nullptr) tracer_->set_time_zero(start_wall_);
@@ -171,7 +208,33 @@ Result<QueryTicket> QueryService::Submit(SessionId session,
 
   if (options_.config.shard_affinity == ShardAffinity::kScatterCqs &&
       num_shards() > 1) {
-    return SubmitScatter(session, keywords, options);
+    Result<QueryTicket> ticket = SubmitScatter(session, keywords, options);
+    if (ticket.ok()) {
+      route_counters_[router_.Route(keywords)].scatter.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    return ticket;
+  }
+
+  int shard;
+  if (router_.partitioned()) {
+    // Partitioned placement: ownership decides. A query whose terms
+    // all live on one shard executes there from that shard's slice;
+    // terms spanning owners scatter through the exact cross-shard
+    // merge (the configured affinity only breaks ties — a non-owner
+    // shard's slice could not even generate the query's candidates).
+    ShardRouter::Decision decision = router_.Decide(keywords);
+    if (decision.scatter) {
+      Result<QueryTicket> ticket = SubmitScatter(session, keywords, options);
+      if (ticket.ok()) {
+        route_counters_[decision.shard].scatter.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      return ticket;
+    }
+    shard = decision.shard;
+  } else {
+    shard = router_.Route(keywords);
   }
 
   ShardRequest request;
@@ -181,7 +244,6 @@ Result<QueryTicket> QueryService::Submit(SessionId session,
   request.options = options;
   request.submit_us = NowUs();
 
-  int shard = router_.Route(keywords);
   int uq_id = request.uq_id;
   std::shared_future<QueryOutcome> future =
       RegisterInFlight(uq_id, session, keywords, shard);
@@ -211,6 +273,7 @@ Result<QueryTicket> QueryService::Submit(SessionId session,
         "submit queue full or service shutting down");
   }
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  route_counters_[shard].local.fetch_add(1, std::memory_order_relaxed);
   if (tracer_ != nullptr) {
     tracer_->Instant(TraceEventType::kAdmit, shard, uq_id);
   }
@@ -222,9 +285,14 @@ Result<QueryTicket> QueryService::SubmitScatter(
     const CandidateGenOptions& options) {
   // The caller has already admitted the session. Generate once (on the
   // submitting thread — generation reads only immutable post-finalize
-  // structures), then split the CQs round-robin across shards.
+  // structures), then split the CQs across shards. Partitioned mode
+  // generates centrally over the placement's FULL index: a spanning
+  // query's terms resolve on no single shard's slice, so only the full
+  // index sees every candidate.
   Result<UserQuery> gen =
-      shards_[0]->engine().GenerateCandidates(keywords, options);
+      placement_ != nullptr
+          ? placement_->GenerateCandidates(keywords, options)
+          : shards_[0]->engine().GenerateCandidates(keywords, options);
   int parent_id = next_uq_id_.fetch_add(1, std::memory_order_relaxed);
   std::shared_future<QueryOutcome> future =
       RegisterInFlight(parent_id, session, keywords, /*shard=*/-1);
@@ -242,8 +310,36 @@ Result<QueryTicket> QueryService::SubmitScatter(
 
   const int n = num_shards();
   std::vector<std::vector<ConjunctiveQuery>> parts(n);
-  for (size_t i = 0; i < uq.cqs.size(); ++i) {
-    parts[i % n].push_back(std::move(uq.cqs[i]));
+  if (placement_ == nullptr) {
+    for (size_t i = 0; i < uq.cqs.size(); ++i) {
+      parts[i % n].push_back(std::move(uq.cqs[i]));
+    }
+  } else {
+    // Locality-aware assignment: send each CQ to the shard owning the
+    // most of its keyword terms (ties to the lowest shard; CQs with no
+    // term selections fall back to round-robin). Purely a placement
+    // heuristic — RankMerger::Merge is exact over the union of CQ
+    // result streams, so the assignment cannot change the answer.
+    const PartitionMap& map = placement_->partition_map();
+    for (size_t i = 0; i < uq.cqs.size(); ++i) {
+      std::vector<int64_t> votes(n, 0);
+      bool any_term = false;
+      for (const Atom& atom : uq.cqs[i].expr.atoms()) {
+        for (const Selection& sel : atom.selections) {
+          if (sel.kind != SelectionKind::kContainsTerm) continue;
+          votes[map.TermOwner(sel.constant.AsString())] += 1;
+          any_term = true;
+        }
+      }
+      int target = static_cast<int>(i) % n;
+      if (any_term) {
+        target = 0;
+        for (int s = 1; s < n; ++s) {
+          if (votes[s] > votes[target]) target = s;
+        }
+      }
+      parts[target].push_back(std::move(uq.cqs[i]));
+    }
   }
 
   ScatterState state;
@@ -551,14 +647,22 @@ std::vector<SpillStats> QueryService::ShardSpillVec() const {
   return v;
 }
 
+std::vector<RouteStats> QueryService::ShardRoutesVec() const {
+  std::vector<RouteStats> v;
+  v.reserve(shards_.size());
+  for (int i = 0; i < num_shards(); ++i) v.push_back(shard_routes(i));
+  return v;
+}
+
 std::string QueryService::MetricsText() const {
   return metrics_->RenderText() +
-         RenderCountersText(counters_, ShardStatsVec(), ShardSpillVec());
+         RenderCountersText(counters_, ShardStatsVec(), ShardSpillVec(),
+                            ShardRoutesVec());
 }
 
 std::string QueryService::MetricsPrometheus() const {
   return RenderPrometheus(*metrics_, counters_, ShardStatsVec(),
-                          ShardSpillVec());
+                          ShardSpillVec(), ShardRoutesVec());
 }
 
 Status QueryService::CheckExplainable(int uq_id) const {

@@ -125,9 +125,24 @@ class QueryService {
   Catalog& catalog() { return engine().catalog(); }
   SchemaGraph& InitSchemaGraph() { return engine().InitSchemaGraph(); }
 
-  /// Runs `builder` on every shard's engine — the way to replicate a
-  /// dataset across shards. Stops at the first error.
+  /// Populates the shards with `builder`'s dataset according to
+  /// QConfig::placement: replicated mode runs the builder on every
+  /// shard's engine (the historical behavior); partitioned mode
+  /// delegates to BuildPartitionedEngines(). Stops at the first error.
   Status BuildEachEngine(const std::function<Status(Engine&)>& builder);
+
+  /// Partitioned placement: builds the dataset ONCE (into a
+  /// DataPlacement host engine), hash-partitions index terms and
+  /// base-table tuples across the shards, and attaches each shard to
+  /// its slice (src/core/placement.h). Per-shard resident data shrinks
+  /// as num_shards grows; per-UQ top-k stays byte-equivalent to the
+  /// replicated single-shard oracle. Call instead of BuildEachEngine()
+  /// (or set QConfig::placement = kPartitioned and let BuildEachEngine
+  /// delegate).
+  Status BuildPartitionedEngines(const std::function<Status(Engine&)>& builder);
+
+  /// The partitioned placement, or nullptr in replicated mode.
+  const DataPlacement* placement() const { return placement_.get(); }
 
   /// Optional push-style delivery, invoked on a shard executor thread
   /// in addition to resolving the ticket future. Set before Start().
@@ -181,6 +196,17 @@ class QueryService {
 
   /// One shard's epoch count (service-wide total: counters().epochs).
   int64_t shard_epochs(int i) const { return shards_[i]->epochs(); }
+
+  /// One shard's routing-decision counters: queries it executed
+  /// locally from its own data vs. scatter decisions attributed to it
+  /// (partitioned placement; all-zero local/scatter split under
+  /// replicated single-shard serving is simply local).
+  RouteStats shard_routes(int i) const {
+    RouteStats r;
+    r.local = route_counters_[i].local.load(std::memory_order_relaxed);
+    r.scatter = route_counters_[i].scatter.load(std::memory_order_relaxed);
+    return r;
+  }
 
   /// The routing policy in force.
   const ShardRouter& router() const { return router_; }
@@ -305,6 +331,14 @@ class QueryService {
   /// Per-shard lock-free snapshots, indexed by shard id.
   std::vector<ExecStats> ShardStatsVec() const;
   std::vector<SpillStats> ShardSpillVec() const;
+  std::vector<RouteStats> ShardRoutesVec() const;
+
+  /// Per-shard routing-decision counters (relaxed atomics; incremented
+  /// on the submitting thread after a successful push).
+  struct AtomicRouteCounters {
+    std::atomic<int64_t> local{0};
+    std::atomic<int64_t> scatter{0};
+  };
 
   ServiceOptions options_;
   /// Observability sinks, shared by every shard. Declared before (and
@@ -316,10 +350,18 @@ class QueryService {
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<DecisionJournal> journal_;
+  /// Partitioned placement (null in replicated mode; assigned by
+  /// BuildPartitionedEngines). Declared before shards_: the engines
+  /// hold raw pointers into the placement, and members destroy in
+  /// reverse declaration order, so the shards tear down first.
+  std::unique_ptr<DataPlacement> placement_;
   std::vector<std::unique_ptr<EngineShard>> shards_;
   ShardRouter router_;
   SessionManager sessions_;
   ResultSink* sink_ = nullptr;
+  /// Indexed by shard id; sized once at construction (atomics are
+  /// neither copyable nor movable — never resized).
+  std::vector<AtomicRouteCounters> route_counters_;
 
   std::mutex inflight_mu_;
   std::unordered_map<int, InFlight> inflight_;

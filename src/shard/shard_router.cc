@@ -3,30 +3,14 @@
 #include <algorithm>
 
 #include "src/storage/inverted_index.h"
+#include "src/storage/partition.h"
 
 namespace qsys {
 
-namespace {
-
-uint64_t Fnv1a64(const std::string& s) {
-  uint64_t h = 14695981039346656037ull;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-// Splitmix-style finalizer so consecutive table ids spread across
-// shards instead of striping.
-uint64_t MixBits(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
+// Hashing now lives in src/storage/partition.h (the placement layer
+// and the router must agree on it); MixBits64's finalizer keeps the
+// historical routing bit-identical — same constants as the file-local
+// helpers this file used to carry.
 
 ShardRouter::ShardRouter(int num_shards, ShardAffinity affinity)
     : num_shards_(std::max(1, num_shards)), affinity_(affinity) {}
@@ -51,7 +35,7 @@ int ShardRouter::SignatureShard(const std::string& keywords) const {
   // FNV-1a's low bit is the parity of the input bytes, so a bare
   // mod-2 would route by text parity (nearly every lowercase query on
   // one shard). Finalize before reducing.
-  return static_cast<int>(MixBits(CanonicalSignature(keywords)) %
+  return static_cast<int>(MixBits64(CanonicalSignature(keywords)) %
                           static_cast<uint64_t>(num_shards_));
 }
 
@@ -68,8 +52,34 @@ int ShardRouter::TableAffinityShard(const std::string& keywords) const {
     }
   }
   if (best == kInvalidTable) return SignatureShard(keywords);
-  return static_cast<int>(MixBits(static_cast<uint64_t>(best)) %
+  return static_cast<int>(MixBits64(static_cast<uint64_t>(best)) %
                           static_cast<uint64_t>(num_shards_));
+}
+
+ShardRouter::Decision ShardRouter::Decide(const std::string& keywords) const {
+  if (num_shards_ == 1) return {0, false};
+  if (!term_owner_) return {Route(keywords), false};
+  // Ownership of the query's indexed terms decides. Unindexed terms
+  // are skipped: they match nothing under the full index either, so no
+  // shard's answer depends on them.
+  int owner = -1;
+  for (const std::string& term : TokenizeKeywords(keywords)) {
+    const int shard = term_owner_(term);
+    if (shard < 0) continue;
+    if (owner == -1) {
+      owner = shard;
+    } else if (shard != owner) {
+      // Terms span owners: no single slice holds every posting list
+      // the query needs; scatter through the exact cross-shard merge.
+      return {SignatureShard(keywords), true};
+    }
+  }
+  if (owner == -1) {
+    // Nothing indexed: generation fails identically everywhere; route
+    // by signature so repeats land together.
+    return {SignatureShard(keywords), false};
+  }
+  return {owner, false};
 }
 
 int ShardRouter::Route(const std::string& keywords) const {

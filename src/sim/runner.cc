@@ -72,6 +72,9 @@ RunOutcome RunScenario(const Scenario& scenario, const SimOptions& options) {
   service_options.config = SimConfig();
   service_options.config.num_shards = scenario.shards;
   service_options.config.exec_threads = scenario.exec_threads;
+  service_options.config.placement = scenario.partitioned
+                                         ? PlacementMode::kPartitioned
+                                         : PlacementMode::kReplicated;
   if (scenario.budget_bytes > 0) {
     service_options.config.memory_budget_bytes = scenario.budget_bytes;
   }

@@ -1,0 +1,59 @@
+// Partitioned base-table views: one shard's window onto a shared table.
+//
+// Under partitioned placement (src/core/placement.h) the catalog stays
+// the single simulated remote world every shard executes against; what
+// a shard *owns* is the tuple-hash slice assigned to it by the
+// PartitionMap. PartitionedTableView binds a shared Table to one
+// shard's TableSlice and exposes the owned rows as a dense, ascending
+// sequence — the shard-local scan surface used for resident-bytes
+// accounting and the coverage invariant (tests/placement_test.cc:
+// every row of every table visible through exactly one shard's view).
+
+#ifndef QSYS_SOURCE_PARTITIONED_VIEW_H_
+#define QSYS_SOURCE_PARTITIONED_VIEW_H_
+
+#include <cstdint>
+
+#include "src/storage/partition.h"
+#include "src/storage/table.h"
+
+namespace qsys {
+
+/// \brief Read-only view of the rows of one table owned by one shard.
+///
+/// Non-owning: both the table and the slice must outlive the view (in
+/// practice both live in the DataPlacement). Pure reads; safe to use
+/// from any thread after the catalog is finalized.
+class PartitionedTableView {
+ public:
+  PartitionedTableView(const Table* table, const TableSlice* slice)
+      : table_(table), slice_(slice) {}
+
+  TableId table_id() const { return slice_->table_id(); }
+  int shard() const { return slice_->shard(); }
+
+  /// Number of rows this shard owns of the table.
+  int64_t num_rows() const { return slice_->num_rows(); }
+
+  /// Shared-table row id of the i-th owned row (ascending in i).
+  RowId row_id(int64_t i) const {
+    return slice_->rows()[static_cast<size_t>(i)];
+  }
+
+  /// The i-th owned row, read from the shared table.
+  const Row& row(int64_t i) const { return table_->row(row_id(i)); }
+
+  /// True when this shard owns `row` of the shared table.
+  bool OwnsRow(RowId row) const { return slice_->OwnsRow(row); }
+
+  /// Approximate resident bytes of the owned rows.
+  int64_t EstimateBytes() const { return slice_->EstimateBytes(); }
+
+ private:
+  const Table* table_;
+  const TableSlice* slice_;
+};
+
+}  // namespace qsys
+
+#endif  // QSYS_SOURCE_PARTITIONED_VIEW_H_

@@ -79,6 +79,7 @@ TEST(FuzzHarnessTest, ParseRejectsInconsistentScenarios) {
 TEST(FuzzHarnessTest, GenerateScenarioIsDeterministicAndVaried) {
   std::set<std::string> shapes;
   bool saw_repeat = false, saw_drop = false, saw_multiwave = false;
+  bool saw_partitioned = false, saw_replicated = false;
   for (uint64_t seed = 1; seed <= 60; ++seed) {
     const Scenario a = GenerateScenario(seed);
     const Scenario b = GenerateScenario(seed);
@@ -90,12 +91,16 @@ TEST(FuzzHarnessTest, GenerateScenarioIsDeterministicAndVaried) {
                  a.ShapeKey().find("/repeat") != std::string::npos;
     saw_drop = saw_drop || a.drop_after_wave >= 0;
     saw_multiwave = saw_multiwave || a.waves.size() > 1;
+    saw_partitioned = saw_partitioned || a.partitioned;
+    saw_replicated = saw_replicated || !a.partitioned;
   }
   // The generator actually explores the space.
   EXPECT_GT(shapes.size(), 15u);
   EXPECT_TRUE(saw_repeat);
   EXPECT_TRUE(saw_drop);
   EXPECT_TRUE(saw_multiwave);
+  EXPECT_TRUE(saw_partitioned);
+  EXPECT_TRUE(saw_replicated);
 }
 
 // ---- the named regression ----
@@ -147,6 +152,7 @@ TEST(FuzzHarnessTest, ShrinkerConvergesOnPlantedBug) {
   s.exec_threads = 2;
   s.spill = false;
   s.budget_bytes = 0;
+  s.partitioned = true;
 
   Oracle oracle;
   SimOptions planted;
@@ -162,6 +168,9 @@ TEST(FuzzHarnessTest, ShrinkerConvergesOnPlantedBug) {
   EXPECT_LE(minimal.waves.size(), 2u) << minimal.ToString();
   EXPECT_EQ(minimal.shards, 1) << minimal.ToString();
   EXPECT_EQ(minimal.exec_threads, 1) << minimal.ToString();
+  // The planted bug is placement-independent, so the partitioned knob
+  // must shrink away too.
+  EXPECT_FALSE(minimal.partitioned) << minimal.ToString();
   // The result provably still reproduces.
   EXPECT_TRUE(fails(minimal));
   // And the reduction is deterministic: same failing input, same

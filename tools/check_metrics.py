@@ -44,6 +44,8 @@ EXPECTED_COUNTERS = {
     "qsys_batches_flushed_total",
     "qsys_exec_tuples_streamed_total",
     "qsys_exec_tuples_shared_served_total",
+    "qsys_route_local_total",
+    "qsys_route_scatter_total",
 }
 EXPECTED_GAUGES = {
     "qsys_spill_bytes_on_disk",
