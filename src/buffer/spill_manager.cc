@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace qsys {
 
@@ -351,14 +353,28 @@ Status SpillManager::ReadPayload(const Handle& handle,
   // transient error never fails a restore outright — it just costs
   // extra attempts, each counted as a survived fault.
   constexpr int kTransientReadRetries = 4;
+  // Base backoff between attempts; doubled per retry and jittered to
+  // 50–150% so concurrent restores against the same flaky device don't
+  // retry in lockstep. Each wait is counted in
+  // SpillStats::read_retry_waits.
+  constexpr int64_t kRetryBackoffBaseUs = 50;
   payload->clear();
   payload->reserve(static_cast<size_t>(handle.payload_bytes));
   int64_t remaining = handle.payload_bytes;
+  // Cheap per-call jitter state, seeded from the page being read so the
+  // sleep pattern differs across pages without global state.
+  uint64_t jitter_state =
+      0x9e3779b97f4a7c15ull ^ (handle.pages.empty() ? 0 : handle.pages[0]);
   for (PageId id : handle.pages) {
     auto frame = pool_.Pin(id);
     for (int retry = 0; !frame.ok() && retry < kTransientReadRetries;
          ++retry) {
       faults_.fetch_add(1, std::memory_order_relaxed);
+      jitter_state = jitter_state * 6364136223846793005ull + 1442695040888963407ull;
+      const int64_t base = kRetryBackoffBaseUs << retry;
+      const int64_t sleep_us = base / 2 + (jitter_state >> 33) % base;
+      read_retry_waits_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
       frame = pool_.Pin(id);
     }
     QSYS_RETURN_IF_ERROR(frame.status());
@@ -609,6 +625,7 @@ SpillStats SpillManager::stats() const {
   s.items_spilled = items_spilled_;
   s.items_restored = items_restored_;
   s.spill_faults = faults_.load(std::memory_order_relaxed);
+  s.read_retry_waits = read_retry_waits_.load(std::memory_order_relaxed);
   for (const auto& seg : segments_) {
     if (seg != nullptr) s.bytes_on_disk += seg->bytes_on_disk();
   }

@@ -221,6 +221,9 @@ class SpillManager {
   /// Survived I/O faults (atomic: the write-back thread counts its own
   /// failures without taking mu_).
   std::atomic<int64_t> faults_{0};
+  /// Backoff sleeps taken between transient-read retry attempts
+  /// (SpillStats::read_retry_waits).
+  std::atomic<int64_t> read_retry_waits_{0};
   /// Fault-injection seam handed to every segment (null in production).
   SegmentFaultInjector* injector_ = nullptr;
 

@@ -39,14 +39,16 @@ std::string SpillStats::ToString() const {
   char buf[256];
   snprintf(buf, sizeof(buf),
            "spilled=%lld restored=%lld | pages w=%lld r=%lld "
-           "faults=%lld | on-disk=%lld B | io-faults=%lld",
+           "faults=%lld | on-disk=%lld B | io-faults=%lld "
+           "retry-waits=%lld",
            static_cast<long long>(items_spilled),
            static_cast<long long>(items_restored),
            static_cast<long long>(pages_written),
            static_cast<long long>(pages_read),
            static_cast<long long>(page_faults),
            static_cast<long long>(bytes_on_disk),
-           static_cast<long long>(spill_faults));
+           static_cast<long long>(spill_faults),
+           static_cast<long long>(read_retry_waits));
   return buf;
 }
 

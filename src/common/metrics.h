@@ -190,12 +190,16 @@ struct SpillStats {
   /// the victim in memory, a restore was retried or abandoned, a
   /// write-back stayed dirty in the pool — instead of losing answers.
   int64_t spill_faults = 0;
+  /// Jittered-backoff waits taken between transient-read retry
+  /// attempts (SpillManager::ReadPayload). A climbing value means the
+  /// pool is riding out flaky reads instead of spinning on them.
+  int64_t read_retry_waits = 0;
 
   /// One-line rendering for logs and bench output.
   std::string ToString() const;
 };
 
-static_assert(sizeof(SpillStats) == 7 * sizeof(int64_t),
+static_assert(sizeof(SpillStats) == 8 * sizeof(int64_t),
               "SpillStats gained/lost a field: update ServiceCounters"
               "::StoreSpill/LoadSpill, the spill gauge aggregation in "
               "QueryService::AggregateSpillGauges, and the mirror test "
@@ -239,6 +243,21 @@ struct ServiceCounters {
   /// rank-merged (ShardAffinity::kScatterCqs only).
   std::atomic<int64_t> cross_shard_merges{0};
 
+  // -- fault-tolerance counters (ShardSupervisor + retry path) --
+  /// Re-submissions of a query after its shard failed or stalled
+  /// (bounded exponential backoff; each attempt counts once).
+  std::atomic<int64_t> retries{0};
+  /// Queries resolved kDeadlineExceeded because their deadline expired
+  /// before a shard delivered the answer.
+  std::atomic<int64_t> deadline_exceeded{0};
+  /// Queries answered best-effort over surviving partitions
+  /// (QueryOutcome::degraded): the dead shard's owned terms were
+  /// unreachable, so the top-k covers only the surviving slices.
+  std::atomic<int64_t> degraded{0};
+  /// Shard engines torn down and rebuilt by the supervisor after a
+  /// crash (replicated placement only).
+  std::atomic<int64_t> shard_restarts{0};
+
   // -- spill-tier gauges, mirrored from the engine's SpillStats after
   //    each epoch (all zero when spilling is disabled) --
   std::atomic<int64_t> spill_pages_written{0};
@@ -248,6 +267,7 @@ struct ServiceCounters {
   std::atomic<int64_t> spill_items_restored{0};
   std::atomic<int64_t> spill_bytes_on_disk{0};
   std::atomic<int64_t> spill_io_faults{0};
+  std::atomic<int64_t> spill_read_retry_waits{0};
 
   /// Publishes a fresh spill-tier snapshot (executor thread).
   void StoreSpill(const SpillStats& s) {
@@ -259,6 +279,8 @@ struct ServiceCounters {
                                std::memory_order_relaxed);
     spill_bytes_on_disk.store(s.bytes_on_disk, std::memory_order_relaxed);
     spill_io_faults.store(s.spill_faults, std::memory_order_relaxed);
+    spill_read_retry_waits.store(s.read_retry_waits,
+                                 std::memory_order_relaxed);
   }
 
   /// Reads the spill gauges back into a plain SpillStats.
@@ -272,6 +294,8 @@ struct ServiceCounters {
         spill_items_restored.load(std::memory_order_relaxed);
     s.bytes_on_disk = spill_bytes_on_disk.load(std::memory_order_relaxed);
     s.spill_faults = spill_io_faults.load(std::memory_order_relaxed);
+    s.read_retry_waits =
+        spill_read_retry_waits.load(std::memory_order_relaxed);
     return s;
   }
 };

@@ -26,6 +26,8 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kCancelled,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// \brief Outcome of a fallible operation: a code plus a human-readable
@@ -64,6 +66,12 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -571,6 +571,7 @@ Result<Engine::EpochOutcome> Engine::DrainServing(
   serving.pace_to_horizon = false;
   EpochOutcome out;
   for (;;) {
+    progress_ticks_.fetch_add(1, std::memory_order_relaxed);
     VirtualTime t_flush = NextFlushDeadline(serving);
     bool any_work = false;
     for (const auto& atc : atcs_) {

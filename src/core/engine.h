@@ -233,6 +233,15 @@ class Engine {
   /// incomplete ATC work).
   bool HasWork() const;
 
+  /// Monotone count of scheduling-round iterations driven by
+  /// DrainServing — the engine-level half of a shard's heartbeat. A
+  /// long epoch still ticks this every round, so a supervisor can tell
+  /// "slow but alive" from "wedged" without waiting for the epoch to
+  /// end. Readable from any thread.
+  int64_t progress_ticks() const {
+    return progress_ticks_.load(std::memory_order_relaxed);
+  }
+
   /// Restarts the QConfig::max_rounds budget. The simulator calls this
   /// once per Run(); the serving layer once per epoch, so the runaway
   /// guard bounds a single drain rather than the service's lifetime.
@@ -395,6 +404,8 @@ class Engine {
   int next_cq_id_ = 1;
   int flush_counter_ = 0;
   int64_t rounds_ = 0;
+  /// Scheduling-round liveness counter (see progress_ticks()).
+  std::atomic<int64_t> progress_ticks_{0};
   bool finalized_ = false;
   bool retain_history_ = true;
 };

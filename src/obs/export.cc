@@ -173,6 +173,9 @@ const NamedSpillField kSpillFields[] = {
     {"spill_io_faults",
      "Spill I/O faults survived by degrading instead of losing answers",
      &SpillStats::spill_faults},
+    {"spill_read_retry_waits",
+     "Backoff sleeps taken retrying transient spill reads",
+     &SpillStats::read_retry_waits},
 };
 
 }  // namespace
@@ -219,6 +222,16 @@ std::string RenderPrometheus(const MetricsRegistry& metrics,
       {"cross_shard_merges",
        "Scatter queries cross-shard rank-merged to one top-k",
        counters.cross_shard_merges.load(std::memory_order_relaxed)},
+      {"query_retries", "Queries re-submitted after a shard failure",
+       counters.retries.load(std::memory_order_relaxed)},
+      {"deadline_exceeded", "Queries resolved past their deadline",
+       counters.deadline_exceeded.load(std::memory_order_relaxed)},
+      {"degraded_answers",
+       "Best-effort answers over surviving partitions only "
+       "(QueryOutcome::degraded)",
+       counters.degraded.load(std::memory_order_relaxed)},
+      {"shard_restarts", "Crashed shard engines restarted in place",
+       counters.shard_restarts.load(std::memory_order_relaxed)},
   };
   for (const NamedCounter& c : service_counters) {
     AppendHeader(&out, (std::string(c.name) + "_total").c_str(), "counter",
@@ -289,6 +302,15 @@ std::string RenderCountersText(const ServiceCounters& counters,
   out += " cross_shard_merges=";
   AppendInt(&out,
             counters.cross_shard_merges.load(std::memory_order_relaxed));
+  out += " retries=";
+  AppendInt(&out, counters.retries.load(std::memory_order_relaxed));
+  out += " deadline_exceeded=";
+  AppendInt(&out,
+            counters.deadline_exceeded.load(std::memory_order_relaxed));
+  out += " degraded=";
+  AppendInt(&out, counters.degraded.load(std::memory_order_relaxed));
+  out += " shard_restarts=";
+  AppendInt(&out, counters.shard_restarts.load(std::memory_order_relaxed));
   out += '\n';
 
   RouteStats route_total;
@@ -320,6 +342,7 @@ std::string RenderCountersText(const ServiceCounters& counters,
     spill_total.items_restored += s.items_restored;
     spill_total.bytes_on_disk += s.bytes_on_disk;
     spill_total.spill_faults += s.spill_faults;
+    spill_total.read_retry_waits += s.read_retry_waits;
   }
   out += "spill: " + spill_total.ToString() + '\n';
 

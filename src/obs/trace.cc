@@ -39,6 +39,9 @@ const char* TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kSpillDemote: return "spill_demote";
     case TraceEventType::kSpillRestore: return "spill_restore";
     case TraceEventType::kWriteBackBarrier: return "writeback_barrier";
+    case TraceEventType::kRetry: return "retry";
+    case TraceEventType::kDeadlineExceeded: return "deadline_exceeded";
+    case TraceEventType::kShardRestart: return "shard_restart";
   }
   return "unknown";
 }

@@ -59,11 +59,15 @@ enum class TraceEventType : uint8_t {
   kSpillDemote,      ///< span: cache item serialized to the spill tier
   kSpillRestore,     ///< span: spilled item faulted back from disk
   kWriteBackBarrier, ///< span: wait for the background page writer
+  // -- fault tolerance --
+  kRetry,            ///< instant: query re-submitted after a shard failure
+  kDeadlineExceeded, ///< instant: query resolved past its deadline
+  kShardRestart,     ///< instant: crashed shard engine restarted
 };
 
 /// Number of distinct TraceEventType values.
 inline constexpr int kNumTraceEventTypes =
-    static_cast<int>(TraceEventType::kWriteBackBarrier) + 1;
+    static_cast<int>(TraceEventType::kShardRestart) + 1;
 
 /// Stable lower-case name ("admit", "queue_wait", ...) used as the
 /// Chrome-trace event name.

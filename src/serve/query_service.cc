@@ -52,6 +52,13 @@ QueryService::~QueryService() {
     // Fast teardown: cancel whatever has not executed yet.
     Shutdown(ShutdownMode::kCancelPending);
   }
+  // A detached (wedged) executor may still reference its shard:
+  // intentionally leak those EngineShards rather than free memory a
+  // zombie thread could touch. Empty except after a timed-out bounded
+  // drain with a non-releasable wedge.
+  for (int i : abandoned_shards_) {
+    shards_[static_cast<size_t>(i)].release();
+  }
 }
 
 VirtualTime QueryService::NowUs() const {
@@ -65,10 +72,21 @@ Status QueryService::BuildEachEngine(
   if (options_.config.placement == PlacementMode::kPartitioned) {
     return BuildPartitionedEngines(builder);
   }
+  // Replicated: every shard holds the full copy, so the same builder
+  // can repopulate a fresh engine after a crash — save it as the
+  // restart recipe. (Partitioned shards own data slices; they fail
+  // over by degraded re-scatter instead of restarting.)
+  engine_builder_ = builder;
   for (auto& shard : shards_) {
     QSYS_RETURN_IF_ERROR(builder(shard->engine()));
+    shard->set_engine_builder(builder);
   }
   return Status::OK();
+}
+
+void QueryService::InstallShardFaultInjector(ShardFaultInjector* injector) {
+  fault_injector_ = injector;
+  for (auto& shard : shards_) shard->set_fault_injector(injector);
 }
 
 Status QueryService::BuildPartitionedEngines(
@@ -109,6 +127,7 @@ void QueryService::AggregateSpillGauges() {
     sum.items_restored += s.items_restored;
     sum.bytes_on_disk += s.bytes_on_disk;
     sum.spill_faults += s.spill_faults;
+    sum.read_retry_waits += s.read_retry_waits;
   }
   counters_.StoreSpill(sum);
 }
@@ -156,9 +175,22 @@ Status QueryService::Start() {
   start_wall_ = Clock::now();
   // Trace timestamps and UserQuery submit times share one zero point.
   if (tracer_ != nullptr) tracer_->set_time_zero(start_wall_);
+  SupervisorPolicy policy;
+  policy.stall_timeout_us = options_.stall_timeout_ms * 1000;
+  // Restart only makes sense when a fresh engine can be repopulated
+  // with the shard's data — the replicated full copy. A partitioned
+  // shard's slice dies with it; its queries degrade instead.
+  policy.restart_crashed = options_.restart_crashed_shards &&
+                           placement_ == nullptr;
+  policy.max_restarts_per_shard = options_.max_restarts_per_shard;
+  supervisor_ = std::make_unique<ShardSupervisor>(num_shards(), policy);
   started_ = true;
   for (auto& shard : shards_) {
     QSYS_RETURN_IF_ERROR(shard->Start(start_wall_, options_.manual_pump));
+  }
+  if (!options_.manual_pump && options_.supervise_interval_ms > 0) {
+    supervise_stop_ = false;
+    supervisor_thread_ = std::thread([this] { SupervisorLoop(); });
   }
   return Status::OK();
 }
@@ -180,23 +212,42 @@ Result<QueryTicket> QueryService::Submit(SessionId session,
   return Submit(session, keywords, sessions_.DefaultsFor(session));
 }
 
+Result<QueryTicket> QueryService::Submit(SessionId session,
+                                         const std::string& keywords,
+                                         const CandidateGenOptions& options) {
+  return Submit(session, keywords, options, /*deadline_ms=*/-1);
+}
+
 std::shared_future<QueryOutcome> QueryService::RegisterInFlight(
-    int uq_id, SessionId session, const std::string& keywords, int shard) {
+    int uq_id, SessionId session, const std::string& keywords, int shard,
+    const CandidateGenOptions& options, VirtualTime deadline_us) {
   std::lock_guard<std::mutex> lock(inflight_mu_);
   InFlight entry;
   entry.session = session;
   entry.keywords = keywords;
   entry.shard = shard;
   entry.submit_us = NowUs();
+  entry.gen_options = options;
+  entry.deadline_us = deadline_us;
   std::shared_future<QueryOutcome> future =
       entry.promise.get_future().share();
   inflight_.emplace(uq_id, std::move(entry));
   return future;
 }
 
+bool QueryService::ShardHealthy(int shard) const {
+  if (shards_[shard]->down()) return false;
+  if (!shards_[shard]->terminal_status().ok()) return false;
+  if (supervisor_ != nullptr && supervisor_->out_of_rotation(shard)) {
+    return false;
+  }
+  return true;
+}
+
 Result<QueryTicket> QueryService::Submit(SessionId session,
                                          const std::string& keywords,
-                                         const CandidateGenOptions& options) {
+                                         const CandidateGenOptions& options,
+                                         int64_t deadline_ms) {
   if (!started_ || stopped_) {
     return Status::FailedPrecondition("service not serving");
   }
@@ -205,10 +256,14 @@ Result<QueryTicket> QueryService::Submit(SessionId session,
     counters_.rejected.fetch_add(1, std::memory_order_relaxed);
     return admitted;
   }
+  const int64_t ms =
+      deadline_ms < 0 ? options_.default_deadline_ms : deadline_ms;
+  const VirtualTime deadline_us = ms > 0 ? NowUs() + ms * 1000 : -1;
 
   if (options_.config.shard_affinity == ShardAffinity::kScatterCqs &&
       num_shards() > 1) {
-    Result<QueryTicket> ticket = SubmitScatter(session, keywords, options);
+    Result<QueryTicket> ticket =
+        SubmitScatter(session, keywords, options, deadline_us);
     if (ticket.ok()) {
       route_counters_[router_.Route(keywords)].scatter.fetch_add(
           1, std::memory_order_relaxed);
@@ -223,9 +278,12 @@ Result<QueryTicket> QueryService::Submit(SessionId session,
     // terms spanning owners scatter through the exact cross-shard
     // merge (the configured affinity only breaks ties — a non-owner
     // shard's slice could not even generate the query's candidates).
+    // A down owner is NOT routed around here: the push below fails
+    // and the fault-tolerance layer re-scatters around it (degraded).
     ShardRouter::Decision decision = router_.Decide(keywords);
     if (decision.scatter) {
-      Result<QueryTicket> ticket = SubmitScatter(session, keywords, options);
+      Result<QueryTicket> ticket =
+          SubmitScatter(session, keywords, options, deadline_us);
       if (ticket.ok()) {
         route_counters_[decision.shard].scatter.fetch_add(
             1, std::memory_order_relaxed);
@@ -235,6 +293,17 @@ Result<QueryTicket> QueryService::Submit(SessionId session,
     shard = decision.shard;
   } else {
     shard = router_.Route(keywords);
+    // Replicated: any shard holds the full copy, so route new traffic
+    // around a failed shard instead of bouncing off its closed queue.
+    if (!ShardHealthy(shard)) {
+      for (int off = 1; off < num_shards(); ++off) {
+        const int s = (shard + off) % num_shards();
+        if (ShardHealthy(s)) {
+          shard = s;
+          break;
+        }
+      }
+    }
   }
 
   ShardRequest request;
@@ -245,12 +314,24 @@ Result<QueryTicket> QueryService::Submit(SessionId session,
   request.submit_us = NowUs();
 
   int uq_id = request.uq_id;
-  std::shared_future<QueryOutcome> future =
-      RegisterInFlight(uq_id, session, keywords, shard);
+  std::shared_future<QueryOutcome> future = RegisterInFlight(
+      uq_id, session, keywords, shard, options, deadline_us);
 
   bool pushed = options_.block_when_full
                     ? shards_[shard]->SubmitBlocking(std::move(request))
                     : shards_[shard]->TrySubmit(std::move(request));
+  if (!pushed && !stopped_ && !ShardHealthy(shard)) {
+    // The push bounced off a dead shard, not backpressure: accept the
+    // query and hand it to the fault-tolerance layer (retry elsewhere,
+    // degraded re-scatter, or a terminal kUnavailable — never a hang).
+    counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+    if (tracer_ != nullptr) {
+      tracer_->Instant(TraceEventType::kAdmit, shard, uq_id);
+    }
+    FailOverOne(uq_id, Status::Unavailable(
+                           "shard " + std::to_string(shard) + " is down"));
+    return QueryTicket(uq_id, std::move(future));
+  }
   if (!pushed) {
     bool still_inflight;
     {
@@ -282,7 +363,7 @@ Result<QueryTicket> QueryService::Submit(SessionId session,
 
 Result<QueryTicket> QueryService::SubmitScatter(
     SessionId session, const std::string& keywords,
-    const CandidateGenOptions& options) {
+    const CandidateGenOptions& options, VirtualTime deadline_us) {
   // The caller has already admitted the session. Generate once (on the
   // submitting thread — generation reads only immutable post-finalize
   // structures), then split the CQs across shards. Partitioned mode
@@ -294,8 +375,8 @@ Result<QueryTicket> QueryService::SubmitScatter(
           ? placement_->GenerateCandidates(keywords, options)
           : shards_[0]->engine().GenerateCandidates(keywords, options);
   int parent_id = next_uq_id_.fetch_add(1, std::memory_order_relaxed);
-  std::shared_future<QueryOutcome> future =
-      RegisterInFlight(parent_id, session, keywords, /*shard=*/-1);
+  std::shared_future<QueryOutcome> future = RegisterInFlight(
+      parent_id, session, keywords, /*shard=*/-1, options, deadline_us);
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
   if (tracer_ != nullptr) {
     tracer_->Instant(TraceEventType::kAdmit, /*shard=*/-1, parent_id);
@@ -375,14 +456,27 @@ Result<QueryTicket> QueryService::SubmitScatter(
   }
 
   bool all_pushed = true;
+  int refused_shard = -1;
   for (auto& [s, request] : to_push) {
     bool pushed = options_.block_when_full
                       ? shards_[s]->SubmitBlocking(std::move(request))
                       : shards_[s]->TrySubmit(std::move(request));
     if (!pushed) {
       all_pushed = false;
+      refused_shard = s;
       break;
     }
+  }
+  if (!all_pushed && !stopped_ && !ShardHealthy(refused_shard)) {
+    // A sub bounced off a dead shard, not backpressure: keep the
+    // parent and let the fault-tolerance layer re-scatter around the
+    // dead shard (degraded under partitioned placement). Subs already
+    // pushed complete into a void once the book-keeping is dropped.
+    AbortScatter(parent_id);
+    FailOverOne(parent_id,
+                Status::Unavailable("shard " + std::to_string(refused_shard) +
+                                    " is down"));
+    return QueryTicket(parent_id, std::move(future));
   }
   if (!all_pushed) {
     // Undo the scatter (subs already pushed will complete into a void;
@@ -510,6 +604,15 @@ void QueryService::Resolve(int uq_id, Status status,
   outcome.keywords = std::move(entry.keywords);
   outcome.shard = entry.shard;
   outcome.status = std::move(status);
+  outcome.retries = entry.attempts;
+  // The degraded flag qualifies an *answer*; a query that ultimately
+  // failed is just failed (missing_terms still say what was lost).
+  outcome.degraded = entry.degraded && outcome.status.ok();
+  outcome.missing_terms = std::move(entry.missing_terms);
+  std::sort(outcome.missing_terms.begin(), outcome.missing_terms.end());
+  outcome.missing_terms.erase(
+      std::unique(outcome.missing_terms.begin(), outcome.missing_terms.end()),
+      outcome.missing_terms.end());
   if (metrics != nullptr) outcome.metrics = *metrics;
   if (outcome.status.ok()) {
     if (results != nullptr) outcome.results = *results;
@@ -517,8 +620,16 @@ void QueryService::Resolve(int uq_id, Status status,
     // produced it — see RankMerger.
     RankMerger::Canonicalize(outcome.results, options_.config.k);
     counters_.completed.fetch_add(1, std::memory_order_relaxed);
+    if (outcome.degraded) {
+      counters_.degraded.fetch_add(1, std::memory_order_relaxed);
+    }
   } else if (outcome.status.code() == StatusCode::kCancelled) {
     counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+  } else if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
+    counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    if (tracer_ != nullptr) {
+      tracer_->Instant(TraceEventType::kDeadlineExceeded, entry.shard, uq_id);
+    }
   } else {
     counters_.failed.fetch_add(1, std::memory_order_relaxed);
   }
@@ -564,30 +675,86 @@ void QueryService::ResolveAllRemaining(const Status& status) {
 
 void QueryService::OnShardFinished(int shard, const Status& terminal) {
   if (terminal.ok()) return;
-  // The shard died mid-serve: fail every query pinned to it — routed
-  // queries on that shard and scatter parents with a sub there — so no
-  // client blocks forever while the other shards keep serving.
-  std::vector<int> parents;
+  if (stopped_) return;  // Shutdown resolves leftovers itself
+  // The shard died mid-serve: fail over every query pinned to it —
+  // routed queries on that shard and scatter parents with a sub there
+  // — so no client blocks forever while the other shards keep serving.
+  // The supervisor reaches the same verdict on its next pass; both
+  // paths are idempotent (kAwaitingRetry guard in FailOverOne).
+  HandleShardFailure(shard, terminal);
+}
+
+void QueryService::SuperviseOnce() {
+  if (supervisor_ == nullptr) return;
+  const VirtualTime now = NowUs();
+  ExpireDeadlines(now);
+  std::vector<char> pending(shards_.size(), 0);
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    for (const auto& [uq_id, entry] : inflight_) {
+      if (entry.shard >= 0 && entry.shard < num_shards()) {
+        pending[entry.shard] = 1;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(scatter_mu_);
+    for (const auto& [parent_id, state] : scatter_) {
+      for (int s : state.sub_shards) pending[s] = 1;
+    }
+  }
+  for (int i = 0; i < num_shards(); ++i) {
+    ShardSupervisor::Observation obs;
+    obs.heartbeat = shards_[i]->heartbeat();
+    obs.executor_finished = shards_[i]->executor_finished();
+    const Status terminal = shards_[i]->terminal_status();
+    obs.terminal_failed = !terminal.ok();
+    obs.has_pending = pending[static_cast<size_t>(i)] != 0;
+    const ShardSupervisor::Verdict v = supervisor_->Observe(i, obs, now);
+    if (v.newly_failed) {
+      shards_[i]->MarkDown();
+      HandleShardFailure(
+          i, !terminal.ok()
+                 ? terminal
+                 : Status::Unavailable("shard " + std::to_string(i) +
+                                       " stalled (heartbeat frozen)"));
+    }
+    if (v.should_restart) TryRestartShard(i);
+  }
+  ProcessDueRetries(now);
+}
+
+void QueryService::ExpireDeadlines(VirtualTime now_us) {
+  std::vector<int> expired;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    for (const auto& [uq_id, entry] : inflight_) {
+      if (entry.deadline_us >= 0 && now_us >= entry.deadline_us) {
+        expired.push_back(uq_id);
+      }
+    }
+  }
+  std::sort(expired.begin(), expired.end());
+  for (int uq_id : expired) {
+    // Best-effort cancellation: shard-side work may still complete and
+    // will be discarded by Resolve's already-resolved guard.
+    AbortScatter(uq_id);
+    Resolve(uq_id, Status::DeadlineExceeded("query deadline exceeded"),
+            nullptr, nullptr);
+  }
+}
+
+void QueryService::HandleShardFailure(int shard, const Status& cause) {
+  std::vector<int> ids;
   {
     std::lock_guard<std::mutex> lock(scatter_mu_);
     for (const auto& [parent_id, state] : scatter_) {
       if (std::find(state.sub_shards.begin(), state.sub_shards.end(),
                     shard) != state.sub_shards.end()) {
-        parents.push_back(parent_id);
-      }
-    }
-    for (int parent_id : parents) scatter_.erase(parent_id);
-    for (auto it = scatter_sub_parent_.begin();
-         it != scatter_sub_parent_.end();) {
-      if (std::find(parents.begin(), parents.end(), it->second) !=
-          parents.end()) {
-        it = scatter_sub_parent_.erase(it);
-      } else {
-        ++it;
+        ids.push_back(parent_id);
       }
     }
   }
-  std::vector<int> ids = std::move(parents);
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
     for (const auto& [uq_id, entry] : inflight_) {
@@ -595,7 +762,354 @@ void QueryService::OnShardFinished(int shard, const Status& terminal) {
     }
   }
   std::sort(ids.begin(), ids.end());
-  for (int uq_id : ids) Resolve(uq_id, terminal, nullptr, nullptr);
+  for (int uq_id : ids) FailOverOne(uq_id, cause);
+}
+
+void QueryService::AbortScatter(int uq_id) {
+  std::lock_guard<std::mutex> lock(scatter_mu_);
+  auto it = scatter_.find(uq_id);
+  if (it == scatter_.end()) return;
+  for (auto sit = scatter_sub_parent_.begin();
+       sit != scatter_sub_parent_.end();) {
+    if (sit->second == uq_id) {
+      sit = scatter_sub_parent_.erase(sit);
+    } else {
+      ++sit;
+    }
+  }
+  scatter_.erase(it);
+}
+
+void QueryService::FailOverOne(int uq_id, const Status& cause) {
+  AbortScatter(uq_id);
+  bool any_healthy = false;
+  for (int s = 0; s < num_shards(); ++s) {
+    if (ShardHealthy(s)) {
+      any_healthy = true;
+      break;
+    }
+  }
+  enum class Disposition { kRetry, kGiveUp, kDeadline, kNone };
+  Disposition d = Disposition::kNone;
+  int attempts = 0;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(uq_id);
+    if (it == inflight_.end()) return;       // already resolved
+    InFlight& entry = it->second;
+    if (entry.shard == kAwaitingRetry) return;  // already scheduled
+    if (!any_healthy || stopped_ || entry.attempts >= options_.max_retries) {
+      // Nowhere to go, shutting down, or budget spent: resolve with
+      // the shard's failure. With no surviving shard this preserves
+      // the single-shard contract — the engine's terminal status
+      // reaches the client.
+      d = Disposition::kGiveUp;
+    } else if (entry.deadline_us >= 0 && NowUs() >= entry.deadline_us) {
+      d = Disposition::kDeadline;
+    } else {
+      entry.attempts += 1;
+      entry.shard = kAwaitingRetry;
+      attempts = entry.attempts;
+      d = Disposition::kRetry;
+    }
+  }
+  switch (d) {
+    case Disposition::kRetry: {
+      std::lock_guard<std::mutex> lock(retry_mu_);
+      const int64_t backoff = ShardSupervisor::BackoffUs(
+          attempts, options_.retry_backoff_base_ms,
+          options_.retry_backoff_max_ms, &backoff_rng_);
+      retry_queue_.emplace(NowUs() + backoff, uq_id);
+      break;
+    }
+    case Disposition::kGiveUp:
+      Resolve(uq_id, cause, nullptr, nullptr);
+      break;
+    case Disposition::kDeadline:
+      Resolve(uq_id,
+              Status::DeadlineExceeded("query deadline exceeded during "
+                                       "shard failover"),
+              nullptr, nullptr);
+      break;
+    case Disposition::kNone:
+      break;
+  }
+}
+
+void QueryService::ProcessDueRetries(VirtualTime now_us) {
+  std::vector<int> due;
+  {
+    std::lock_guard<std::mutex> lock(retry_mu_);
+    auto end = retry_queue_.upper_bound(now_us);
+    for (auto it = retry_queue_.begin(); it != end; ++it) {
+      due.push_back(it->second);
+    }
+    retry_queue_.erase(retry_queue_.begin(), end);
+  }
+  for (int uq_id : due) {
+    SessionId session = -1;
+    std::string keywords;
+    CandidateGenOptions gen_options;
+    VirtualTime deadline_us = -1;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      auto it = inflight_.find(uq_id);
+      if (it == inflight_.end() || it->second.shard != kAwaitingRetry) {
+        continue;  // resolved (deadline, shutdown) while queued
+      }
+      session = it->second.session;
+      keywords = it->second.keywords;
+      gen_options = it->second.gen_options;
+      deadline_us = it->second.deadline_us;
+    }
+    if (deadline_us >= 0 && now_us >= deadline_us) {
+      Resolve(uq_id,
+              Status::DeadlineExceeded("query deadline exceeded awaiting "
+                                       "retry"),
+              nullptr, nullptr);
+      continue;
+    }
+    counters_.retries.fetch_add(1, std::memory_order_relaxed);
+    if (tracer_ != nullptr) {
+      tracer_->Instant(TraceEventType::kRetry, /*shard=*/-1, uq_id);
+    }
+    if (router_.partitioned()) {
+      DegradedRescatter(uq_id, session, keywords, gen_options);
+      continue;
+    }
+    if (options_.config.shard_affinity == ShardAffinity::kScatterCqs &&
+        num_shards() > 1) {
+      RescatterAcrossHealthy(uq_id, session, keywords, gen_options);
+      continue;
+    }
+    // Replicated routed query: re-route to the first healthy shard at
+    // or after its home shard.
+    int target = -1;
+    const int base = router_.Route(keywords);
+    for (int off = 0; off < num_shards(); ++off) {
+      const int s = (base + off) % num_shards();
+      if (ShardHealthy(s)) {
+        target = s;
+        break;
+      }
+    }
+    if (target < 0) {
+      Resolve(uq_id, Status::Unavailable("no healthy shard for retry"),
+              nullptr, nullptr);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      auto it = inflight_.find(uq_id);
+      if (it == inflight_.end()) continue;
+      it->second.shard = target;
+    }
+    ShardRequest request;
+    request.uq_id = uq_id;
+    request.user_id = session;
+    request.keywords = keywords;
+    request.options = gen_options;
+    request.submit_us = NowUs();
+    if (!shards_[target]->TrySubmit(std::move(request))) {
+      FailOverOne(uq_id,
+                  Status::Unavailable("retry refused by shard " +
+                                      std::to_string(target)));
+    }
+  }
+}
+
+void QueryService::PushRetryScatter(
+    int parent_id, SessionId session, int k, const std::string& keywords,
+    std::vector<std::vector<ConjunctiveQuery>> parts) {
+  ScatterState state;
+  std::vector<std::pair<int, ShardRequest>> to_push;
+  for (int s = 0; s < num_shards(); ++s) {
+    if (parts[s].empty()) continue;
+    int sub_id = next_uq_id_.fetch_add(1, std::memory_order_relaxed);
+    auto sub = std::make_unique<UserQuery>();
+    sub->id = sub_id;
+    sub->user_id = session;
+    sub->k = k;
+    sub->keywords = keywords;
+    sub->cqs = std::move(parts[s]);
+    ShardRequest request;
+    request.uq_id = sub_id;
+    request.user_id = session;
+    request.prepared = std::move(sub);
+    request.submit_us = NowUs();
+    to_push.emplace_back(s, std::move(request));
+    state.pending += 1;
+    state.sub_shards.push_back(s);
+  }
+  {
+    std::lock_guard<std::mutex> lock(scatter_mu_);
+    for (const auto& [s, request] : to_push) {
+      scatter_sub_parent_[request.uq_id] = parent_id;
+      if (journal_ != nullptr) journal_->Alias(request.uq_id, parent_id);
+    }
+    scatter_.emplace(parent_id, std::move(state));
+  }
+  for (auto& [s, request] : to_push) {
+    if (!shards_[s]->TrySubmit(std::move(request))) {
+      // The target died between the health check and the push; fail
+      // over again (bounded by max_retries).
+      FailOverOne(parent_id,
+                  Status::Unavailable("re-scatter refused by shard " +
+                                      std::to_string(s)));
+      return;
+    }
+  }
+}
+
+void QueryService::RescatterAcrossHealthy(
+    int uq_id, SessionId session, const std::string& keywords,
+    const CandidateGenOptions& options) {
+  std::vector<int> healthy;
+  for (int s = 0; s < num_shards(); ++s) {
+    if (ShardHealthy(s)) healthy.push_back(s);
+  }
+  if (healthy.empty()) {
+    Resolve(uq_id, Status::Unavailable("no healthy shard for re-scatter"),
+            nullptr, nullptr);
+    return;
+  }
+  // Replicated: every engine holds the full copy, so any healthy one
+  // can regenerate candidates; the answer is complete (not degraded).
+  Result<UserQuery> gen =
+      shards_[healthy[0]]->engine().GenerateCandidates(keywords, options);
+  if (!gen.ok()) {
+    Resolve(uq_id, gen.status(), nullptr, nullptr);
+    return;
+  }
+  UserQuery uq = std::move(gen).value();
+  std::vector<std::vector<ConjunctiveQuery>> parts(
+      static_cast<size_t>(num_shards()));
+  for (size_t i = 0; i < uq.cqs.size(); ++i) {
+    parts[static_cast<size_t>(healthy[i % healthy.size()])].push_back(
+        std::move(uq.cqs[i]));
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(uq_id);
+    if (it == inflight_.end()) return;
+    it->second.shard = -1;  // scatter parent again
+  }
+  PushRetryScatter(uq_id, session, uq.k, keywords, std::move(parts));
+}
+
+void QueryService::DegradedRescatter(int uq_id, SessionId session,
+                                     const std::string& keywords,
+                                     const CandidateGenOptions& options) {
+  std::vector<char> healthy(static_cast<size_t>(num_shards()), 0);
+  bool any_healthy = false;
+  for (int s = 0; s < num_shards(); ++s) {
+    if (ShardHealthy(s)) {
+      healthy[static_cast<size_t>(s)] = 1;
+      any_healthy = true;
+    }
+  }
+  if (!any_healthy) {
+    Resolve(uq_id, Status::Unavailable("no healthy shard for re-scatter"),
+            nullptr, nullptr);
+    return;
+  }
+  // Regenerate over the placement's full index (immutable, survives
+  // dead shards), then drop the CQs that need an unreachable owner:
+  // the surviving CQs still produce an exact top-k over their slices,
+  // so the eventual answer is a flagged subset of the complete one.
+  Result<UserQuery> gen = placement_->GenerateCandidates(keywords, options);
+  if (!gen.ok()) {
+    Resolve(uq_id, gen.status(), nullptr, nullptr);
+    return;
+  }
+  UserQuery uq = std::move(gen).value();
+  const PartitionMap& map = placement_->partition_map();
+  const int n = num_shards();
+  std::vector<std::vector<ConjunctiveQuery>> parts(static_cast<size_t>(n));
+  std::vector<std::string> missing;
+  size_t kept = 0;
+  for (size_t i = 0; i < uq.cqs.size(); ++i) {
+    std::vector<int64_t> votes(static_cast<size_t>(n), 0);
+    bool reachable = true;
+    for (const Atom& atom : uq.cqs[i].expr.atoms()) {
+      for (const Selection& sel : atom.selections) {
+        if (sel.kind != SelectionKind::kContainsTerm) continue;
+        const std::string term = sel.constant.AsString();
+        const int owner = map.TermOwner(term);
+        if (owner < 0) continue;  // term matches nothing anywhere
+        if (!healthy[static_cast<size_t>(owner)]) {
+          reachable = false;
+          missing.push_back(term);
+        } else {
+          votes[static_cast<size_t>(owner)] += 1;
+        }
+      }
+    }
+    if (!reachable) continue;
+    // Locality vote among the healthy shards (deterministic: ties to
+    // the lowest id; no votes at all picks the lowest healthy shard).
+    int target = -1;
+    int64_t best = -1;
+    for (int s = 0; s < n; ++s) {
+      if (healthy[static_cast<size_t>(s)] == 0) continue;
+      if (votes[static_cast<size_t>(s)] > best) {
+        best = votes[static_cast<size_t>(s)];
+        target = s;
+      }
+    }
+    parts[static_cast<size_t>(target)].push_back(std::move(uq.cqs[i]));
+    kept += 1;
+  }
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(uq_id);
+    if (it == inflight_.end()) return;
+    it->second.shard = -1;  // scatter parent now
+    if (!missing.empty()) {
+      it->second.degraded = true;
+      for (const std::string& term : missing) {
+        it->second.missing_terms.push_back(term);
+      }
+    }
+  }
+  if (kept == 0) {
+    // Every candidate needed a dead owner: nothing left to answer
+    // from. (missing_terms in the outcome say why.)
+    Resolve(uq_id,
+            Status::Unavailable("no reachable partition covers the query"),
+            nullptr, nullptr);
+    return;
+  }
+  PushRetryScatter(uq_id, session, uq.k, keywords, std::move(parts));
+}
+
+void QueryService::TryRestartShard(int shard) {
+  const Status restarted =
+      shards_[shard]->Restart(start_wall_, options_.manual_pump);
+  if (restarted.ok()) {
+    supervisor_->OnRestartSucceeded(shard);
+    counters_.shard_restarts.fetch_add(1, std::memory_order_relaxed);
+    if (tracer_ != nullptr) {
+      tracer_->Instant(TraceEventType::kShardRestart, shard);
+    }
+  } else {
+    supervisor_->OnRestartFailed(shard);
+  }
+}
+
+void QueryService::SupervisorLoop() {
+  std::unique_lock<std::mutex> lock(supervise_mu_);
+  for (;;) {
+    supervise_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.supervise_interval_ms),
+        [this] { return supervise_stop_; });
+    if (supervise_stop_) return;
+    lock.unlock();
+    SuperviseOnce();
+    lock.lock();
+  }
 }
 
 Status QueryService::Shutdown(ShutdownMode mode) {
@@ -606,27 +1120,86 @@ Status QueryService::Shutdown(ShutdownMode mode) {
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
   bool expected = false;
   if (stopped_.compare_exchange_strong(expected, true)) {
+    // Supervision first: no restarts or retries may race the joins.
+    if (supervisor_thread_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(supervise_mu_);
+        supervise_stop_ = true;
+      }
+      supervise_cv_.notify_all();
+      supervisor_thread_.join();
+    }
     bool cancel = mode == ShutdownMode::kCancelPending;
     for (auto& shard : shards_) shard->RequestStop(cancel);
+    Status force_fail;  // non-OK after a timed-out bounded drain
     if (options_.manual_pump) {
       for (auto& shard : shards_) shard->FinishServing();
-    } else {
+    } else if (options_.shutdown_wait_ms <= 0) {
       for (auto& shard : shards_) shard->Join();
+    } else {
+      // Bounded drain: one budget across all shards — a wedged
+      // executor must not hang the shutdown (or the destructor).
+      const auto deadline =
+          Clock::now() + std::chrono::milliseconds(options_.shutdown_wait_ms);
+      bool all_done = true;
+      for (auto& shard : shards_) {
+        const int64_t left_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now())
+                .count();
+        if (!shard->FinishedWithin(std::max<int64_t>(left_ms, 0))) {
+          all_done = false;
+        }
+      }
+      if (all_done) {
+        for (auto& shard : shards_) shard->Join();
+      } else {
+        // Timed out. Mark the stragglers down (their leftovers are
+        // discarded, not drained), release any injected stall gates,
+        // give the revived executors a short grace, then detach
+        // whatever is truly wedged.
+        for (int i = 0; i < num_shards(); ++i) {
+          if (!shards_[i]->executor_finished()) shards_[i]->MarkDown();
+        }
+        if (fault_injector_ != nullptr) fault_injector_->ReleaseStalls();
+        for (int i = 0; i < num_shards(); ++i) {
+          if (shards_[i]->FinishedWithin(100)) {
+            shards_[i]->Join();
+          } else {
+            if (force_fail.ok()) {
+              force_fail = Status::Unavailable(
+                  "shutdown timed out waiting for shard " +
+                  std::to_string(i));
+            }
+            shards_[i]->AbandonExecutor();
+            abandoned_shards_.push_back(i);
+          }
+        }
+      }
     }
     AggregateSpillGauges();
+    // A shard the supervisor already took down surfaced its failure
+    // through the failed-over query outcomes; only an *unhandled*
+    // terminal failure poisons the shutdown status.
     Status terminal;
     for (auto& shard : shards_) {
+      if (shard->down()) continue;
       Status s = shard->terminal_status();
       if (terminal.ok() && !s.ok()) terminal = s;
     }
     // Whatever is still unresolved — queued requests under a cancelling
     // shutdown, batched-but-unflushed queries, or everything in flight
-    // after an engine failure — resolves now so no client blocks
-    // forever.
-    ResolveAllRemaining(terminal.ok() ? Status::Cancelled("service shut down")
-                                      : terminal);
+    // after an engine failure or a timed-out drain — resolves now so no
+    // client blocks forever.
+    Status resolve_status =
+        !force_fail.ok()
+            ? force_fail
+            : (terminal.ok() ? Status::Cancelled("service shut down")
+                             : terminal);
+    ResolveAllRemaining(resolve_status);
   }
   for (auto& shard : shards_) {
+    if (shard->down()) continue;
     Status s = shard->terminal_status();
     if (!s.ok()) return s;
   }
@@ -711,9 +1284,18 @@ Status QueryService::PumpOnce() {
         "PumpOnce requires ServiceOptions::manual_pump");
   }
   if (!started_) return Status::FailedPrecondition("service not started");
+  for (auto& shard : shards_) {
+    if (shard->down()) continue;  // out of rotation; retries cover it
+    shard->PumpOnce();
+  }
+  SuperviseOnce();
+  // A failure the supervision pass just handled (shard marked down,
+  // queries failed over) is not the pump's to report; only a failure
+  // on a shard still in rotation propagates.
   Status first;
   for (auto& shard : shards_) {
-    Status s = shard->PumpOnce();
+    if (shard->down()) continue;
+    Status s = shard->terminal_status();
     if (first.ok() && !s.ok()) first = s;
   }
   return first;

@@ -54,10 +54,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -66,6 +69,7 @@
 #include "src/obs/trace.h"
 #include "src/serve/result_sink.h"
 #include "src/serve/session.h"
+#include "src/serve/supervisor.h"
 #include "src/shard/rank_merger.h"
 #include "src/shard/shard.h"
 #include "src/shard/shard_router.h"
@@ -89,6 +93,35 @@ struct ServiceOptions {
   /// Test hook: do not spawn executor threads; the test drives the
   /// service deterministically with PumpOnce() / Shutdown().
   bool manual_pump = false;
+
+  // ---- fault tolerance (docs/ARCHITECTURE.md "Fault tolerance") ----
+
+  /// Per-query deadline applied when Submit() is not given one
+  /// explicitly; 0 = no deadline. A query past its deadline resolves
+  /// kDeadlineExceeded at the next supervision pass — tickets never
+  /// hang.
+  int64_t default_deadline_ms = 0;
+  /// Re-submissions after a shard failure, per query (0 = fail fast).
+  int max_retries = 2;
+  /// Exponential retry backoff: base_ms << (attempt-1), capped at
+  /// max_ms, jittered to 50–150% (ShardSupervisor::BackoffUs).
+  int64_t retry_backoff_base_ms = 2;
+  int64_t retry_backoff_max_ms = 200;
+  /// Supervision cadence in threaded mode (manual_pump runs one pass
+  /// per PumpOnce()).
+  int64_t supervise_interval_ms = 10;
+  /// Declare a shard stalled after this long with pending work and a
+  /// frozen heartbeat; 0 disables stall detection.
+  int64_t stall_timeout_ms = 1000;
+  /// Restart crashed shard engines from the saved dataset builder
+  /// (replicated placement only; partitioned shards own data slices
+  /// and fail over by degraded re-scatter instead).
+  bool restart_crashed_shards = true;
+  int max_restarts_per_shard = 1;
+  /// Bounded drain: Shutdown(kDrain) waits at most this long for the
+  /// shard executors before force-failing the remaining in-flight
+  /// queries kUnavailable; 0 = wait forever (the historical behavior).
+  int64_t shutdown_wait_ms = 30'000;
 };
 
 /// \brief Concurrent query-serving facade over N sharded Engines.
@@ -171,6 +204,14 @@ class QueryService {
   Result<QueryTicket> Submit(SessionId session, const std::string& keywords);
   Result<QueryTicket> Submit(SessionId session, const std::string& keywords,
                              const CandidateGenOptions& options);
+  /// Submit with an explicit deadline: `deadline_ms` < 0 uses
+  /// ServiceOptions::default_deadline_ms, 0 means no deadline. A query
+  /// past its deadline resolves kDeadlineExceeded (cheap best-effort
+  /// cancellation: its shard-side work may still run to completion and
+  /// be discarded).
+  Result<QueryTicket> Submit(SessionId session, const std::string& keywords,
+                             const CandidateGenOptions& options,
+                             int64_t deadline_ms);
 
   /// Stops serving: fans the shutdown out to every shard, joins their
   /// executors, then resolves whatever is still unresolved. Idempotent;
@@ -267,23 +308,55 @@ class QueryService {
   /// all shards. kFailedPrecondition when the journal is disabled.
   Result<std::string> ExplainEngine() const;
 
+  /// The shard health supervisor, or nullptr before Start() (or when
+  /// supervision is disabled: stall_timeout_ms == 0, max_retries == 0,
+  /// restart_crashed_shards == false and no deadline knobs set still
+  /// creates it — it is always present after Start()).
+  const ShardSupervisor* supervisor() const { return supervisor_.get(); }
+
+  // ---- test hooks ----
+
+  /// Installs `injector` on every shard (src/shard/fault_injection.h)
+  /// and remembers it so Shutdown() can release blocked stall gates.
+  /// Tests and src/sim/ only; call before Start().
+  void InstallShardFaultInjector(ShardFaultInjector* injector);
+
   // ---- test hooks (manual_pump mode only) ----
 
   /// Runs one executor iteration on every shard synchronously, in shard
   /// order: ingest every queued submit, then drain all due batches and
-  /// ATC work as one epoch per shard. Returns the first failure.
+  /// ATC work as one epoch per shard, then one supervision pass
+  /// (deadlines, health verdicts, due retries). Returns the first
+  /// failure among shards still in rotation (a shard the supervisor
+  /// marked down already failed its queries over; its terminal status
+  /// is handled, not propagated).
   Status PumpOnce();
 
  private:
+  /// InFlight::shard value while a retry is queued: the query is
+  /// pinned to no shard until ProcessDueRetries re-routes it.
+  static constexpr int kAwaitingRetry = -2;
+
   struct InFlight {
     std::promise<QueryOutcome> promise;
     SessionId session = -1;
     std::string keywords;
-    /// Executing shard; -1 for a scatter parent (merged across shards).
+    /// Executing shard; -1 for a scatter parent (merged across
+    /// shards), kAwaitingRetry between a failover and its re-submit.
     int shard = -1;
     /// Wall us since Start() at registration — the end-to-end latency
     /// histogram's zero point; -1 before Start().
     VirtualTime submit_us = -1;
+    /// Generation options, kept for re-submission on retry.
+    CandidateGenOptions gen_options;
+    /// Absolute deadline (virtual us); -1 = none.
+    VirtualTime deadline_us = -1;
+    /// Fault-tolerance re-submissions so far (bounds max_retries).
+    int attempts = 0;
+    /// Set by DegradedRescatter: the eventual outcome is a flagged
+    /// subset (see QueryOutcome::degraded).
+    bool degraded = false;
+    std::vector<std::string> missing_terms;
   };
 
   /// Book-keeping of one in-flight scatter query: which sub-queries are
@@ -303,12 +376,12 @@ class QueryService {
 
   Result<QueryTicket> SubmitScatter(SessionId session,
                                     const std::string& keywords,
-                                    const CandidateGenOptions& options);
+                                    const CandidateGenOptions& options,
+                                    VirtualTime deadline_us);
   /// Registers an in-flight entry and returns its shared future.
-  std::shared_future<QueryOutcome> RegisterInFlight(int uq_id,
-                                                    SessionId session,
-                                                    const std::string& keywords,
-                                                    int shard);
+  std::shared_future<QueryOutcome> RegisterInFlight(
+      int uq_id, SessionId session, const std::string& keywords, int shard,
+      const CandidateGenOptions& options, VirtualTime deadline_us);
   /// Shard completion callback (runs on shard executor threads).
   void OnShardCompletion(const EngineShard::Completion& c);
   /// Folds one scatter sub-completion into its parent; resolves the
@@ -323,6 +396,48 @@ class QueryService {
                const std::vector<ResultTuple>* results);
   /// Resolves every remaining in-flight ticket with `status`.
   void ResolveAllRemaining(const Status& status);
+
+  // ---- fault tolerance (see docs/ARCHITECTURE.md) ----
+
+  /// One supervision pass: expire deadlines, observe every shard's
+  /// health (failing over the queries of newly failed shards and
+  /// restarting restartable ones), then re-submit due retries.
+  void SuperviseOnce();
+  /// Resolves every query past its deadline with kDeadlineExceeded.
+  void ExpireDeadlines(VirtualTime now_us);
+  /// Fails over every query pinned to `shard` (routed there, or a
+  /// scatter parent with an outstanding sub there) with `cause`.
+  void HandleShardFailure(int shard, const Status& cause);
+  /// Retries one query (schedules it with jittered backoff) or, when
+  /// its budget/deadline is spent, resolves it with `cause`.
+  void FailOverOne(int uq_id, const Status& cause);
+  /// Drops scatter book-keeping for a parent (subs complete into a
+  /// void afterwards).
+  void AbortScatter(int uq_id);
+  /// Re-submits every retry whose backoff has elapsed.
+  void ProcessDueRetries(VirtualTime now_us);
+  /// Partitioned failover: re-scatters `uq_id` around the dead owners,
+  /// dropping the CQs that need them — the answer becomes a flagged
+  /// subset with term-coverage attribution (missing_terms).
+  void DegradedRescatter(int uq_id, SessionId session,
+                         const std::string& keywords,
+                         const CandidateGenOptions& options);
+  /// Replicated scatter failover: re-scatters all CQs across the
+  /// healthy shards (full answer, not degraded).
+  void RescatterAcrossHealthy(int uq_id, SessionId session,
+                              const std::string& keywords,
+                              const CandidateGenOptions& options);
+  /// Shared tail of the re-scatter paths: registers fresh sub-queries
+  /// for `parts` and pushes them; a refused push fails over again.
+  void PushRetryScatter(int parent_id, SessionId session, int k,
+                        const std::string& keywords,
+                        std::vector<std::vector<ConjunctiveQuery>> parts);
+  /// Attempts a supervisor-approved engine restart of `shard`.
+  void TryRestartShard(int shard);
+  /// True when `shard` may receive (re-)submissions.
+  bool ShardHealthy(int shard) const;
+  /// Threaded supervision driver (runs every supervise_interval_ms).
+  void SupervisorLoop();
   /// Re-aggregates spill gauges over all shards into counters_.
   void AggregateSpillGauges();
   /// Shared Explain*/kFailedPrecondition gate (journal enabled, query
@@ -370,6 +485,31 @@ class QueryService {
   std::mutex scatter_mu_;
   std::unordered_map<int, ScatterState> scatter_;
   std::unordered_map<int, int> scatter_sub_parent_;
+
+  // ---- fault tolerance ----
+  /// Health state machine (created by Start()).
+  std::unique_ptr<ShardSupervisor> supervisor_;
+  /// Queries awaiting re-submission: due virtual time -> uq_id.
+  /// Guarded by retry_mu_ (never taken with inflight_mu_ held).
+  std::mutex retry_mu_;
+  std::multimap<VirtualTime, int> retry_queue_;
+  uint64_t backoff_rng_ = 0x6a09e667f3bcc908ull;
+  /// Replicated-mode dataset builder, saved by BuildEachEngine so
+  /// TryRestartShard can repopulate a fresh engine.
+  std::function<Status(Engine&)> engine_builder_;
+  /// Installed injector (tests/sim), remembered so a bounded Shutdown
+  /// can release blocked stall gates before force-failing.
+  ShardFaultInjector* fault_injector_ = nullptr;
+  /// Threaded supervision (absent under manual_pump).
+  std::thread supervisor_thread_;
+  std::mutex supervise_mu_;
+  std::condition_variable supervise_cv_;
+  bool supervise_stop_ = false;
+  /// Shards whose wedged executors a bounded Shutdown detached. Their
+  /// EngineShard objects are intentionally leaked at destruction (the
+  /// detached thread may still reference them); only reachable for
+  /// non-releasable wedges — never in the test/CI suites.
+  std::vector<int> abandoned_shards_;
 
   /// Serializes AggregateSpillGauges() across shard executors.
   std::mutex gauges_mu_;

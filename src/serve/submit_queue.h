@@ -103,6 +103,17 @@ class SubmitQueue {
     producer_cv_.notify_all();
   }
 
+  /// Accepts pushes again after a Close() — used when a supervisor
+  /// restarts a crashed shard engine behind an already-drained queue.
+  /// The caller must guarantee no consumer is mid-shutdown on it.
+  void Reopen() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = false;
+    }
+    producer_cv_.notify_all();
+  }
+
   bool closed() const {
     std::lock_guard<std::mutex> lock(mu_);
     return closed_;

@@ -1,0 +1,51 @@
+#include "src/shard/fault_injection.h"
+
+namespace qsys {
+
+void ShardFaultInjector::BlockWhileStalled() {
+  std::unique_lock<std::mutex> lock(gate_mu_);
+  gate_cv_.wait(lock, [this] { return released_; });
+}
+
+void ShardFaultInjector::ReleaseStalls() {
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    released_ = true;
+  }
+  gate_cv_.notify_all();
+}
+
+bool ShardFaultInjector::released() const {
+  std::lock_guard<std::mutex> lock(gate_mu_);
+  return released_;
+}
+
+ShardFaultInjector::Decision ScriptedShardFaultInjector::OnEpochDrive(
+    int shard, int64_t seq) {
+  Decision d;
+  if (shard != plan_.target_shard) return d;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan_.crash_at_seq >= 0 && !crash_fired_ &&
+      seq >= plan_.crash_at_seq) {
+    crash_fired_ = true;
+    d.action = Action::kCrash;
+    return d;
+  }
+  if (plan_.stall_at_seq >= 0 && seq >= plan_.stall_at_seq &&
+      !released()) {
+    d.action = Action::kStall;
+    return d;
+  }
+  if (plan_.delay_us > 0) {
+    d.action = Action::kDelay;
+    d.delay_us = plan_.delay_us;
+  }
+  return d;
+}
+
+bool ScriptedShardFaultInjector::crash_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crash_fired_;
+}
+
+}  // namespace qsys

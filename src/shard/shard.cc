@@ -14,9 +14,12 @@ EngineShard::EngineShard(int shard_id, const QConfig& config,
                          size_t queue_capacity,
                          ServiceCounters* service_counters)
     : shard_id_(shard_id),
+      config_(config),
       engine_(std::make_unique<Engine>(config)),
       queue_(queue_capacity),
-      service_counters_(service_counters) {}
+      service_counters_(service_counters) {
+  live_engine_.store(engine_.get(), std::memory_order_release);
+}
 
 EngineShard::~EngineShard() {
   if (executor_.joinable()) {
@@ -62,17 +65,78 @@ Status EngineShard::Start(Clock::time_point start_wall, bool manual) {
   // worker) exists, so every tracing thread observes them set.
   engine_->SetObservability(tracer_, metrics_, shard_id_);
   engine_->set_journal(journal_);
+  manual_ = manual;
   if (!manual) {
-    executor_ = std::thread([this] { ExecutorLoop(); });
+    executor_done_.store(false, std::memory_order_release);
+    executor_ = std::thread([this] {
+      ExecutorLoop();
+      MarkExecutorDone();
+    });
   }
   return Status::OK();
 }
 
+void EngineShard::MarkExecutorDone() {
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    executor_done_.store(true, std::memory_order_release);
+  }
+  done_cv_.notify_all();
+}
+
+bool EngineShard::FinishedWithin(int64_t wait_ms) {
+  if (executor_finished()) return true;
+  std::unique_lock<std::mutex> lock(done_mu_);
+  return done_cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
+                           [this] { return executor_finished(); });
+}
+
+void EngineShard::MarkDown() {
+  down_.store(true, std::memory_order_relaxed);
+  // Close the queue AND cancel: a stalled executor that revives at
+  // shutdown (released stall gate) must not execute leftovers the
+  // service already retried on healthy shards.
+  RequestStop(/*cancel_pending=*/true);
+}
+
+Status EngineShard::Restart(Clock::time_point start_wall, bool manual) {
+  if (!executor_finished()) {
+    return Status::FailedPrecondition(
+        "shard executor still running; cannot restart");
+  }
+  if (!engine_builder_) {
+    return Status::FailedPrecondition("no engine builder installed");
+  }
+  Join();  // reap the exited thread object
+  auto fresh = std::make_unique<Engine>(config_);
+  QSYS_RETURN_IF_ERROR(engine_builder_(*fresh));
+  QSYS_RETURN_IF_ERROR(fresh->FinalizeCatalog());
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    // Retire rather than free: service threads may hold an Engine&
+    // from engine() (router footprint callbacks, stats readers).
+    retired_engines_.push_back(std::move(engine_));
+    engine_ = std::move(fresh);
+    live_engine_.store(engine_.get(), std::memory_order_release);
+  }
+  cancel_pending_.store(false, std::memory_order_relaxed);
+  SetTerminal(Status::OK());
+  queue_.Reopen();
+  down_.store(false, std::memory_order_relaxed);
+  return Start(start_wall, manual);
+}
+
+void EngineShard::AbandonExecutor() {
+  if (executor_.joinable()) executor_.detach();
+}
+
 bool EngineShard::TrySubmit(ShardRequest request) {
+  if (down()) return false;
   return queue_.TryPush(std::move(request));
 }
 
 bool EngineShard::SubmitBlocking(ShardRequest request) {
+  if (down()) return false;
   return queue_.Push(std::move(request));
 }
 
@@ -136,6 +200,33 @@ void EngineShard::PublishStatsLocked() {
 }
 
 bool EngineShard::RunDueEpochs(bool drain_partial) {
+  if (injector_ != nullptr) {
+    const ShardFaultInjector::Decision d = injector_->OnEpochDrive(
+        shard_id_, epoch_seq_.fetch_add(1, std::memory_order_relaxed));
+    switch (d.action) {
+      case ShardFaultInjector::Action::kCrash: {
+        SetTerminal(Status::Unavailable("injected shard crash"));
+        std::lock_guard<std::mutex> lock(engine_mu_);
+        PublishStatsLocked();
+        return false;
+      }
+      case ShardFaultInjector::Action::kStall:
+        // Wedge: frozen heartbeat, no work. A threaded executor blocks
+        // on the releasable gate (and resumes if released); a manual
+        // driver cannot block the pump, so it skips the epoch instead
+        // — same observable symptom, nothing hung.
+        if (manual_) return true;
+        injector_->BlockWhileStalled();
+        break;
+      case ShardFaultInjector::Action::kDelay:
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(d.delay_us));
+        break;
+      case ShardFaultInjector::Action::kNone:
+        break;
+    }
+  }
+  heartbeat_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(engine_mu_);
   const int64_t epoch_t0 =
       (tracer_ != nullptr || metrics_ != nullptr) ? NowUs() : 0;

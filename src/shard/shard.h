@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -35,6 +36,7 @@
 
 #include "src/core/engine.h"
 #include "src/serve/submit_queue.h"
+#include "src/shard/fault_injection.h"
 
 namespace qsys {
 
@@ -101,14 +103,35 @@ class EngineShard {
   int id() const { return shard_id_; }
 
   /// The underlying pipeline — for dataset building before Start() and
-  /// for read-only observability after.
-  Engine& engine() { return *engine_; }
-  const Engine& engine() const { return *engine_; }
+  /// for read-only observability after. Tear-free across a supervisor
+  /// Restart(): the pointer swap is atomic and the previous engine is
+  /// retired (kept alive), not freed, so a racing reader stays valid.
+  Engine& engine() {
+    return *live_engine_.load(std::memory_order_acquire);
+  }
+  const Engine& engine() const {
+    return *live_engine_.load(std::memory_order_acquire);
+  }
 
   /// Callbacks; set before Start().
   void set_completion_fn(CompletionFn fn) { completion_fn_ = std::move(fn); }
   void set_finished_fn(FinishedFn fn) { finished_fn_ = std::move(fn); }
   void set_stats_listener(StatsListener fn) { stats_listener_ = std::move(fn); }
+
+  /// Fault-injection seam (tests and src/sim/ only; null in
+  /// production). Set before Start(); consulted at the top of every
+  /// epoch drive.
+  void set_fault_injector(ShardFaultInjector* injector) {
+    injector_ = injector;
+  }
+
+  /// How Restart() repopulates a fresh Engine with this shard's
+  /// dataset (replicated placement: the same full copy every shard
+  /// got). Without a builder the supervisor cannot restart this shard
+  /// — it stays down and traffic fails over to replicas.
+  void set_engine_builder(std::function<Status(Engine&)> builder) {
+    engine_builder_ = std::move(builder);
+  }
 
   /// Attaches the service-owned observability sinks (either may be
   /// null); set before Start(), which forwards them into the engine.
@@ -149,6 +172,49 @@ class EngineShard {
   /// Terminal executor status (OK unless the engine failed).
   Status terminal_status() const;
 
+  // ---- health surface (any thread; read by the ShardSupervisor) ----
+
+  /// Liveness counter: shard-level epoch drives plus the engine's
+  /// per-scheduling-round progress ticks. Frozen exactly while the
+  /// executor is wedged (crashed, blocked, or injected stall); a
+  /// supervisor seeing pending work and a frozen heartbeat past its
+  /// stall timeout declares the shard stalled.
+  int64_t heartbeat() const {
+    return heartbeat_.load(std::memory_order_relaxed) +
+           engine().progress_ticks();
+  }
+
+  /// True once the executor thread has exited (trivially true in
+  /// manual mode). A crashed shard is restartable only after this.
+  bool executor_finished() const {
+    return executor_done_.load(std::memory_order_acquire);
+  }
+
+  /// Waits up to `wait_ms` for the executor to exit. The bounded-drain
+  /// building block: a wedged shard returns false instead of hanging
+  /// the caller.
+  bool FinishedWithin(int64_t wait_ms);
+
+  /// Supervisor verdict: a down shard refuses submits (TrySubmit /
+  /// SubmitBlocking return false) and discards rather than drains its
+  /// queue leftovers, so a late revival cannot double-execute queries
+  /// the service already retried elsewhere.
+  bool down() const { return down_.load(std::memory_order_relaxed); }
+  void MarkDown();
+
+  /// Tears down a crashed engine and serves again with a fresh one
+  /// (built by the engine builder, catalog re-finalized, queue
+  /// reopened). Precondition: the executor has exited. The old engine
+  /// is retired, not freed — see engine().
+  Status Restart(std::chrono::steady_clock::time_point start_wall,
+                 bool manual);
+
+  /// Last resort for a truly wedged executor with nothing to release:
+  /// detaches the thread. The owner MUST leak this shard afterwards
+  /// (the detached thread may still touch the engine and queue);
+  /// QueryService::Shutdown does so explicitly.
+  void AbandonExecutor();
+
   // ---- lock-free observability (any thread) ----
 
   /// Engine ExecStats as of the last completed epoch.
@@ -177,9 +243,17 @@ class EngineShard {
   /// Publishes stats/gauges (caller holds engine_mu_).
   void PublishStatsLocked();
   void SetTerminal(const Status& status);
+  void MarkExecutorDone();
 
   const int shard_id_;
+  /// Engine config copy: Restart() rebuilds from it.
+  const QConfig config_;
   std::unique_ptr<Engine> engine_;
+  /// Engines replaced by Restart(), kept alive for racing readers.
+  std::vector<std::unique_ptr<Engine>> retired_engines_;
+  /// The engine readers see (== engine_.get(); atomic for tear-free
+  /// reads across Restart's swap).
+  std::atomic<Engine*> live_engine_{nullptr};
   SubmitQueue<ShardRequest> queue_;
   ServiceCounters* service_counters_;
   /// Service-owned observability sinks (null when disabled).
@@ -190,14 +264,31 @@ class EngineShard {
   CompletionFn completion_fn_;
   FinishedFn finished_fn_;
   StatsListener stats_listener_;
+  /// Fault seam (null in production) and restart builder (empty when
+  /// the owner never installed one).
+  ShardFaultInjector* injector_ = nullptr;
+  std::function<Status(Engine&)> engine_builder_;
 
   /// Coarse engine lock: every touch of engine_ after Start().
   std::mutex engine_mu_;
   std::thread executor_;
   std::chrono::steady_clock::time_point start_wall_;
+  bool manual_ = false;
   std::atomic<bool> cancel_pending_{false};
   Status terminal_;
   mutable std::mutex terminal_mu_;
+
+  // ---- health state ----
+  /// Shard-level half of heartbeat(): epoch drives completed.
+  std::atomic<int64_t> heartbeat_{0};
+  /// Injector consultation sequence (monotone across restarts).
+  std::atomic<int64_t> epoch_seq_{0};
+  std::atomic<bool> down_{false};
+  /// True when no executor thread is running (manual mode, pre-Start,
+  /// or the thread exited). Guarded change + cv for FinishedWithin.
+  std::atomic<bool> executor_done_{true};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
 
   /// Per-shard mirrors (epochs/batches/spill); the service-wide totals
   /// accumulate into service_counters_.

@@ -2,12 +2,15 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <thread>
 
 #include "src/exec/rank_merge_op.h"
 #include "src/serve/query_service.h"
+#include "src/shard/fault_injection.h"
 #include "src/workload/bio_terms.h"
 #include "src/workload/gus.h"
 #include "src/workload/runner.h"
@@ -57,6 +60,68 @@ std::vector<std::string> WorkloadQueries(uint64_t seed, int n) {
 /// instead of spinning forever.
 constexpr int kMaxPumpSpins = 10'000;
 
+/// Extracts `<key>=<value>` from the "counters: ..." line of
+/// MetricsText. Returns -1 when absent (which the conservation check
+/// then reports).
+int64_t TextCounter(const std::string& text, const std::string& key) {
+  const std::string needle = " " + key + "=";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(text.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+/// Extracts the value of an unlabeled `qsys_<name>_total <v>` sample
+/// from a Prometheus exposition. Returns -1 when absent.
+int64_t PromCounter(const std::string& text, const std::string& name) {
+  const std::string needle = "\nqsys_" + name + "_total ";
+  const size_t pos = text.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(text.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+/// Cross-checks the three exports of the fault-tolerance counters
+/// (ServiceCounters atomics, the MetricsText "counters:" line, the
+/// Prometheus qsys_*_total families) and the resolution conservation
+/// law. Returns "" when consistent.
+std::string CheckCounterConservation(const QueryService& service) {
+  const ServiceCounters& c = service.counters();
+  const auto v = [](const std::atomic<int64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  // Every accepted query resolves terminally exactly once: completed,
+  // cancelled, past-deadline, or failed. A leak here is a hang or a
+  // double-resolution.
+  const int64_t resolved = v(c.completed) + v(c.cancelled) +
+                           v(c.deadline_exceeded) + v(c.failed);
+  if (v(c.submitted) != resolved) {
+    return "submitted=" + std::to_string(v(c.submitted)) +
+           " != completed+cancelled+deadline_exceeded+failed=" +
+           std::to_string(resolved);
+  }
+  const std::string text = service.MetricsText();
+  const std::string prom = service.MetricsPrometheus();
+  const struct {
+    const char* text_key;
+    const char* prom_name;
+    int64_t value;
+  } kFamilies[] = {
+      {"retries", "query_retries", v(c.retries)},
+      {"deadline_exceeded", "deadline_exceeded", v(c.deadline_exceeded)},
+      {"degraded", "degraded_answers", v(c.degraded)},
+      {"shard_restarts", "shard_restarts", v(c.shard_restarts)},
+  };
+  for (const auto& f : kFamilies) {
+    const int64_t in_text = TextCounter(text, f.text_key);
+    const int64_t in_prom = PromCounter(prom, f.prom_name);
+    if (in_text != f.value || in_prom != f.value) {
+      return std::string(f.prom_name) + ": ServiceCounters=" +
+             std::to_string(f.value) + " text=" + std::to_string(in_text) +
+             " prometheus=" + std::to_string(in_prom);
+    }
+  }
+  return "";
+}
+
 }  // namespace
 
 RunOutcome RunScenario(const Scenario& scenario, const SimOptions& options) {
@@ -80,6 +145,23 @@ RunOutcome RunScenario(const Scenario& scenario, const SimOptions& options) {
   }
   service_options.manual_pump = true;
   service_options.queue_capacity = scenario.order.size() * 8 + 16;
+
+  // Shard fault injection: a scripted crash or stall on one shard. The
+  // stall timeout is short so the supervisor (run from PumpOnce in
+  // manual mode) declares the frozen heartbeat well inside the pump
+  // bound; the retry budget matches the production default.
+  ShardFaultPlan fault_plan;
+  const bool has_fault = scenario.fault != Scenario::Fault::kNone;
+  if (has_fault) {
+    fault_plan.target_shard = scenario.fault_shard;
+    if (scenario.fault == Scenario::Fault::kCrash) {
+      fault_plan.crash_at_seq = scenario.fault_seq;
+    } else {
+      fault_plan.stall_at_seq = scenario.fault_seq;
+    }
+    service_options.stall_timeout_ms = 50;
+  }
+  ScriptedShardFaultInjector shard_faults(fault_plan);
 
   char tmpl[] = "/tmp/qsys_sim_XXXXXX";
   std::string spill_dir;
@@ -108,6 +190,7 @@ RunOutcome RunScenario(const Scenario& scenario, const SimOptions& options) {
         if (spill != nullptr) spill->set_fault_injector(options.injector);
       }
     }
+    if (has_fault) service.InstallShardFaultInjector(&shard_faults);
 
     auto session = service.OpenSession("sim");
     if (!session.ok()) {
@@ -195,7 +278,18 @@ RunOutcome RunScenario(const Scenario& scenario, const SimOptions& options) {
       outcome.spill.items_restored += s.items_restored;
       outcome.spill.bytes_on_disk += s.bytes_on_disk;
       outcome.spill.spill_faults += s.spill_faults;
+      outcome.spill.read_retry_waits += s.read_retry_waits;
     }
+
+    const ServiceCounters& counters = service.counters();
+    outcome.retries = counters.retries.load(std::memory_order_relaxed);
+    outcome.deadline_exceeded =
+        counters.deadline_exceeded.load(std::memory_order_relaxed);
+    outcome.degraded_answers =
+        counters.degraded.load(std::memory_order_relaxed);
+    outcome.shard_restarts =
+        counters.shard_restarts.load(std::memory_order_relaxed);
+    outcome.counter_error = CheckCounterConservation(service);
 
     if (!failed) {
       for (size_t i = 0; i < tickets.size(); ++i) {
@@ -207,6 +301,20 @@ RunOutcome RunScenario(const Scenario& scenario, const SimOptions& options) {
           fp += "#planted-warm-wave-bug";
         }
         outcome.fingerprints.push_back(std::move(fp));
+        outcome.statuses.push_back(out.status.ok() ? ""
+                                                   : out.status.ToString());
+        outcome.degraded.push_back(out.degraded ? 1 : 0);
+        std::vector<std::string> tuple_fps;
+        if (out.status.ok()) {
+          // FingerprintResults' rendering is binary (score bytes may
+          // contain the separator), so subset checks need each tuple
+          // fingerprinted on its own rather than splitting the blob.
+          tuple_fps.reserve(out.results.size());
+          for (const ResultTuple& t : out.results) {
+            tuple_fps.push_back(FingerprintResults({t}));
+          }
+        }
+        outcome.tuples.push_back(std::move(tuple_fps));
       }
       outcome.ran_ok = true;
     }
@@ -222,11 +330,9 @@ std::string Divergence::ToString() const {
          "\"";
 }
 
-Result<std::vector<std::string>> Oracle::Fingerprints(uint64_t workload_seed,
-                                                      int workload_size) {
+Status Oracle::EnsureCached(uint64_t workload_seed, int workload_size) {
   const auto key = std::make_pair(workload_seed, workload_size);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  if (cache_.find(key) != cache_.end()) return Status::OK();
 
   // The ground truth: every workload query once, single shard, one
   // executor thread, unlimited budget, no spill, one wave.
@@ -248,7 +354,20 @@ Result<std::vector<std::string>> Oracle::Fingerprints(uint64_t workload_seed,
     return Status::Internal("oracle run failed: " + oracle_run.error);
   }
   cache_[key] = oracle_run.fingerprints;
-  return oracle_run.fingerprints;
+  tuple_cache_[key] = oracle_run.tuples;
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> Oracle::Fingerprints(uint64_t workload_seed,
+                                                      int workload_size) {
+  QSYS_RETURN_IF_ERROR(EnsureCached(workload_seed, workload_size));
+  return cache_[std::make_pair(workload_seed, workload_size)];
+}
+
+Result<std::vector<std::vector<std::string>>> Oracle::TupleFingerprints(
+    uint64_t workload_seed, int workload_size) {
+  QSYS_RETURN_IF_ERROR(EnsureCached(workload_seed, workload_size));
+  return tuple_cache_[std::make_pair(workload_seed, workload_size)];
 }
 
 std::optional<Divergence> CheckScenario(const Scenario& scenario,
@@ -265,15 +384,26 @@ std::optional<Divergence> CheckScenario(const Scenario& scenario,
     d.want = "a completed run";
     return d;
   }
-  if (!scenario.CheckedForEquivalence()) return std::nullopt;
-
-  auto want = oracle.Fingerprints(scenario.workload_seed,
-                                  scenario.workload_size);
-  if (!want.ok()) {
+  if (!run.counter_error.empty()) {
     Divergence d;
     d.position = -1;
     d.query = -1;
-    d.got = want.status().ToString();
+    d.got = run.counter_error;
+    d.want = "a conserved counter surface";
+    return d;
+  }
+  if (!scenario.CheckedForEquivalence()) return std::nullopt;
+
+  const bool has_fault = scenario.fault != Scenario::Fault::kNone;
+  auto want = oracle.Fingerprints(scenario.workload_seed,
+                                  scenario.workload_size);
+  auto want_tuples = oracle.TupleFingerprints(scenario.workload_seed,
+                                              scenario.workload_size);
+  if (!want.ok() || !want_tuples.ok()) {
+    Divergence d;
+    d.position = -1;
+    d.query = -1;
+    d.got = (want.ok() ? want_tuples.status() : want.status()).ToString();
     d.want = "a completed oracle run";
     return d;
   }
@@ -281,6 +411,47 @@ std::optional<Divergence> CheckScenario(const Scenario& scenario,
     const int qidx = scenario.order[i];
     const std::string& got = run.fingerprints[i];
     const std::string& expect = want.value()[static_cast<size_t>(qidx)];
+    // Terminal failures (kUnavailable, kDeadlineExceeded) are part of
+    // the contract under an injected fault — no replica left, or the
+    // deadline fired first. Without a fault they are divergences,
+    // unless the oracle fails the same query (a genuinely bad keyword
+    // fails candidate generation everywhere).
+    if (!run.statuses[i].empty()) {
+      if (has_fault || expect.empty()) continue;
+      Divergence d;
+      d.position = static_cast<int>(i);
+      d.query = qidx;
+      d.got = "terminal failure: " + run.statuses[i];
+      d.want = expect;
+      return d;
+    }
+    if (run.degraded[i]) {
+      // Degraded answers are only legal for a partitioned scenario
+      // under a fault, and must be a flagged SUBSET of the oracle's
+      // tuples. The subset check is only sound when the oracle's list
+      // is under k: once the oracle truncates at k, dropping a
+      // partition legitimately promotes tuples from below the
+      // oracle's cutoff.
+      const auto& otup = want_tuples.value()[static_cast<size_t>(qidx)];
+      Divergence d;
+      d.position = static_cast<int>(i);
+      d.query = qidx;
+      if (!has_fault || !scenario.partitioned) {
+        d.got = "degraded answer without a partition fault";
+        d.want = expect;
+        return d;
+      }
+      if (static_cast<int>(otup.size()) < SimConfig().k) {
+        for (const std::string& t : run.tuples[i]) {
+          if (std::find(otup.begin(), otup.end(), t) == otup.end()) {
+            d.got = "degraded answer with a tuple outside the oracle set";
+            d.want = expect;
+            return d;
+          }
+        }
+      }
+      continue;
+    }
     if (got != expect) {
       Divergence d;
       d.position = static_cast<int>(i);

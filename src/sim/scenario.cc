@@ -87,6 +87,12 @@ std::string Scenario::ToString() const {
   out += " budget=" + std::to_string(budget_bytes);
   out += " drop=" + std::to_string(drop_to_bytes) + "@" +
          std::to_string(drop_after_wave);
+  if (fault != Fault::kNone) {
+    out += " fault=";
+    out += fault == Fault::kCrash ? "crash" : "stall";
+    out += "@" + std::to_string(fault_shard) + ":" +
+           std::to_string(fault_seq);
+  }
   return out;
 }
 
@@ -127,6 +133,28 @@ Result<Scenario> Scenario::Parse(const std::string& text) {
   }
   s.drop_to_bytes = std::strtoll(drop.substr(0, at).c_str(), nullptr, 10);
   s.drop_after_wave = std::atoi(drop.substr(at + 1).c_str());
+  // fault= is optional: reproducer strings minted before fault
+  // injection existed parse as fault-free.
+  auto fault = TokenValue(tokens, "fault");
+  if (fault.ok()) {
+    const std::string& f = fault.value();
+    const size_t fat = f.find('@');
+    const size_t colon = f.find(':', fat == std::string::npos ? 0 : fat);
+    if (fat == std::string::npos || colon == std::string::npos) {
+      return Status::InvalidArgument(
+          "fault= must be crash|stall@<shard>:<seq>");
+    }
+    const std::string kind = f.substr(0, fat);
+    if (kind == "crash") {
+      s.fault = Fault::kCrash;
+    } else if (kind == "stall") {
+      s.fault = Fault::kStall;
+    } else {
+      return Status::InvalidArgument("fault kind must be crash or stall");
+    }
+    s.fault_shard = std::atoi(f.substr(fat + 1, colon - fat - 1).c_str());
+    s.fault_seq = std::strtoll(f.substr(colon + 1).c_str(), nullptr, 10);
+  }
 
   // Consistency: waves partition the order, every index addresses the
   // workload, knobs are in range.
@@ -149,6 +177,10 @@ Result<Scenario> Scenario::Parse(const std::string& text) {
   if (s.drop_after_wave >= static_cast<int>(s.waves.size())) {
     return Status::InvalidArgument("drop wave out of range");
   }
+  if (s.fault != Fault::kNone &&
+      (s.fault_shard < 0 || s.fault_shard >= s.shards || s.fault_seq < 0)) {
+    return Status::InvalidArgument("fault shard/seq out of range");
+  }
   return s;
 }
 
@@ -163,6 +195,8 @@ std::string Scenario::ShapeKey() const {
          : budget_bytes >= (128 << 10) ? "/roomy"
                                        : "/tight";
   if (drop_after_wave >= 0) key += "/drop";
+  if (fault == Fault::kCrash) key += "/crash";
+  if (fault == Fault::kStall) key += "/stall";
   // Repeats are what drive warm re-grafts — surface them in coverage.
   std::vector<int> sorted = order;
   std::sort(sorted.begin(), sorted.end());
@@ -238,6 +272,22 @@ Scenario GenerateScenario(uint64_t seed) {
   // and therefore every pre-placement scenario's shape — bit-identical
   // for a given seed.
   s.partitioned = rng.Percent(40);
+  return s;
+}
+
+Scenario GenerateFaultScenario(uint64_t seed) {
+  // The base shape comes from GenerateScenario unchanged; the fault
+  // draws use a SEPARATE rng stream so the shape for a given seed is
+  // bit-identical with and without faults — a fault-sweep failure
+  // reproduces its fault-free twin by just dropping the fault= key.
+  Scenario s = GenerateScenario(seed);
+  Rng rng(seed ^ 0xfa1762d0c9b5a3e1ull);
+  s.fault = rng.Percent(50) ? Scenario::Fault::kCrash
+                            : Scenario::Fault::kStall;
+  s.fault_shard = static_cast<int>(rng.Below(static_cast<uint64_t>(s.shards)));
+  // Epoch-drive sequence numbers start at 1; small values hit the fault
+  // while work is in flight, larger ones after the first waves settle.
+  s.fault_seq = 1 + static_cast<int64_t>(rng.Below(12));
   return s;
 }
 

@@ -67,6 +67,18 @@ struct Scenario {
   int drop_after_wave = -1;
   int64_t drop_to_bytes = 0;
 
+  /// Shard fault injection (src/shard/fault_injection.h): kNone runs
+  /// clean; kCrash fails fault_shard's executor terminally at its
+  /// fault_seq-th epoch drive; kStall freezes its heartbeat from that
+  /// drive on. Serialized as `fault=crash@<shard>:<seq>` /
+  /// `fault=stall@<shard>:<seq>`; the key is optional on Parse (and
+  /// omitted from ToString when kNone) so pre-fault reproducer strings
+  /// stay valid.
+  enum class Fault { kNone = 0, kCrash, kStall };
+  Fault fault = Fault::kNone;
+  int fault_shard = 0;
+  int64_t fault_seq = 0;
+
   /// Whether the harness asserts byte-equivalence against the oracle.
   /// Destroying evicted hash tables under a finite budget *without* a
   /// spill tier loses stream arrivals by design (§6.3) — those runs
@@ -95,6 +107,11 @@ struct Scenario {
 
 /// Derives a full scenario from `seed` (pure function of the seed).
 Scenario GenerateScenario(uint64_t seed);
+
+/// GenerateScenario(seed) plus a shard fault (crash or stall) drawn
+/// from an independent rng stream: the base shape for a seed is
+/// bit-identical to the fault-free generator's.
+Scenario GenerateFaultScenario(uint64_t seed);
 
 }  // namespace qsys::sim
 

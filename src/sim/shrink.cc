@@ -88,6 +88,7 @@ Scenario ShrinkScenario(const Scenario& failing,
     if (current.shards > 1 && runs < max_runs) {
       Scenario candidate = current;
       candidate.shards = 1;
+      candidate.fault_shard = 0;  // keep an injected fault in range
       if (keep_if_fails(candidate)) progress = true;
     }
     if (current.exec_threads > 1 && runs < max_runs) {
@@ -118,6 +119,17 @@ Scenario ShrinkScenario(const Scenario& failing,
     if (current.spill && runs < max_runs) {
       Scenario candidate = current;
       candidate.spill = false;
+      if (keep_if_fails(candidate)) progress = true;
+    }
+
+    // Pass 5: relax the injected shard fault — a reproducer that still
+    // fails without it is an ordinary serving bug, not a
+    // fault-tolerance bug.
+    if (current.fault != Scenario::Fault::kNone && runs < max_runs) {
+      Scenario candidate = current;
+      candidate.fault = Scenario::Fault::kNone;
+      candidate.fault_shard = 0;
+      candidate.fault_seq = 0;
       if (keep_if_fails(candidate)) progress = true;
     }
   }

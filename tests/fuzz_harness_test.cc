@@ -12,6 +12,8 @@
 // Sweep scaling (all optional):
 //   QSYS_FUZZ_SCENARIOS   seeds to sweep (default 6; fuzz_smoke uses 30)
 //   QSYS_FUZZ_SEED_BASE   first seed (default 1)
+//   QSYS_FAULT_SCENARIOS  fault-sweep seeds (default 6; fault_sweep: 60)
+//   QSYS_FAULT_SEED_BASE  first fault-sweep seed (default 1)
 
 #include <gtest/gtest.h>
 
@@ -41,6 +43,16 @@ TEST(FuzzHarnessTest, ScenarioStringRoundTrips) {
     ASSERT_TRUE(parsed.ok()) << s.ToString() << ": "
                              << parsed.status().ToString();
     EXPECT_EQ(parsed.value().ToString(), s.ToString());
+    // The fault-augmented twin round-trips too, and shares the base
+    // shape byte-for-byte (the fault draws use a separate stream).
+    Scenario f = GenerateFaultScenario(seed);
+    ASSERT_NE(f.fault, Scenario::Fault::kNone);
+    auto fparsed = Scenario::Parse(f.ToString());
+    ASSERT_TRUE(fparsed.ok()) << f.ToString() << ": "
+                              << fparsed.status().ToString();
+    EXPECT_EQ(fparsed.value().ToString(), f.ToString());
+    f.fault = Scenario::Fault::kNone;
+    EXPECT_EQ(f.ToString(), s.ToString()) << "seed " << seed;
   }
   // The documented example line parses.
   auto example = Scenario::Parse(
@@ -256,6 +268,60 @@ TEST(FuzzHarnessTest, SeedSweepFindsNoDivergence) {
   // The sweep must actually check answers, not just survive runs.
   EXPECT_GT(checked, 0);
   EXPECT_GE(static_cast<int>(shapes.size()), scenarios > 4 ? 3 : 1);
+}
+
+// ---- the fault sweep ----
+
+// The fault-tolerance acceptance sweep (the `fault_sweep` ctest target
+// runs it at 60 seeds): every generated scenario re-runs with a
+// scripted shard crash or stall injected. The invariants CheckScenario
+// enforces per position:
+//   * zero hangs — every run completes inside the pump bound and every
+//     ticket resolves terminally;
+//   * un-degraded OK answers stay byte-equivalent to the oracle even
+//     when they were retried onto a replica;
+//   * degraded answers appear only under a fault on partitioned
+//     placement, flagged, and are a subset of the oracle's tuples;
+//   * the counter surface conserves (submitted == resolved) and agrees
+//     across ServiceCounters, MetricsText, and the Prometheus export.
+TEST(FuzzHarnessTest, FaultSweepFindsNoUnflaggedDivergence) {
+  const int scenarios = EnvInt("QSYS_FAULT_SCENARIOS", 6);
+  const int seed_base = EnvInt("QSYS_FAULT_SEED_BASE", 1);
+  Oracle oracle;
+  std::set<std::string> shapes;
+  bool saw_crash = false, saw_stall = false;
+  int64_t retries = 0, restarts = 0, degraded = 0, deadline = 0;
+  for (int i = 0; i < scenarios; ++i) {
+    const uint64_t seed = static_cast<uint64_t>(seed_base + i);
+    Scenario s = GenerateFaultScenario(seed);
+    shapes.insert(s.ShapeKey());
+    saw_crash = saw_crash || s.fault == Scenario::Fault::kCrash;
+    saw_stall = saw_stall || s.fault == Scenario::Fault::kStall;
+    RunOutcome outcome;
+    auto divergence = CheckScenario(s, oracle, {}, &outcome);
+    retries += outcome.retries;
+    restarts += outcome.shard_restarts;
+    degraded += outcome.degraded_answers;
+    deadline += outcome.deadline_exceeded;
+    if (!divergence.has_value()) continue;
+    auto fails = [&](const Scenario& candidate) {
+      return CheckScenario(candidate, oracle).has_value();
+    };
+    int shrink_runs = 0;
+    Scenario minimal = ShrinkScenario(s, fails, /*max_runs=*/60,
+                                      &shrink_runs);
+    ADD_FAILURE() << "fault seed " << seed << " diverged: "
+                  << divergence->ToString()
+                  << "\n  scenario: " << s.ToString()
+                  << "\n  minimal reproducer (" << shrink_runs
+                  << " shrink runs): " << minimal.ToString();
+  }
+  // Both fault kinds swept, and the fault-tolerance machinery actually
+  // engaged — faults that never fire would pass vacuously.
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_stall);
+  EXPECT_GT(retries + restarts + degraded + deadline, 0)
+      << "no injected fault ever engaged the recovery paths";
 }
 
 }  // namespace

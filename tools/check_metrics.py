@@ -12,8 +12,9 @@ PATH.mid mid-run and PATH after shutdown — then checks:
   * counter families use the _total suffix; summary families emit
     quantile samples plus _sum and _count;
   * the expected qsys_ families are present (latency summaries,
-    admission counters, spill gauges, per-shard exec counters) and
-    carry shard labels where the exporter promises them;
+    admission counters, fault-tolerance counters, spill gauges,
+    per-shard exec counters) and carry shard labels where the
+    exporter promises them;
   * every counter sample is monotonically non-decreasing from the
     mid-run scrape to the final one (same series, by name + labels).
 
@@ -46,9 +47,14 @@ EXPECTED_COUNTERS = {
     "qsys_exec_tuples_shared_served_total",
     "qsys_route_local_total",
     "qsys_route_scatter_total",
+    "qsys_query_retries_total",
+    "qsys_deadline_exceeded_total",
+    "qsys_degraded_answers_total",
+    "qsys_shard_restarts_total",
 }
 EXPECTED_GAUGES = {
     "qsys_spill_bytes_on_disk",
+    "qsys_spill_read_retry_waits",
 }
 
 SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)$")
